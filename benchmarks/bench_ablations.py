@@ -1,0 +1,136 @@
+"""Ablation benchmarks for the microarchitectural choices in DESIGN.md §5.
+
+Not paper artifacts — these quantify the design decisions the paper
+leaves open, so a downstream user can see what each knob buys:
+
+* key-store coupling (the functionally-dead error fold-back) is what lets
+  Algorithm 1's merging cascade absorb the key-store registers;
+* the state-error-handler fan-out drives the O-SCC collapse;
+* the ``S`` sweep shows how quickly ``P_M`` saturates.
+"""
+
+from repro.attacks import scc_report, separable_registers
+from repro.bench.suite import load_suite_circuit
+from repro.core import TriLockConfig, lock
+
+from conftest import run_once
+
+CIRCUIT = "s9234"
+SCALE = 0.08
+
+
+def _locked(**kwargs):
+    params = dict(kappa_s=3, kappa_f=1, alpha=0.6, s_pairs=10, seed=0)
+    params.update(kwargs)
+    netlist = load_suite_circuit(CIRCUIT, scale=SCALE, seed=0)
+    return lock(netlist, TriLockConfig(**params))
+
+
+def test_ablation_keystore_coupling(benchmark, artifact_sink):
+    """Without the coupling, key-store registers keep an autonomous E-SCC
+    and stay separable; with it they join the mixed SCC."""
+
+    def measure():
+        rows = []
+        for coupling in (False, True):
+            locked = _locked(keystore_coupling=coupling)
+            report = scc_report(locked)
+            leftover = sum(
+                len(separable_registers(locked.netlist, anchor_rank=rank))
+                for rank in range(2)
+            )
+            rows.append({
+                "keystore_coupling": coupling,
+                "E_sccs": report.e_sccs,
+                "PM": round(report.pm_percent, 1),
+                "separable_regs": leftover,
+            })
+        return rows
+
+    rows = run_once(benchmark, measure)
+    with_coupling = next(r for r in rows if r["keystore_coupling"])
+    without = next(r for r in rows if not r["keystore_coupling"])
+    assert with_coupling["PM"] >= without["PM"]
+    artifact_sink("ablation_keystore_coupling", repr(rows))
+
+
+def test_ablation_state_flip_fanout(benchmark, artifact_sink):
+    """More state-error-handler targets -> denser E->O edges -> stronger
+    O-SCC collapse under re-encoding."""
+
+    def measure():
+        rows = []
+        for n_flips in (1, 4, 16):
+            locked = _locked(n_state_flips=n_flips)
+            report = scc_report(locked)
+            rows.append({
+                "n_state_flips": n_flips,
+                "O_sccs": report.o_sccs,
+                "PM": round(report.pm_percent, 1),
+            })
+        return rows
+
+    rows = run_once(benchmark, measure)
+    assert rows[-1]["PM"] >= rows[0]["PM"] - 5  # never materially worse
+    artifact_sink("ablation_state_flips", repr(rows))
+
+
+def test_ablation_s_sweep(benchmark, artifact_sink):
+    """P_M versus S at finer granularity than Table II."""
+
+    def measure():
+        rows = []
+        for s_pairs in (0, 2, 5, 10, 20, 30):
+            locked = _locked(s_pairs=s_pairs)
+            report = scc_report(locked)
+            rows.append({
+                "S": s_pairs,
+                "pairs_applied": len(locked.reencoded_pairs),
+                "M": report.m_sccs,
+                "PM": round(report.pm_percent, 1),
+            })
+        return rows
+
+    rows = run_once(benchmark, measure)
+    pms = [row["PM"] for row in rows]
+    assert pms[0] == 0.0
+    assert pms == sorted(pms)  # PM is monotone in S
+    artifact_sink("ablation_s_sweep", repr(rows))
+
+
+def test_ablation_dip_constraint_specialisation(benchmark):
+    """The DIP-constraint partial evaluation keeps the clause store small:
+    attack one cell and check the stored-clause count stays near-linear in
+    the key cone, not the circuit."""
+    from repro.attacks import attack_locked_circuit
+    from repro.bench.suite import load_suite_circuit
+    from repro.core import TriLockConfig, lock
+
+    b12 = load_suite_circuit("b12", scale=SCALE, seed=0)
+    locked = lock(b12, TriLockConfig(kappa_s=1, kappa_f=1, alpha=0.6,
+                                     s_pairs=10, seed=0))
+
+    def attack():
+        return attack_locked_circuit(locked)
+
+    result = run_once(benchmark, attack)
+    assert result.success
+    assert result.n_dips == 2 ** (1 * 5)
+
+
+def test_ablation_solver_binary_clause_share(benchmark):
+    """How much of a locked-circuit CNF the binary-clause fast path covers."""
+    from repro.cnf import encode
+    from repro.unroll import unroll
+
+    locked = _locked(kappa_s=2)
+
+    def measure():
+        unrolled = unroll(locked.netlist, 4)
+        circuit = encode(unrolled.netlist)
+        binary = sum(1 for c in circuit.cnf.clauses if len(c) == 2)
+        return {"clauses": circuit.cnf.num_clauses(), "binary": binary,
+                "share": binary / circuit.cnf.num_clauses()}
+
+    stats = run_once(benchmark, measure)
+    assert stats["share"] > 0.3

@@ -1,0 +1,13 @@
+"""Fig. 3 benchmark: exhaustive error-table regeneration (spec + gate level)."""
+
+from repro.experiments import fig3_error_tables
+
+from conftest import run_once
+
+
+def test_fig3_error_tables(benchmark, artifact_sink):
+    result = run_once(benchmark, fig3_error_tables.run, 1.0)
+    assert all(row["gate_level_matches_spec"] for row in result.rows)
+    assert result.rows[1]["FC"] == 0.75
+    artifact_sink("fig3", result.render() + "\n"
+                  + fig3_error_tables.render_tables(result))

@@ -1,0 +1,12 @@
+"""Fig. 4 benchmark: trade-off curves with exhaustive validation."""
+
+from repro.experiments import fig4_tradeoff
+
+from conftest import run_once
+
+
+def test_fig4_tradeoff(benchmark, artifact_sink):
+    result = run_once(benchmark, fig4_tradeoff.run, 10, True)
+    panel_b = [r for r in result.rows if r["panel"] == "b"]
+    assert panel_b[-1]["ndip"] == 2 ** 40
+    artifact_sink("fig4", result.render())

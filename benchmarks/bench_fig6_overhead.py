@@ -1,0 +1,28 @@
+"""Fig. 6 benchmark: ADP overhead sweep (subset for timing; the full
+ten-circuit sweep runs via the experiments CLI)."""
+
+from repro.experiments import fig6_overhead
+
+from conftest import run_once
+
+
+def test_fig6_overhead(benchmark, artifact_sink):
+    result = run_once(
+        benchmark, fig6_overhead.run,
+        0.08, ["b12", "s9234", "b18"])
+    by_circuit = {}
+    for row in result.rows:
+        by_circuit.setdefault(row["circuit"], []).append(row["area_ovh"])
+    for series in by_circuit.values():
+        assert series == sorted(series)  # area overhead grows with kappa_s
+    artifact_sink("fig6", result.render())
+
+
+def test_power_estimation_single(benchmark):
+    """One activity-based power estimate (the inner loop of Fig. 6)."""
+    from repro.bench.suite import load_suite_circuit
+    from repro.tech import simulate_power
+
+    netlist = load_suite_circuit("s9234", scale=0.08, seed=0)
+    report = run_once(benchmark, simulate_power, netlist)
+    assert report.total_uw > 0

@@ -1,0 +1,27 @@
+"""Fig. 7 benchmark: 800-sample FC simulation sweep (reduced circuit set
+for timing; the full ten-circuit sweep runs via the experiments CLI)."""
+
+from repro.experiments import fig7_fc
+
+from conftest import run_once
+
+
+def test_fig7_fc_sweep(benchmark, artifact_sink):
+    result = run_once(
+        benchmark, fig7_fc.run,
+        0.08, ["b12", "s15850", "s9234"])
+    assert all(row["abs_err"] < 0.08 for row in result.rows)
+    artifact_sink("fig7", result.render())
+
+
+def test_fig7_single_point(benchmark):
+    """One 800-sample FC point (the paper's VCS unit of work)."""
+    from repro.bench.suite import load_suite_circuit
+    from repro.core import TriLockConfig, lock
+    from repro.metrics import simulate_fc
+
+    netlist = load_suite_circuit("b12", scale=0.08, seed=0)
+    locked = lock(netlist, TriLockConfig(
+        kappa_s=4, kappa_f=1, alpha=0.6, seed=0))
+    value = run_once(benchmark, simulate_fc, locked, 4, 800, 0)
+    assert 0.45 < value < 0.72  # alpha=0.6 with |I|=5 quantisation

@@ -1,0 +1,28 @@
+"""Table I benchmark: the real sequential SAT attack on the b12 cell plus
+the paper-protocol extrapolation of the full table."""
+
+from repro.experiments import table1_sat_resilience
+
+from conftest import run_once
+
+
+def test_table1_quick(benchmark, artifact_sink):
+    result = run_once(benchmark, table1_sat_resilience.run, 0.08, "quick")
+    assert all(row["ndip==2^(ks|I|)"] for row in result.rows)
+    measured = [r for r in result.rows if r["measured"]]
+    assert measured and all(r["key_ok"] for r in measured)
+    artifact_sink("table1", result.render())
+
+
+def test_table1_single_attack_cell(benchmark):
+    """Isolated timing of one measured cell (b12, kappa_s=1)."""
+    from repro.bench.suite import load_suite_circuit
+    from repro.core import TriLockConfig, lock
+    from repro.metrics import measure_resilience
+
+    netlist = load_suite_circuit("b12", scale=0.08, seed=0)
+    locked = lock(netlist, TriLockConfig(
+        kappa_s=1, kappa_f=1, alpha=0.6, s_pairs=10, seed=0))
+
+    cell = run_once(benchmark, measure_resilience, locked)
+    assert cell.ndip == 32 and cell.key_correct

@@ -1,0 +1,30 @@
+"""Table II benchmark: lock + Algorithm 1 + SCC clustering on the suite."""
+
+from repro.experiments import table2_removal
+
+from conftest import run_once
+
+
+def test_table2_removal(benchmark, artifact_sink):
+    result = run_once(benchmark, table2_removal.run, 0.08)
+    for row in result.rows:
+        if row["S"] == 0:
+            assert row["M"] == 0 and row["PM"] == 0
+        else:
+            assert row["M"] >= 1 and row["PM"] > 80
+    artifact_sink("table2", result.render())
+
+
+def test_algorithm1_single_circuit(benchmark):
+    """Isolated timing of S=30 re-encoding on one mid-size circuit."""
+    from repro.bench.suite import load_suite_circuit
+    from repro.core import TriLockConfig, lock
+
+    netlist = load_suite_circuit("s9234", scale=0.08, seed=0)
+
+    def lock_with_reencoding():
+        return lock(netlist, TriLockConfig(
+            kappa_s=3, kappa_f=1, alpha=0.6, s_pairs=30, seed=0))
+
+    locked = run_once(benchmark, lock_with_reencoding)
+    assert locked.reencoded_pairs

@@ -1,0 +1,34 @@
+"""Benchmark-suite plumbing.
+
+Every benchmark regenerates one paper artifact (via ``pedantic`` single
+runs — the workloads are seconds-scale, not microseconds-scale) and dumps
+the rendered table under ``benchmarks/artifacts/`` so the numbers behind
+EXPERIMENTS.md can be inspected after a run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+ARTIFACT_DIR = os.path.join(os.path.dirname(__file__), "artifacts")
+
+
+@pytest.fixture
+def artifact_sink():
+    """Write a rendered artifact; returns the path."""
+    def write(name, text):
+        os.makedirs(ARTIFACT_DIR, exist_ok=True)
+        path = os.path.join(ARTIFACT_DIR, f"{name}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        return path
+
+    return write
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark a seconds-scale workload exactly once per measurement."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Corruptibility tuning: dial in a target FC with (α, κf).
+
+The product claim of the paper: a designer picks the error rate that
+unauthorised users experience, *independently* of SAT resilience. This
+script sweeps α for κf ∈ {1, 2} on an s9234-class circuit, compares the
+simulated FC against Eq. (15), and then solves the inverse problem:
+"give me FC ≈ 0.4" -> a configuration.
+"""
+
+from repro.bench import load_benchmark
+from repro.core import TriLockConfig, fc_trilock, lock
+from repro.metrics import paper_depth_range, average_simulated_fc
+
+
+def sweep(circuit, kappa_s=3):
+    width = len(circuit.inputs)
+    print("kappa_f  alpha  FC_simulated  FC_eq15  |err|")
+    for kappa_f in (1, 2):
+        for alpha in (0.0, 0.3, 0.6, 0.9):
+            locked = lock(circuit, TriLockConfig(
+                kappa_s=kappa_s, kappa_f=kappa_f, alpha=alpha, seed=42))
+            simulated = average_simulated_fc(
+                locked, paper_depth_range(kappa_s, span=2), n_samples=800)
+            predicted = fc_trilock(alpha, kappa_f, width)
+            print(f"{kappa_f:7d}  {alpha:5.1f}  {simulated:12.3f}  "
+                  f"{predicted:7.3f}  {abs(simulated - predicted):5.3f}")
+
+
+def solve_for_target(circuit, target_fc, kappa_s=3, kappa_f=1):
+    """Invert Eq. (15): alpha = FC / (1 - 2^-(kappa_f |I|))."""
+    width = len(circuit.inputs)
+    ceiling = 1 - 2 ** -(kappa_f * width)
+    if target_fc > ceiling:
+        raise SystemExit(
+            f"target {target_fc} above the Eq. 12 ceiling {ceiling:.3f}; "
+            f"raise kappa_f")
+    alpha = target_fc / ceiling
+    locked = lock(circuit, TriLockConfig(
+        kappa_s=kappa_s, kappa_f=kappa_f, alpha=alpha, seed=43))
+    achieved = average_simulated_fc(
+        locked, paper_depth_range(kappa_s, span=2), n_samples=800)
+    print(f"\ninverse problem: target FC={target_fc} -> alpha={alpha:.3f}")
+    print(f"achieved FC={achieved:.3f} "
+          f"(SAT resilience untouched: ndip=2^{kappa_s * width})")
+    return locked
+
+
+def main():
+    circuit = load_benchmark("s9234", scale=0.08)
+    print(f"host circuit: {circuit!r}\n")
+    sweep(circuit)
+    solve_for_target(circuit, target_fc=0.4)
+
+
+if __name__ == "__main__":
+    main()

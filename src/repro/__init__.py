@@ -1,0 +1,17 @@
+"""Reproduction of TriLock (DATE 2022) — sequential logic locking with
+tunable corruptibility and resilience to SAT and removal attacks.
+
+Public API highlights:
+
+* :mod:`repro.netlist` — gate-level IR, ``.bench`` I/O, logic builder
+* :mod:`repro.sim` — bit-parallel combinational/sequential simulation
+* :mod:`repro.cnf` / :mod:`repro.sat` — Tseitin encoding and CDCL solver
+* :mod:`repro.unroll` — sequential-to-combinational unrolling
+* :mod:`repro.core` — the TriLock locking flow and its theory helpers
+* :mod:`repro.attacks` — SAT-based and removal attacks
+* :mod:`repro.metrics` — corruptibility, resilience, overhead metrics
+* :mod:`repro.bench` — benchmark circuits (embedded + synthetic suite)
+* :mod:`repro.experiments` — regeneration of every paper table/figure
+"""
+
+__version__ = "0.1.0"

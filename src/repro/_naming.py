@@ -1,0 +1,62 @@
+"""Net-name utilities shared across the library.
+
+All structural transformations (locking, unrolling, re-encoding) create new
+nets; :class:`NameFactory` hands out names that are guaranteed fresh with
+respect to a netlist snapshot, with a readable ``prefix_counter`` shape so
+generated netlists stay debuggable.
+"""
+
+from __future__ import annotations
+
+
+class NameFactory:
+    """Produce net names that do not collide with an existing name set.
+
+    The factory keeps its own record of every name it has produced, so a
+    single instance can be shared by several builders operating on the same
+    netlist.
+    """
+
+    def __init__(self, taken=(), separator="_"):
+        self._taken = set(taken)
+        self._separator = separator
+        self._counters = {}
+
+    def reserve(self, name):
+        """Mark ``name`` as taken (e.g. after adding a net out-of-band)."""
+        self._taken.add(name)
+
+    def fresh(self, prefix):
+        """Return an unused name of the form ``{prefix}{sep}{n}``."""
+        counter = self._counters.get(prefix, 0)
+        while True:
+            candidate = f"{prefix}{self._separator}{counter}"
+            counter += 1
+            if candidate not in self._taken:
+                break
+        self._counters[prefix] = counter
+        self._taken.add(candidate)
+        return candidate
+
+    def fresh_many(self, prefix, count):
+        """Return ``count`` fresh names sharing one prefix."""
+        return [self.fresh(prefix) for _ in range(count)]
+
+    def __contains__(self, name):
+        return name in self._taken
+
+
+def unrolled_name(net, cycle):
+    """Canonical name of ``net``'s copy at unrolling ``cycle`` (0-based)."""
+    return f"{net}@{cycle}"
+
+
+def parse_unrolled_name(name):
+    """Inverse of :func:`unrolled_name`; returns ``(net, cycle)``.
+
+    Raises ``ValueError`` when ``name`` does not carry a cycle suffix.
+    """
+    base, sep, cycle_text = name.rpartition("@")
+    if not sep or not cycle_text.isdigit():
+        raise ValueError(f"not an unrolled net name: {name!r}")
+    return base, int(cycle_text)

@@ -1,0 +1,50 @@
+"""Attacks on locked circuits: SAT-based key recovery and removal analysis."""
+
+from repro.attacks.bmc import BmcResult, bounded_equivalence
+from repro.attacks.comb_sat import CombSatResult, comb_sat_attack
+from repro.attacks.oracle import SimulationOracle
+from repro.attacks.removal import (
+    RemovalAttempt,
+    SccReport,
+    attempt_removal,
+    scc_report,
+    separable_registers,
+)
+from repro.attacks.key_space import KeySpaceTrace, key_space_trace
+from repro.attacks.stg import (
+    StgReport,
+    extract_stg,
+    stg_report,
+    terminal_sccs,
+)
+from repro.attacks.seq_sat import (
+    SeqAttackResult,
+    attack_locked_circuit,
+    estimate_min_unroll_depth,
+    sequential_sat_attack,
+    unrolled_attack_view,
+)
+
+__all__ = [
+    "BmcResult",
+    "CombSatResult",
+    "KeySpaceTrace",
+    "RemovalAttempt",
+    "SccReport",
+    "SeqAttackResult",
+    "SimulationOracle",
+    "StgReport",
+    "extract_stg",
+    "key_space_trace",
+    "stg_report",
+    "terminal_sccs",
+    "attack_locked_circuit",
+    "attempt_removal",
+    "bounded_equivalence",
+    "comb_sat_attack",
+    "estimate_min_unroll_depth",
+    "scc_report",
+    "separable_registers",
+    "sequential_sat_attack",
+    "unrolled_attack_view",
+]

@@ -1,0 +1,186 @@
+"""COMB-SAT: the oracle-guided DIP attack of Subramanyan et al. [24].
+
+Operates on a *combinational* locked circuit whose inputs split into data
+inputs and key inputs (for sequential TriLock the caller passes an
+unrolled circuit where the first ``κ`` cycle-inputs act as the key, per
+Section II-B). Each iteration finds a distinguishing input pattern (DIP)
+— a data pattern on which two keys that satisfy all constraints so far
+disagree — queries the oracle, and pins both key copies to the observed
+response. When no DIP remains, any satisfying key is functionally
+equivalent on the attacked window.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.cnf import Cnf, encode
+from repro.errors import AttackError
+from repro.sat import Solver
+
+
+@dataclass
+class CombSatResult:
+    """Outcome of one COMB-SAT run."""
+
+    success: bool
+    key: dict | None          # key input net -> bool (None if failed)
+    n_dips: int
+    seconds: float
+    dips: list = field(default_factory=list)
+    solver_stats: dict = field(default_factory=dict)
+    stop_reason: str = "no_more_dips"
+
+
+def _miter_copy_map(netlist, key_set, tag):
+    """Rename map for a miter copy: shared data inputs, per-copy keys."""
+    mapping = {}
+    for net in netlist.nets():
+        if net in key_set:
+            mapping[net] = f"key_{tag}::{net}"
+        elif netlist.is_input(net):
+            mapping[net] = net  # data inputs are shared between copies
+        else:
+            mapping[net] = f"mtr_{tag}::{net}"
+    return mapping
+
+
+def _constraint_copy_map(netlist, key_set, tag, index):
+    """Rename map for an I/O-constraint copy: shares only the key nets."""
+    mapping = {}
+    for net in netlist.nets():
+        if net in key_set:
+            mapping[net] = f"key_{tag}::{net}"
+        else:
+            mapping[net] = f"io_{tag}{index}::{net}"
+    return mapping
+
+
+def comb_sat_attack(locked, key_inputs, oracle_fn, max_dips=None,
+                    collect_dips=False, time_budget=None):
+    """Run the DIP loop; returns a :class:`CombSatResult`.
+
+    ``locked``
+        Combinational netlist; its inputs are ``key_inputs`` plus data
+        inputs (order irrelevant).
+    ``oracle_fn``
+        Callable mapping a tuple of data-input bits (ordered like the data
+        inputs appear in ``locked.inputs``) to the tuple of correct output
+        bits (ordered like ``locked.outputs``).
+    ``max_dips`` / ``time_budget``
+        Optional effort caps; exceeding one returns ``success=False`` with
+        ``stop_reason`` set accordingly.
+    """
+    start = time.perf_counter()
+    key_inputs = list(key_inputs)
+    key_set = set(key_inputs)
+    unknown = key_set - set(locked.inputs)
+    if unknown:
+        raise AttackError(f"key inputs not in circuit: {sorted(unknown)[:4]}")
+    data_inputs = [net for net in locked.inputs if net not in key_set]
+
+    map_a = _miter_copy_map(locked, key_set, "a")
+    map_b = _miter_copy_map(locked, key_set, "b")
+    cnf = Cnf()
+    var_of = {}
+    encode(locked.renamed(map_a, name="miter_a"), cnf=cnf, var_of=var_of)
+    encode(locked.renamed(map_b, name="miter_b"), cnf=cnf, var_of=var_of)
+
+    solver = Solver()
+    solver.ensure_vars(cnf.num_vars)
+    if not solver.add_cnf(cnf):
+        raise AttackError("locked circuit CNF is unsatisfiable")
+
+    # Gated miter: act -> (some output pair differs).
+    act = solver.new_var()
+    diff_lits = []
+    for net in locked.outputs:
+        lit_a = var_of[map_a[net]]
+        lit_b = var_of[map_b[net]]
+        diff = solver.new_var()
+        for clause in _xor_clauses(diff, lit_a, lit_b):
+            solver.add_clause(clause)
+        diff_lits.append(diff)
+    solver.add_clause([-act] + diff_lits)
+
+    n_dips = 0
+    dips = []
+    stop_reason = "no_more_dips"
+    while True:
+        if max_dips is not None and n_dips >= max_dips:
+            stop_reason = "max_dips"
+            break
+        if time_budget is not None and \
+                time.perf_counter() - start > time_budget:
+            stop_reason = "time_budget"
+            break
+        if not solver.solve(assumptions=[act]):
+            break  # no distinguishing pattern remains
+        dip = tuple(
+            solver.model_value(var_of[net]) for net in data_inputs
+        )
+        n_dips += 1
+        if collect_dips:
+            dips.append(dip)
+        response = tuple(oracle_fn(dip))
+        if len(response) != len(locked.outputs):
+            raise AttackError("oracle response width mismatch")
+        _pin_io_pair(solver, locked, key_set, var_of, dip, response,
+                     data_inputs, n_dips)
+
+    if stop_reason != "no_more_dips":
+        return CombSatResult(
+            success=False, key=None, n_dips=n_dips,
+            seconds=time.perf_counter() - start, dips=dips,
+            solver_stats=solver.stats(), stop_reason=stop_reason)
+
+    if not solver.solve():
+        raise AttackError("constraint store unsatisfiable: oracle inconsistent")
+    key = {net: solver.model_value(var_of[map_a[net]]) for net in key_inputs}
+    return CombSatResult(
+        success=True, key=key, n_dips=n_dips,
+        seconds=time.perf_counter() - start, dips=dips,
+        solver_stats=solver.stats())
+
+
+def _xor_clauses(out_var, lit_a, lit_b):
+    return [
+        [-out_var, lit_a, lit_b],
+        [-out_var, -lit_a, -lit_b],
+        [out_var, -lit_a, lit_b],
+        [out_var, lit_a, -lit_b],
+    ]
+
+
+def _pin_io_pair(solver, locked, key_set, var_of, dip, response,
+                 data_inputs, index):
+    """Add two constraint copies: C(dip, kA) = y and C(dip, kB) = y.
+
+    The circuit is first partially evaluated on the (constant) DIP, so
+    each copy encodes only the key-dependent cone — the standard
+    constraint-compaction trick that keeps the clause store linear in key
+    logic rather than circuit size.
+    """
+    from repro.netlist.transform import simplified
+
+    assignments = {net: (1 if bit else 0)
+                   for net, bit in zip(data_inputs, dip)}
+    specialized = simplified(locked, constant_inputs=assignments,
+                             name=f"io_spec{index}")
+    for tag in ("a", "b"):
+        mapping = {}
+        for net in specialized.nets():
+            if net in key_set:
+                mapping[net] = f"key_{tag}::{net}"
+            else:
+                mapping[net] = f"io_{tag}{index}::{net}"
+        copy = specialized.renamed(mapping, name=f"io_{tag}{index}")
+        cnf = Cnf(solver.num_vars)
+        circuit = encode(copy, cnf=cnf, var_of=var_of)
+        solver.ensure_vars(cnf.num_vars)
+        for clause in cnf.clauses:
+            solver.add_clause(clause)
+        for position, bit in enumerate(response):
+            net = copy.outputs[position]
+            solver.add_clause([circuit.lit(net, bool(bit))])

@@ -1,0 +1,129 @@
+"""Key-space elimination tracing.
+
+Theorem 1 is a statement about *how many wrong keys each DIP can kill*:
+against ``E^SF``, a DIP eliminates every wrong key sharing one prefix
+(plus, once, all EF-column keys), so the survivor count steps down in
+equal-size blocks; against ``E^N`` it steps down by exactly one. This
+module measures that directly on exhaustively countable instances by
+projected model counting over the key variables after each DIP — the
+quantitative picture behind Fig. 4's ``ndip`` axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.attacks.comb_sat import comb_sat_attack
+from repro.attacks.oracle import SimulationOracle
+from repro.attacks.seq_sat import unrolled_attack_view
+from repro.cnf import Cnf, encode
+from repro.errors import AttackError
+from repro.netlist.transform import simplified
+from repro.sat import Solver
+
+#: Guard: 2^(kappa*|I|) keys are enumerated after every DIP.
+_MAX_KEY_BITS = 12
+
+
+@dataclass
+class KeySpaceTrace:
+    """Survivor counts over the DIP loop (index i = after DIP i+1)."""
+
+    initial_keys: int
+    survivors: list
+    eliminated_per_dip: list = field(default_factory=list)
+
+    @property
+    def n_dips(self):
+        return len(self.survivors)
+
+    def __post_init__(self):
+        previous = self.initial_keys
+        eliminated = []
+        for count in self.survivors:
+            eliminated.append(previous - count)
+            previous = count
+        self.eliminated_per_dip = eliminated
+
+
+def key_space_trace(locked, depth=None, max_dips=None):
+    """Run the DIP loop on ``locked`` and count surviving keys per DIP.
+
+    Only feasible for small key spaces (``κ·|I| <= 12``); an analysis
+    utility for tests and trade-off studies, not part of the attack.
+    """
+    kappa = locked.config.kappa
+    width = len(locked.original.inputs)
+    key_bits = kappa * width
+    if key_bits > _MAX_KEY_BITS:
+        raise AttackError(
+            f"key space 2^{key_bits} too large to enumerate "
+            f"(cap 2^{_MAX_KEY_BITS})")
+    if depth is None:
+        depth = locked.config.kappa_s
+
+    view, key_inputs, data_inputs = unrolled_attack_view(
+        locked.netlist, kappa, depth)
+    view = simplified(view, name="keyspace_view")
+    oracle = SimulationOracle(locked.original)
+
+    def oracle_fn(flat_data):
+        vectors = [tuple(flat_data[c * width:(c + 1) * width])
+                   for c in range(depth)]
+        trace = oracle.query(vectors)
+        return tuple(bit for cycle in trace for bit in cycle)
+
+    # Collect the attack's DIPs once, then count survivors after each
+    # prefix of the DIP sequence.
+    result = comb_sat_attack(view, key_inputs, oracle_fn,
+                             max_dips=max_dips, collect_dips=True)
+    responses = [tuple(oracle_fn(dip)) for dip in result.dips]
+    survivors = []
+    for upto in range(1, len(result.dips) + 1):
+        survivors.append(_count_consistent_keys(
+            view, key_inputs, data_inputs,
+            result.dips[:upto], responses[:upto]))
+    return KeySpaceTrace(initial_keys=1 << key_bits, survivors=survivors)
+
+
+def _count_consistent_keys(view, key_inputs, data_inputs, dips, responses):
+    """Count keys consistent with the observed I/O pairs.
+
+    One circuit copy per I/O pair, all sharing the key variables, then
+    model enumeration projected onto the key variables with blocking
+    clauses.
+    """
+    solver = Solver()
+    cnf = Cnf()
+    var_of = {}
+    base = encode(view, cnf=cnf, var_of=var_of)
+    solver.ensure_vars(cnf.num_vars)
+    if not solver.add_cnf(cnf):
+        return 0
+
+    key_set = set(key_inputs)
+    for index, (dip, response) in enumerate(zip(dips, responses)):
+        mapping = {net: (net if net in key_set else f"ks{index}::{net}")
+                   for net in view.nets()}
+        copy = view.renamed(mapping, name=f"ks{index}")
+        extra = Cnf(solver.num_vars)
+        circuit = encode(copy, cnf=extra, var_of=var_of)
+        solver.ensure_vars(extra.num_vars)
+        for clause in extra.clauses:
+            solver.add_clause(clause)
+        for net, bit in zip(data_inputs, dip):
+            solver.add_clause([circuit.lit(mapping[net], bool(bit))])
+        for net, bit in zip(view.outputs, response):
+            solver.add_clause([circuit.lit(mapping[net], bool(bit))])
+
+    key_vars = [base.var_of[net] for net in key_inputs]
+    count = 0
+    while solver.solve():
+        model = [solver.model_value(v) for v in key_vars]
+        count += 1
+        if count > (1 << _MAX_KEY_BITS):
+            raise AttackError("runaway key enumeration")
+        blocking = [-v if value else v for v, value in zip(key_vars, model)]
+        if not solver.add_clause(blocking):
+            break
+    return count

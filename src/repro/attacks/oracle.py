@@ -1,0 +1,45 @@
+"""Input/output oracle.
+
+The SAT-attack threat model grants the attacker black-box access to an
+activated chip: apply any input sequence from reset, observe the output
+sequence. :class:`SimulationOracle` provides exactly that interface on top
+of the original netlist and counts queries for reporting.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AttackError
+from repro.sim.seq import SequentialSimulator
+
+
+class SimulationOracle:
+    """Black-box functional oracle over the original circuit."""
+
+    def __init__(self, original_netlist):
+        self._netlist = original_netlist
+        self._sim = SequentialSimulator(original_netlist)
+        self.query_count = 0
+
+    @property
+    def input_width(self):
+        return len(self._netlist.inputs)
+
+    @property
+    def output_width(self):
+        return len(self._netlist.outputs)
+
+    def query(self, input_vectors):
+        """Run one sequence from reset; returns per-cycle output tuples."""
+        for cycle, vector in enumerate(input_vectors):
+            if len(vector) != self.input_width:
+                raise AttackError(
+                    f"cycle {cycle}: oracle stimulus width {len(vector)} "
+                    f"!= {self.input_width}"
+                )
+        self.query_count += 1
+        return self._sim.run_vectors(list(input_vectors))
+
+    def query_flat(self, input_vectors):
+        """Like :meth:`query` but flattened cycle-major into one tuple."""
+        trace = self.query(input_vectors)
+        return tuple(bit for cycle in trace for bit in cycle)

@@ -1,0 +1,28 @@
+"""Benchmark circuits: embedded ISCAS golden + synthetic paper suite."""
+
+from repro.bench.iscas import S27_BENCH, embedded_names, load_embedded
+from repro.bench.suite import (
+    TABLE1_CIRCUITS,
+    available_benchmarks,
+    load_benchmark,
+    load_suite_circuit,
+    suite_names,
+    suite_spec,
+)
+from repro.bench.synth import CircuitSpec, SynthCircuit, generate, generate_circuit
+
+__all__ = [
+    "CircuitSpec",
+    "S27_BENCH",
+    "SynthCircuit",
+    "TABLE1_CIRCUITS",
+    "available_benchmarks",
+    "embedded_names",
+    "generate",
+    "generate_circuit",
+    "load_benchmark",
+    "load_embedded",
+    "load_suite_circuit",
+    "suite_names",
+    "suite_spec",
+]

@@ -1,0 +1,53 @@
+"""Embedded real benchmark circuits.
+
+Only the small ISCAS'89 ``s27`` netlist is embedded verbatim (public
+benchmark, 4 PI / 1 PO / 3 FF / 10 gates); it serves as a golden reference
+for the ``.bench`` parser, the simulator, and end-to-end locking tests.
+The paper's ten large ISCAS'89/ITC'99 circuits are substituted by the
+synthetic suite in :mod:`repro.bench.synth` (see DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+from repro.errors import BenchmarkError
+from repro.netlist.bench_io import loads_bench
+
+S27_BENCH = """\
+# s27 (ISCAS'89)
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+"""
+
+_EMBEDDED = {"s27": S27_BENCH}
+
+
+def embedded_names():
+    """Names of the embedded real circuits."""
+    return sorted(_EMBEDDED)
+
+
+def load_embedded(name):
+    """Parse and return a fresh copy of an embedded circuit."""
+    try:
+        text = _EMBEDDED[name]
+    except KeyError:
+        raise BenchmarkError(
+            f"unknown embedded circuit {name!r}; available: {embedded_names()}"
+        )
+    return loads_bench(text, name=name)

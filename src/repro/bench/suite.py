@@ -1,0 +1,65 @@
+"""The paper's ten-circuit benchmark suite (Table I "Circuit Info").
+
+PI/PO/FF/gate counts are taken verbatim from Table I of the paper. The
+netlists themselves are synthetic stand-ins from :mod:`repro.bench.synth`
+(see DESIGN.md §4); interface widths are never scaled because the paper's
+security quantities (``ndip = 2^{κs·|I|}``, Eq. 15's FC) depend on them,
+while flop/gate counts accept a ``scale`` knob so experiments stay
+tractable in pure Python.
+"""
+
+from __future__ import annotations
+
+from repro.bench.iscas import embedded_names, load_embedded
+from repro.bench.synth import CircuitSpec, generate
+from repro.errors import BenchmarkError
+
+#: name -> (PI, PO, FF, gates), exactly as printed in Table I.
+TABLE1_CIRCUITS = {
+    "s9234": (19, 22, 228, 5597),
+    "s15850": (13, 87, 597, 9772),
+    "s35932": (35, 320, 1728, 16065),
+    "s38417": (28, 106, 1636, 22179),
+    "s38584": (11, 278, 1452, 19253),
+    "b12": (5, 6, 121, 1000),
+    "b14": (32, 54, 245, 8567),
+    "b15": (36, 70, 447, 6931),
+    "b18": (37, 23, 20372, 94249),
+    "b20": (32, 22, 490, 17158),
+}
+
+
+def suite_names():
+    """The ten benchmark names in the paper's row order."""
+    return list(TABLE1_CIRCUITS)
+
+
+def suite_spec(name, scale=1.0, seed=0):
+    """The (optionally scaled) :class:`CircuitSpec` for a suite circuit."""
+    try:
+        n_pi, n_po, n_ff, n_gates = TABLE1_CIRCUITS[name]
+    except KeyError:
+        raise BenchmarkError(
+            f"unknown suite circuit {name!r}; available: {suite_names()}"
+        )
+    spec = CircuitSpec(name, n_pi, n_po, n_ff, n_gates, seed=seed)
+    if scale != 1.0:
+        spec = spec.scaled(scale)
+    return spec
+
+
+def load_suite_circuit(name, scale=1.0, seed=0):
+    """Generate the synthetic stand-in for one suite circuit."""
+    return generate(suite_spec(name, scale=scale, seed=seed)).netlist
+
+
+def load_benchmark(name, scale=1.0, seed=0):
+    """Load any benchmark: embedded real circuit or suite stand-in."""
+    if name in embedded_names():
+        return load_embedded(name)
+    return load_suite_circuit(name, scale=scale, seed=seed)
+
+
+def available_benchmarks():
+    """Every loadable benchmark name."""
+    return embedded_names() + suite_names()

@@ -1,0 +1,216 @@
+"""Synthetic sequential benchmark generator.
+
+Stand-in for the ISCAS'89 / ITC'99 netlists the paper evaluates on (the
+real netlists are not redistributable inside this repo, and TriLock's
+measured properties depend on interface widths, register count, gate count
+and register-connection-graph shape rather than on the exact Boolean
+functions — see DESIGN.md §4).
+
+Construction outline (all draws from one seeded RNG):
+
+1. Flops are partitioned into *clusters* with decaying sizes (a few large
+   state machines plus a tail of small/singleton registers), mirroring the
+   SCC profile of real controllers.
+2. Each flop's next-state cone reads: the next flop Q in its own cluster
+   (a forced ring edge that makes every cluster strongly connected), other
+   same-cluster Qs, Qs from strictly earlier clusters (forward-only, so
+   the register condensation stays a DAG of exactly one SCC per
+   multi-flop cluster), and primary inputs.
+3. A gate budget close to the requested count is spread across per-flop
+   and per-output logic regions and filled with random AND/OR-family,
+   XOR-family, and inverter gates.
+4. Unused primary inputs are spliced into existing gates so the interface
+   is fully live.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import BenchmarkError
+from repro.netlist.gates import GateOp
+from repro.netlist.netlist import Netlist
+from repro.sim.random_vectors import make_rng
+
+
+@dataclass(frozen=True)
+class CircuitSpec:
+    """Requested shape of a synthetic circuit."""
+
+    name: str
+    n_inputs: int
+    n_outputs: int
+    n_flops: int
+    n_gates: int
+    seed: int = 0
+
+    def scaled(self, scale):
+        """Spec with flop/gate counts scaled down (interface unchanged).
+
+        Interface widths (PI/PO) are what the paper's security formulas
+        depend on, so they are never scaled.
+        """
+        if scale <= 0:
+            raise BenchmarkError(f"scale must be positive, got {scale}")
+        n_flops = max(4, round(self.n_flops * scale))
+        floor_gates = 2 * (n_flops + self.n_outputs)
+        return CircuitSpec(
+            name=self.name,
+            n_inputs=self.n_inputs,
+            n_outputs=self.n_outputs,
+            n_flops=n_flops,
+            n_gates=max(floor_gates, round(self.n_gates * scale)),
+            seed=self.seed,
+        )
+
+
+@dataclass
+class SynthCircuit:
+    """Generated netlist plus generation ground truth (for tests)."""
+
+    netlist: Netlist
+    spec: CircuitSpec
+    clusters: list = field(default_factory=list)  # lists of flop Q nets
+
+
+_OP_POOL = (
+    [GateOp.AND] * 22 + [GateOp.NAND] * 14 + [GateOp.OR] * 20
+    + [GateOp.NOR] * 14 + [GateOp.XOR] * 6 + [GateOp.XNOR] * 4
+    + [GateOp.NOT] * 12 + [GateOp.BUF] * 8
+)
+
+
+def _cluster_sizes(rng, n_flops):
+    """Decaying cluster sizes: a few large clusters, many small ones."""
+    sizes = []
+    remaining = n_flops
+    while remaining > 0:
+        fraction = rng.betavariate(1.0, 4.0)
+        size = max(1, min(remaining, round(remaining * fraction)))
+        sizes.append(size)
+        remaining -= size
+    rng.shuffle(sizes)
+    sizes.sort(reverse=True)
+    return sizes
+
+
+def _split_budget(rng, total, buckets, minimum=1):
+    """Split ``total`` into ``buckets`` parts, each >= ``minimum``."""
+    if total < buckets * minimum:
+        return [minimum] * buckets
+    weights = [rng.random() ** 2 + 0.05 for _ in range(buckets)]
+    weight_sum = sum(weights)
+    shares = [minimum + int((total - buckets * minimum) * w / weight_sum)
+              for w in weights]
+    leftover = total - sum(shares)
+    for _ in range(leftover):
+        shares[rng.randrange(buckets)] += 1
+    return shares
+
+
+def generate(spec):
+    """Generate a :class:`SynthCircuit` from a :class:`CircuitSpec`."""
+    if spec.n_inputs < 1 or spec.n_outputs < 1:
+        raise BenchmarkError("need at least one input and one output")
+    if spec.n_flops < 1:
+        raise BenchmarkError("synthetic circuits are sequential: n_flops >= 1")
+    rng = make_rng(("synth", spec.name, spec.seed))
+
+    netlist = Netlist(spec.name)
+    pis = [netlist.add_input(f"pi{k}") for k in range(spec.n_inputs)]
+    flop_qs = [f"ff{k}" for k in range(spec.n_flops)]
+
+    sizes = _cluster_sizes(rng, spec.n_flops)
+    clusters = []
+    cursor = 0
+    for size in sizes:
+        clusters.append(flop_qs[cursor:cursor + size])
+        cursor += size
+
+    regions = spec.n_flops + spec.n_outputs
+    budget = max(spec.n_gates, regions)
+    shares = _split_budget(rng, budget, regions)
+
+    gate_counter = 0
+
+    def fresh_gate_name():
+        nonlocal gate_counter
+        name = f"g{gate_counter}"
+        gate_counter += 1
+        return name
+
+    def build_region(source_pool, n_gates, forced_first_input=None):
+        """Emit ``n_gates`` gates over ``source_pool``; returns root net."""
+        local = []
+        for position in range(n_gates):
+            op = rng.choice(_OP_POOL)
+            if op in (GateOp.NOT, GateOp.BUF):
+                arity = 1
+            else:
+                arity = 2 if rng.random() < 0.7 else 3
+            chosen = []
+            if position == 0:
+                if forced_first_input is not None:
+                    chosen.append(forced_first_input)
+            else:
+                # Chain backbone: the region root's cone is guaranteed to
+                # contain every local gate (and hence the forced edge).
+                chosen.append(local[-1])
+            while len(chosen) < arity:
+                if local and rng.random() < 0.35:
+                    chosen.append(local[-rng.randint(1, min(6, len(local)))])
+                else:
+                    chosen.append(rng.choice(source_pool))
+            local.append(netlist.add_gate(fresh_gate_name(), op, chosen))
+        return local[-1]
+
+    # Next-state logic per flop.
+    region_index = 0
+    for cluster_index, cluster in enumerate(clusters):
+        earlier = [q for c in clusters[:cluster_index] for q in c]
+        for position, q in enumerate(cluster):
+            ring_source = cluster[(position + 1) % len(cluster)]
+            pool = list(cluster)
+            pool += rng.sample(earlier, min(len(earlier), 3)) if earlier else []
+            pool += rng.sample(pis, min(len(pis), max(1, len(pis) // 3)))
+            root = build_region(pool, shares[region_index],
+                                forced_first_input=ring_source)
+            netlist.add_flop(q, root)
+            region_index += 1
+
+    # Output logic.
+    for _ in range(spec.n_outputs):
+        pool = rng.sample(flop_qs, min(len(flop_qs), 6)) + \
+            rng.sample(pis, min(len(pis), 3))
+        root = build_region(pool, shares[region_index])
+        netlist.add_output(root)
+        region_index += 1
+
+    _splice_unused_inputs(netlist, rng, pis)
+    netlist.validate()
+    return SynthCircuit(netlist=netlist, spec=spec, clusters=clusters)
+
+
+def _splice_unused_inputs(netlist, rng, pis):
+    """Replace random gate inputs so every PI drives something."""
+    used = set()
+    for gate in netlist.gates.values():
+        used.update(gate.inputs)
+    for flop in netlist.flops.values():
+        used.add(flop.d)
+    unused = [net for net in pis if net not in used]
+    if not unused:
+        return
+    candidates = [net for net, gate in netlist.gates.items() if gate.arity >= 2]
+    rng.shuffle(candidates)
+    for pi, victim in zip(unused, candidates):
+        gate = netlist.gate(victim)
+        inputs = list(gate.inputs)
+        inputs[rng.randrange(len(inputs))] = pi
+        netlist.replace_gate(victim, gate.op, inputs)
+
+
+def generate_circuit(name, n_inputs, n_outputs, n_flops, n_gates, seed=0):
+    """Convenience wrapper returning just the netlist."""
+    spec = CircuitSpec(name, n_inputs, n_outputs, n_flops, n_gates, seed)
+    return generate(spec).netlist

@@ -1,0 +1,62 @@
+"""DIMACS CNF reader/writer (interoperability and debugging aid)."""
+
+from __future__ import annotations
+
+from repro.cnf.formula import Cnf
+from repro.errors import CnfError
+
+
+def dumps_dimacs(cnf, comments=()):
+    """Serialise to DIMACS text."""
+    lines = [f"c {comment}" for comment in comments]
+    lines.append(f"p cnf {cnf.num_vars} {len(cnf.clauses)}")
+    for clause in cnf.clauses:
+        lines.append(" ".join(str(lit) for lit in clause) + " 0")
+    return "\n".join(lines) + "\n"
+
+
+def loads_dimacs(text):
+    """Parse DIMACS text into a :class:`Cnf`."""
+    cnf = None
+    pending = []
+    declared_clauses = None
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise CnfError(f"line {line_no}: malformed problem line {line!r}")
+            cnf = Cnf(int(parts[2]))
+            declared_clauses = int(parts[3])
+            continue
+        if cnf is None:
+            raise CnfError(f"line {line_no}: clause before problem line")
+        for token in line.split():
+            lit = int(token)
+            if lit == 0:
+                if pending:
+                    cnf.add_clause(pending)
+                    pending = []
+            else:
+                pending.append(lit)
+    if pending:
+        raise CnfError("trailing clause without terminating 0")
+    if cnf is None:
+        raise CnfError("missing problem line")
+    if declared_clauses is not None and len(cnf.clauses) > declared_clauses:
+        raise CnfError(
+            f"declared {declared_clauses} clauses, found {len(cnf.clauses)}"
+        )
+    return cnf
+
+
+def dump_dimacs(cnf, path, comments=()):
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps_dimacs(cnf, comments))
+
+
+def load_dimacs(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads_dimacs(handle.read())

@@ -1,0 +1,102 @@
+"""CNF formula container.
+
+Variables are positive integers starting at 1; literals are non-zero
+signed integers (DIMACS convention). The container does light hygiene on
+construction (duplicate-literal removal, tautology detection) so that the
+solvers can assume clean clauses.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CnfError
+
+
+class Cnf:
+    """A growable CNF formula."""
+
+    def __init__(self, num_vars=0):
+        if num_vars < 0:
+            raise CnfError("num_vars must be non-negative")
+        self.num_vars = num_vars
+        self.clauses = []
+
+    def new_var(self):
+        """Allocate and return a fresh variable."""
+        self.num_vars += 1
+        return self.num_vars
+
+    def new_vars(self, count):
+        """Allocate ``count`` fresh variables; returns them as a list."""
+        return [self.new_var() for _ in range(count)]
+
+    def _check_literal(self, lit):
+        if not isinstance(lit, int) or lit == 0:
+            raise CnfError(f"literal must be a non-zero int, got {lit!r}")
+        if abs(lit) > self.num_vars:
+            raise CnfError(f"literal {lit} references unallocated variable")
+
+    def add_clause(self, literals):
+        """Add a clause; duplicates removed, tautologies dropped.
+
+        Returns True if the clause was stored, False if it was a tautology.
+        Raises on an empty clause (trivially UNSAT formulas should be
+        expressed intentionally, not by accident).
+        """
+        seen = set()
+        clause = []
+        for lit in literals:
+            self._check_literal(lit)
+            if -lit in seen:
+                return False  # tautology
+            if lit not in seen:
+                seen.add(lit)
+                clause.append(lit)
+        if not clause:
+            raise CnfError("empty clause added to CNF")
+        self.clauses.append(clause)
+        return True
+
+    def add_clauses(self, clause_list):
+        for clause in clause_list:
+            self.add_clause(clause)
+
+    def extend(self, other):
+        """Append another CNF's clauses (variable spaces must already agree)."""
+        if other.num_vars > self.num_vars:
+            self.num_vars = other.num_vars
+        for clause in other.clauses:
+            self.clauses.append(list(clause))
+
+    def num_clauses(self):
+        return len(self.clauses)
+
+    def evaluate(self, assignment):
+        """Evaluate under ``assignment`` (dict or list var->bool).
+
+        Every variable appearing in the formula must be covered.
+        """
+        def value(lit):
+            var = abs(lit)
+            try:
+                positive = assignment[var]
+            except (KeyError, IndexError):
+                raise CnfError(f"assignment misses variable {var}")
+            return positive if lit > 0 else not positive
+
+        return all(any(value(lit) for lit in clause) for clause in self.clauses)
+
+    def variables_used(self):
+        """Set of variables appearing in at least one clause."""
+        used = set()
+        for clause in self.clauses:
+            for lit in clause:
+                used.add(abs(lit))
+        return used
+
+    def copy(self):
+        dup = Cnf(self.num_vars)
+        dup.clauses = [list(clause) for clause in self.clauses]
+        return dup
+
+    def __repr__(self):
+        return f"Cnf(vars={self.num_vars}, clauses={len(self.clauses)})"

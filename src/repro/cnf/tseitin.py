@@ -1,0 +1,130 @@
+"""Tseitin transformation: combinational netlist -> CNF.
+
+Every driven net gets one CNF variable; each gate contributes the clauses
+that tie its output variable to its input variables. Flop Q nets are
+treated as free variables (like primary inputs), so the encoder works on
+purely combinational circuits and on unrolled sequential circuits alike —
+the unroller is responsible for stitching cycles together beforehand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cnf.formula import Cnf
+from repro.errors import CnfError
+from repro.netlist.gates import GateOp
+
+
+@dataclass
+class CircuitCnf:
+    """A CNF together with its net-to-variable map."""
+
+    cnf: Cnf
+    var_of: dict
+
+    def lit(self, net, positive=True):
+        """Literal for ``net`` (positive or negated)."""
+        var = self.var_of[net]
+        return var if positive else -var
+
+    def assignment_of(self, model):
+        """Project a solver model (var->bool mapping) onto nets."""
+        return {net: model[var] for net, var in self.var_of.items()}
+
+
+def _and_clauses(cnf, out_lit, input_lits):
+    for lit in input_lits:
+        cnf.add_clause([-out_lit, lit])
+    cnf.add_clause([out_lit] + [-lit for lit in input_lits])
+
+
+def _or_clauses(cnf, out_lit, input_lits):
+    for lit in input_lits:
+        cnf.add_clause([out_lit, -lit])
+    cnf.add_clause([-out_lit] + list(input_lits))
+
+
+def _xor2_clauses(cnf, out_lit, a, b):
+    cnf.add_clause([-out_lit, a, b])
+    cnf.add_clause([-out_lit, -a, -b])
+    cnf.add_clause([out_lit, -a, b])
+    cnf.add_clause([out_lit, a, -b])
+
+
+def encode(netlist, cnf=None, var_of=None):
+    """Encode ``netlist``'s combinational logic into CNF.
+
+    Optionally continue into an existing ``cnf``/``var_of`` pair (used by
+    the attack to stack several circuit copies in one solver): nets already
+    present in ``var_of`` are reused, which is how copies get stitched to
+    shared inputs.
+    """
+    cnf = cnf if cnf is not None else Cnf()
+    var_of = var_of if var_of is not None else {}
+
+    def var(net):
+        v = var_of.get(net)
+        if v is None:
+            v = cnf.new_var()
+            var_of[net] = v
+        return v
+
+    for net in netlist.inputs:
+        var(net)
+    for q in netlist.flops:
+        var(q)
+
+    for net in netlist.topo_order():
+        gate = netlist.gate(net)
+        out = var(net)
+        op = gate.op
+        if op is GateOp.CONST0:
+            cnf.add_clause([-out])
+        elif op is GateOp.CONST1:
+            cnf.add_clause([out])
+        elif op is GateOp.BUF:
+            a = var(gate.inputs[0])
+            cnf.add_clause([-out, a])
+            cnf.add_clause([out, -a])
+        elif op is GateOp.NOT:
+            a = var(gate.inputs[0])
+            cnf.add_clause([-out, -a])
+            cnf.add_clause([out, a])
+        elif op is GateOp.AND or op is GateOp.NAND:
+            lits = [var(src) for src in gate.inputs]
+            _and_clauses(cnf, out if op is GateOp.AND else -out, lits)
+        elif op is GateOp.OR or op is GateOp.NOR:
+            lits = [var(src) for src in gate.inputs]
+            _or_clauses(cnf, out if op is GateOp.OR else -out, lits)
+        elif op is GateOp.XOR or op is GateOp.XNOR:
+            lits = [var(src) for src in gate.inputs]
+            acc = lits[0]
+            for nxt in lits[1:-1]:
+                aux = cnf.new_var()
+                _xor2_clauses(cnf, aux, acc, nxt)
+                acc = aux
+            _xor2_clauses(cnf, out if op is GateOp.XOR else -out, acc, lits[-1])
+        else:  # pragma: no cover - alphabet is closed
+            raise CnfError(f"cannot encode operator {op}")
+
+    return CircuitCnf(cnf, var_of)
+
+
+def miter_different_outputs(circuit_cnf, outputs_a, outputs_b):
+    """Add a 'some output pair differs' constraint between two output lists.
+
+    Creates one XOR variable per pair plus a single OR clause; returns the
+    list of difference variables. Both output lists must already be encoded
+    in ``circuit_cnf``.
+    """
+    if len(outputs_a) != len(outputs_b):
+        raise CnfError("miter requires equally long output lists")
+    cnf = circuit_cnf.cnf
+    diff_vars = []
+    for net_a, net_b in zip(outputs_a, outputs_b):
+        diff = cnf.new_var()
+        _xor2_clauses(cnf, diff, circuit_cnf.lit(net_a), circuit_cnf.lit(net_b))
+        diff_vars.append(diff)
+    cnf.add_clause(diff_vars)
+    return diff_vars

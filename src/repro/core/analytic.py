@@ -1,0 +1,109 @@
+"""Closed-form security quantities (Eqs. 6, 7, 9, 10, 12, 15).
+
+These are the curves in Fig. 4 and the ``ndip`` columns of Table I; the
+exhaustive error-table code in :mod:`repro.core.error_tables` and the real
+SAT attack cross-validate them on small instances.
+"""
+
+from __future__ import annotations
+
+from repro.core.error_function import ErrorSpec
+
+
+def ndip_naive(kappa, width):
+    """Eq. (6): DIPs needed against ``E^N`` — one per wrong key."""
+    return (1 << (kappa * width)) - 1
+
+
+def fc_naive_exact(kappa, width, b):
+    """Eq. (7), exact form, for a ``b``-unrolled ``E^N``-locked circuit."""
+    numerator = ((1 << (kappa * width)) - 1) * (1 << ((b - kappa) * width))
+    return numerator / (1 << ((kappa + b) * width))
+
+
+def fc_naive_approx(kappa, width):
+    """Eq. (7) approximation ``FC ≈ 1/(ndip+1) = 2^{−κ|I|}``."""
+    return 1.0 / (1 << (kappa * width))
+
+
+def ndip_trilock(kappa_s, width):
+    """Eq. (10): DIPs needed against ``E^S``/``E^SF`` — one per prefix."""
+    return 1 << (kappa_s * width)
+
+
+def n_errors_es(kappa_s, kappa_f, width, b):
+    """Eq. (9): number of red (``E^S``) error-table entries."""
+    kappa = kappa_s + kappa_f
+    return ((1 << (kappa * width)) - 1) * (1 << ((b - kappa_s) * width))
+
+
+def fc_max_trilock(kappa_f, width):
+    """Eq. (12): FC ceiling when every ``P`` entry carries an error."""
+    return 1.0 - 1.0 / (1 << (kappa_f * width))
+
+
+def fc_trilock(alpha, kappa_f, width):
+    """Eq. (15): the configured FC of TriLock."""
+    return alpha * fc_max_trilock(kappa_f, width)
+
+
+def fc_trilock_exact(spec, b):
+    """Exact FC of a ``b``-unrolled ``E^SF`` circuit (error-set counting).
+
+    Used to validate both Eq. (15)'s approximation quality and the
+    simulated-FC pipeline: EF keys corrupt all ``2^{b|I|}`` inputs; the
+    remaining wrong keys corrupt exactly the ``2^{(b−κs)|I|}`` inputs that
+    replay their prefix.
+    """
+    width = spec.width
+    kappa = spec.kappa
+    total_keys = 1 << (kappa * width)
+
+    if spec.kappa_f == 0:
+        n_ef_keys = 0
+    else:
+        suffix_space = 1 << (spec.kappa_f * width)
+        eligible = min(spec.threshold + 1, suffix_space)
+        if spec.key_star_star <= spec.threshold:
+            eligible -= 1
+        n_ef_keys = eligible * (1 << (spec.kappa_s * width))
+        star_suffix = spec.key_suffix
+        if star_suffix <= spec.threshold and star_suffix != spec.key_star_star:
+            n_ef_keys -= 1  # k* itself never errors
+
+    n_wrong = total_keys - 1
+    n_es_only_keys = n_wrong - n_ef_keys
+
+    inputs_total = 1 << (b * width)
+    inputs_matching_prefix = 1 << ((b - spec.kappa_s) * width)
+    error_entries = (n_ef_keys * inputs_total
+                     + n_es_only_keys * inputs_matching_prefix)
+    return error_entries / (total_keys * inputs_total)
+
+
+def expected_runtime_extrapolation(finished, targets):
+    """Table I's extrapolation rule: constant runtime-per-DIP ratio.
+
+    ``finished`` is a list of ``(ndip, seconds)`` pairs from completed
+    attacks; ``targets`` a list of ``ndip`` values to extrapolate. Returns
+    the predicted seconds per target (conservative: uses the largest
+    observed per-DIP cost, like the paper's "conservatively assuming a
+    constant ratio").
+    """
+    rates = [seconds / ndip for ndip, seconds in finished if ndip > 0]
+    if not rates:
+        raise ValueError("need at least one finished attack to extrapolate")
+    per_dip = max(rates)
+    return [ndip * per_dip for ndip in targets]
+
+
+def spec_for(width, kappa_s, kappa_f, alpha, key_star, key_star_star):
+    """Convenience :class:`ErrorSpec` constructor with keyword ergonomics."""
+    return ErrorSpec(
+        width=width,
+        kappa_s=kappa_s,
+        kappa_f=kappa_f,
+        key_star=key_star,
+        key_star_star=key_star_star,
+        alpha=alpha,
+    )

@@ -1,0 +1,193 @@
+"""Baseline sequential locking schemes for comparison.
+
+The paper positions TriLock against earlier sequential locking families
+(Section II); this module implements compact representatives so the
+attacks can be demonstrated against them:
+
+* :func:`lock_naive` — the ``E^N`` point-function scheme of Eq. (3)
+  (SARLock lifted to the time axis): exponential ``ndip`` but vanishing
+  FC. Fig. 4(a)'s subject.
+* :func:`lock_harpoon_like` — HARPOON-style [2] entry-FSM obfuscation:
+  outputs stay scrambled until the correct key sequence has been
+  observed once; errors occur *immediately* for wrong keys, which is the
+  early-output-error weakness SAT attacks exploit (few DIPs, small
+  unrolling).
+* :func:`lock_sink_cluster` — State-Deflection-style [10]: a wrong key
+  diverts into a sink cluster of extra registers that keeps corrupting
+  outputs forever. The sink cluster forms a pure E-SCC with no escape,
+  exactly the SCC signature the removal attack keys on (Section II-C).
+
+All three return :class:`~repro.core.locker.LockedCircuit` objects, so
+every attack and metric in the library applies uniformly.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import naive_config
+from repro.core.error_function import ErrorSpec
+from repro.core.keys import random_key
+from repro.core.locker import LockedCircuit, lock
+from repro.errors import LockingError
+from repro.netlist.builder import LogicBuilder
+from repro.sim.random_vectors import make_rng
+
+
+def lock_naive(netlist, kappa, **overrides):
+    """``E^N`` locking (Eq. 3): TriLock degenerated to ``κf = 0``."""
+    return lock(netlist, naive_config(kappa, **overrides))
+
+
+def _base_setup(netlist, kappa, seed, scheme):
+    netlist.validate()
+    if not netlist.inputs or not netlist.outputs:
+        raise LockingError("baseline locking needs inputs and outputs")
+    original = netlist.copy()
+    locked = netlist.copy(name=f"{netlist.name}_{scheme}")
+    rng = make_rng((scheme, netlist.name, seed))
+    key = random_key(rng, kappa, len(locked.inputs))
+    builder = LogicBuilder(locked, prefix=scheme[:2])
+    return original, locked, rng, key, builder
+
+
+def _phase_chain(builder, cycles, prefix):
+    """started flag + token chain; returns (markers, registers)."""
+    started = builder.flop(builder.const(1),
+                           name=builder.names.fresh(f"{prefix}_started"))
+    markers = [builder.not_(started)]
+    registers = [started]
+    previous = markers[0]
+    for cycle in range(1, cycles):
+        token = builder.flop(
+            previous, name=builder.names.fresh(f"{prefix}_tok{cycle}"))
+        registers.append(token)
+        markers.append(token)
+        previous = token
+    return markers, registers
+
+
+def _key_check_flag(builder, markers, inputs, key):
+    """Sticky 'some key cycle mismatched' flag."""
+    terms = []
+    for cycle in range(key.cycles):
+        mismatch = builder.not_(builder.eq_const(list(inputs),
+                                                 key.word(cycle)))
+        terms.append(builder.and_(markers[cycle], mismatch))
+    return builder.sticky_flag(
+        builder.or_(terms), name=builder.names.fresh("kw"))
+
+
+def _spec_for(key, width, kappa):
+    return ErrorSpec(width=width, kappa_s=kappa, kappa_f=0,
+                     key_star=key.as_int, key_star_star=None, alpha=0.0)
+
+
+def lock_harpoon_like(netlist, kappa=3, n_output_flips=None, seed=0):
+    """Entry-FSM obfuscation: scramble outputs until the key is seen.
+
+    A wrong key leaves the circuit permanently in 'obfuscation mode':
+    selected outputs are inverted whenever the mode flag is set. The
+    original state machine is stalled during the key window (like
+    TriLock) so the correct key replays the original behaviour.
+    """
+    original, locked, rng, key, builder = _base_setup(
+        netlist, kappa, seed, "harpoon")
+    markers, registers = _phase_chain(builder, kappa, "hp")
+    in_key = builder.or_(markers)
+    key_wrong = _key_check_flag(builder, markers, locked.inputs, key)
+    registers.append(key_wrong)
+
+    # Obfuscation mode: wrong key -> corrupt forever, from cycle κ on.
+    error = builder.and_(builder.not_(in_key), key_wrong)
+
+    n_po = len(locked.outputs)
+    flips = n_output_flips if n_output_flips is not None \
+        else max(1, n_po // 2)
+    positions = tuple(sorted(rng.sample(range(n_po), min(flips, n_po))))
+    for position in positions:
+        locked.set_output(position,
+                          builder.xor_(locked.outputs[position], error))
+
+    for q in original.flops:
+        flop = locked.flop(q)
+        stalled = builder.or_(in_key, flop.d) if flop.init \
+            else builder.and_(builder.not_(in_key), flop.d)
+        locked.replace_flop_d(q, stalled)
+
+    locked.validate()
+    return LockedCircuit(
+        netlist=locked,
+        original=original,
+        config=naive_config(kappa, seed=seed),
+        key=key,
+        spec=_spec_for(key, len(original.inputs), kappa),
+        error_net=error,
+        original_registers=tuple(original.flops),
+        extra_registers=tuple(registers),
+        flipped_output_positions=positions,
+        notes={"scheme": "harpoon_like"},
+    )
+
+
+def lock_sink_cluster(netlist, kappa=3, sink_size=6, n_output_flips=None,
+                      seed=0):
+    """State-Deflection-style sink cluster.
+
+    A wrong key releases a free-running ring of ``sink_size`` extra
+    registers (the 'sink states'); its bits are XOR-folded into selected
+    outputs, corrupting them pseudo-periodically forever. The ring regs
+    form a pure E-SCC with no path back into the original state — the
+    structural weakness Section II-C points at ("a sink cluster ... can
+    be easily identified by an SCC algorithm").
+    """
+    if sink_size < 2:
+        raise LockingError("sink cluster needs at least 2 registers")
+    original, locked, rng, key, builder = _base_setup(
+        netlist, kappa, seed, "sink")
+    markers, registers = _phase_chain(builder, kappa, "sk")
+    in_key = builder.or_(markers)
+    key_wrong = _key_check_flag(builder, markers, locked.inputs, key)
+    registers.append(key_wrong)
+    trapped = builder.and_(builder.not_(in_key), key_wrong)
+
+    # Sink ring: a Johnson (twisted-ring) counter that free-runs once
+    # trapped — from all-zero it walks a 2*sink_size-state loop and never
+    # settles, so the output scrambling varies cycle to cycle.
+    ring = [builder.names.fresh(f"sk_ring{index}")
+            for index in range(sink_size)]
+    for q in ring:
+        builder.netlist.add_flop(q, q, init=False)  # placeholder D
+    for index, q in enumerate(ring):
+        feed = builder.not_(ring[-1]) if index == 0 else ring[index - 1]
+        builder.netlist.replace_flop_d(q, builder.and_(trapped, feed))
+    registers.extend(ring)
+
+    n_po = len(locked.outputs)
+    flips = n_output_flips if n_output_flips is not None \
+        else max(1, n_po // 2)
+    positions = tuple(sorted(rng.sample(range(n_po), min(flips, n_po))))
+    for offset, position in enumerate(positions):
+        scramble = builder.and_(trapped,
+                                builder.or_(ring[offset % sink_size],
+                                            builder.not_(ring[0])))
+        locked.set_output(position,
+                          builder.xor_(locked.outputs[position], scramble))
+
+    for q in original.flops:
+        flop = locked.flop(q)
+        stalled = builder.or_(in_key, flop.d) if flop.init \
+            else builder.and_(builder.not_(in_key), flop.d)
+        locked.replace_flop_d(q, stalled)
+
+    locked.validate()
+    return LockedCircuit(
+        netlist=locked,
+        original=original,
+        config=naive_config(kappa, seed=seed),
+        key=key,
+        spec=_spec_for(key, len(original.inputs), kappa),
+        error_net=trapped,
+        original_registers=tuple(original.flops),
+        extra_registers=tuple(registers),
+        flipped_output_positions=positions,
+        notes={"scheme": "sink_cluster", "sink_size": sink_size},
+    )

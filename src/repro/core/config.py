@@ -1,0 +1,95 @@
+"""TriLock configuration.
+
+Collects every knob of the encryption flow (Fig. 2): the error-function
+parameters ``(κs, κf, α)``, the state-re-encoding pair count ``S``, the
+error-handler fan-out, and the seeds/explicit values for ``k*``/``k**``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LockingError
+
+
+@dataclass(frozen=True)
+class TriLockConfig:
+    """Parameters of one TriLock run.
+
+    ``kappa_s``
+        Cycle length of the prefix point function; SAT-attack resilience
+        is ``2^{κs·|I|}`` DIPs (Eq. 10) and the minimum unrolling depth
+        seen by an attacker is ``b* = κs``.
+    ``kappa_f``
+        Cycle length of the FC-boosting suffix. ``0`` degenerates to the
+        naive scheme ``E^N`` (used as the Fig. 4(a) baseline).
+    ``alpha``
+        Target corruptibility knob of Eq. (14)/(15).
+    ``s_pairs``
+        Number of register pairs re-encoded by Algorithm 1 (``S``).
+    ``n_output_flips`` / ``n_state_flips``
+        Error-handler targets (Fig. 2's orange blocks). ``None`` picks the
+        defaults: half the outputs (at least one) and ``max(4, #FF/10)``
+        original registers (at most all).
+    ``keystore_coupling``
+        Fold the (functionally dead, post-window) error signal into the
+        key-store registers so the removal-attack RCG gains back-edges
+        into the locking logic; see DESIGN.md §5.
+    ``codec_variants``
+        Encoder/decoder variants cycled across re-encoded pairs (the
+        paper's future-work diversification); ``None`` uses the paper's
+        single arithmetic codec.
+    ``key_star`` / ``key_star_star``
+        Explicit key material (integers). ``None`` draws them from
+        ``seed``.
+    """
+
+    kappa_s: int = 2
+    kappa_f: int = 1
+    alpha: float = 0.6
+    s_pairs: int = 0
+    n_output_flips: int | None = None
+    n_state_flips: int | None = None
+    keystore_coupling: bool = True
+    codec_variants: tuple | None = None
+    key_star: int | None = None
+    key_star_star: int | None = None
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.kappa_s < 1:
+            raise LockingError("kappa_s must be >= 1")
+        if self.kappa_f < 0:
+            raise LockingError("kappa_f must be >= 0")
+        if not 0.0 <= self.alpha <= 1.0:
+            raise LockingError(f"alpha must lie in [0, 1], got {self.alpha}")
+        if self.s_pairs < 0:
+            raise LockingError("s_pairs must be >= 0")
+        for name in ("n_output_flips", "n_state_flips"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise LockingError(f"{name} must be >= 0 when given")
+        if self.kappa_f == 0 and self.key_star_star is not None:
+            raise LockingError("key_star_star is meaningless when kappa_f=0")
+
+    @property
+    def kappa(self):
+        """Total key cycle length ``κ = κs + κf``."""
+        return self.kappa_s + self.kappa_f
+
+    def resolved_output_flips(self, n_outputs):
+        if self.n_output_flips is not None:
+            return min(self.n_output_flips, n_outputs)
+        return max(1, n_outputs // 2)
+
+    def resolved_state_flips(self, n_flops):
+        if self.n_state_flips is not None:
+            return min(self.n_state_flips, n_flops)
+        return min(n_flops, max(4, n_flops // 10))
+
+
+def naive_config(kappa, **overrides):
+    """Configuration of the naive ``E^N`` baseline (κf = 0)."""
+    merged = dict(kappa_s=kappa, kappa_f=0, alpha=0.0, key_star_star=None)
+    merged.update(overrides)
+    return TriLockConfig(**merged)

@@ -1,0 +1,137 @@
+"""Spec-level error functions (Section III of the paper).
+
+These pure functions are the mathematical ground truth that the gate-level
+locked circuits are tested against. Sequences are encoded as MSB-first
+integers (cycle 0 = most significant |I|-bit word, see
+:mod:`repro.core.keys`):
+
+* ``E^N`` — Eq. (3): the naive point function with ``κ = κs``.
+* ``E^S`` — Eq. (8): prefix point function over ``κs`` of ``κ`` cycles.
+* ``E^F`` — Eqs. (11),(13),(14): column errors on keys whose ``κf``-cycle
+  suffix is not ``k**`` and numerically at most ``α(2^{κf|I|}−1)``.
+* ``E^SF`` — Eq. (16): the TriLock error function, ``E^S ∨ E^F``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import LockingError
+
+
+def threshold_for(alpha, kappa_f, width):
+    """``T = floor(α (2^{κf·|I|} − 1))`` from Eq. (14)."""
+    if not 0.0 <= alpha <= 1.0:
+        raise LockingError(f"alpha must lie in [0, 1], got {alpha}")
+    return math.floor(alpha * ((1 << (kappa_f * width)) - 1))
+
+
+@dataclass(frozen=True)
+class ErrorSpec:
+    """All parameters of ``E^SF`` for one locked circuit.
+
+    ``key_star`` is the correct key over ``κ·width`` bits; ``key_star_star``
+    the designer suffix constant over ``κf·width`` bits (None iff κf = 0,
+    which degenerates to the naive ``E^N``/``E^S`` scheme).
+    """
+
+    width: int
+    kappa_s: int
+    kappa_f: int
+    key_star: int
+    key_star_star: int | None
+    alpha: float
+
+    def __post_init__(self):
+        if self.width < 1:
+            raise LockingError("width must be >= 1")
+        if self.kappa_s < 1:
+            raise LockingError("kappa_s must be >= 1")
+        if self.kappa_f < 0:
+            raise LockingError("kappa_f must be >= 0")
+        if not 0.0 <= self.alpha <= 1.0:
+            raise LockingError(f"alpha must lie in [0, 1], got {self.alpha}")
+        if not 0 <= self.key_star < (1 << (self.kappa * self.width)):
+            raise LockingError("key_star out of range for kappa*width bits")
+        if self.kappa_f == 0:
+            if self.key_star_star is not None:
+                raise LockingError("key_star_star must be None when kappa_f=0")
+        else:
+            bits = self.kappa_f * self.width
+            if self.key_star_star is None:
+                raise LockingError("key_star_star required when kappa_f>0")
+            if not 0 <= self.key_star_star < (1 << bits):
+                raise LockingError("key_star_star out of range")
+            if self.key_star_star == self.key_suffix:
+                raise LockingError(
+                    "key_star_star must differ from the correct key's suffix"
+                )
+
+    @property
+    def kappa(self):
+        return self.kappa_s + self.kappa_f
+
+    @property
+    def key_prefix(self):
+        """First ``κs`` cycles of ``k*`` as an integer."""
+        return self.key_star >> (self.kappa_f * self.width)
+
+    @property
+    def key_suffix(self):
+        """Last ``κf`` cycles of ``k*`` as an integer (0 when κf=0)."""
+        if self.kappa_f == 0:
+            return 0
+        return self.key_star & ((1 << (self.kappa_f * self.width)) - 1)
+
+    @property
+    def threshold(self):
+        """Eq. (14) threshold ``T``."""
+        if self.kappa_f == 0:
+            return 0
+        return threshold_for(self.alpha, self.kappa_f, self.width)
+
+    # ------------------------------------------------------------------
+    # Error functions over integer-coded sequences
+    # ------------------------------------------------------------------
+    def _check_key(self, key_value):
+        if not 0 <= key_value < (1 << (self.kappa * self.width)):
+            raise LockingError(f"key value {key_value} out of range")
+
+    def _input_prefix(self, input_value, b):
+        if b < self.kappa_s:
+            raise LockingError(
+                f"unrolling depth b={b} shorter than kappa_s={self.kappa_s}"
+            )
+        if not 0 <= input_value < (1 << (b * self.width)):
+            raise LockingError(f"input value {input_value} out of range")
+        return input_value >> ((b - self.kappa_s) * self.width)
+
+    def e_s(self, input_value, b, key_value):
+        """Eq. (8): wrong key whose ``κs``-prefix the input replays."""
+        self._check_key(key_value)
+        key_prefix = key_value >> (self.kappa_f * self.width)
+        return (key_value != self.key_star and
+                key_prefix == self._input_prefix(input_value, b))
+
+    def e_f(self, key_value):
+        """Eqs. (11)+(13)+(14); input-independent column errors."""
+        self._check_key(key_value)
+        if self.kappa_f == 0:
+            return False
+        suffix = key_value & ((1 << (self.kappa_f * self.width)) - 1)
+        in_p = key_value != self.key_star and suffix != self.key_star_star
+        return in_p and suffix <= self.threshold
+
+    def e_sf(self, input_value, b, key_value):
+        """Eq. (16): the TriLock error function."""
+        return self.e_s(input_value, b, key_value) or self.e_f(key_value)
+
+
+def e_n(input_value, b, key_value, kappa, width, key_star):
+    """Eq. (3): the naive error function (point function, ``κ = b*``)."""
+    spec = ErrorSpec(
+        width=width, kappa_s=kappa, kappa_f=0,
+        key_star=key_star, key_star_star=None, alpha=0.0,
+    )
+    return spec.e_s(input_value, b, key_value)

@@ -1,0 +1,180 @@
+"""Error tables (Fig. 3): exhaustive input x key error maps.
+
+Two producers share one table type:
+
+* :func:`spec_error_table` evaluates the closed-form error functions;
+* :func:`measured_error_table` exhaustively simulates a gate-level locked
+  circuit against its oracle.
+
+Their equality on small instances is the central correctness check that
+the hardware implements ``E^SF`` exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.error_function import e_n
+from repro.errors import LockingError
+from repro.sim.seq import SequentialSimulator
+
+#: Hard cap on exhaustive enumeration: 2^(κ+b)|I| simulated pairs.
+_MAX_TABLE_BITS = 20
+
+
+@dataclass
+class ErrorTable:
+    """``rows[i][k]`` is True iff input sequence ``i`` under key sequence
+    ``k`` produces at least one output error within the unrolling window."""
+
+    width: int
+    kappa: int
+    depth: int
+    rows: list
+
+    @property
+    def n_inputs(self):
+        return len(self.rows)
+
+    @property
+    def n_keys(self):
+        return len(self.rows[0]) if self.rows else 0
+
+    def error_count(self):
+        return sum(sum(1 for cell in row if cell) for row in self.rows)
+
+    def fc(self):
+        """Exact functional corruptibility of the table (Eq. 1)."""
+        total = self.n_inputs * self.n_keys
+        return self.error_count() / total if total else 0.0
+
+    def errors_for_key(self, key_value):
+        """Number of inputs that detect ``key_value``."""
+        return sum(1 for row in self.rows if row[key_value])
+
+    def render(self, on="#", off="."):
+        """ASCII rendering (inputs as rows, keys as columns), Fig. 3 style."""
+        header = f"i\\k  ({self.n_inputs}x{self.n_keys})"
+        lines = [header]
+        for i, row in enumerate(self.rows):
+            cells = "".join(on if cell else off for cell in row)
+            lines.append(f"{i:>4} {cells}")
+        return "\n".join(lines)
+
+    def __eq__(self, other):
+        if not isinstance(other, ErrorTable):
+            return NotImplemented
+        return (self.width, self.kappa, self.depth, self.rows) == \
+            (other.width, other.kappa, other.depth, other.rows)
+
+
+def _check_size(width, kappa, depth):
+    bits = (kappa + depth) * width
+    if bits > _MAX_TABLE_BITS:
+        raise LockingError(
+            f"error table of 2^{bits} entries exceeds the exhaustive cap "
+            f"(2^{_MAX_TABLE_BITS})"
+        )
+
+
+def spec_error_table(spec, depth):
+    """Exhaustive table of ``E^SF`` (Eq. 16) for a ``depth``-unrolling."""
+    _check_size(spec.width, spec.kappa, depth)
+    n_inputs = 1 << (depth * spec.width)
+    n_keys = 1 << (spec.kappa * spec.width)
+    rows = []
+    for input_value in range(n_inputs):
+        row = [
+            spec.e_sf(input_value, depth, key_value)
+            for key_value in range(n_keys)
+        ]
+        rows.append(row)
+    return ErrorTable(spec.width, spec.kappa, depth, rows)
+
+
+def naive_error_table(kappa, width, key_star, depth):
+    """Exhaustive table of ``E^N`` (Eq. 3, Fig. 3(a))."""
+    _check_size(width, kappa, depth)
+    n_inputs = 1 << (depth * width)
+    n_keys = 1 << (kappa * width)
+    rows = []
+    for input_value in range(n_inputs):
+        rows.append([
+            e_n(input_value, depth, key_value, kappa, width, key_star)
+            for key_value in range(n_keys)
+        ])
+    return ErrorTable(width, kappa, depth, rows)
+
+
+def measured_error_table(locked, depth):
+    """Exhaustive gate-level table of a :class:`LockedCircuit`.
+
+    All ``2^{(κ+b)|I|}`` (input, key) pairs are packed into one
+    bit-parallel sequential run of the locked netlist; the oracle runs
+    once over the ``2^{b|I|}`` input sequences.
+    """
+    spec = locked.spec
+    width = spec.width
+    kappa = spec.kappa
+    _check_size(width, kappa, depth)
+    n_inputs = 1 << (depth * width)
+    n_keys = 1 << (kappa * width)
+    n_pairs = n_inputs * n_keys  # pattern index = i * n_keys + k
+
+    # Locked run: per cycle, per input port, one packed word.
+    locked_sim = SequentialSimulator(locked.netlist)
+    inputs = locked.netlist.inputs
+    words_per_cycle = []
+    for cycle in range(kappa + depth):
+        words = {net: 0 for net in inputs}
+        for pair in range(n_pairs):
+            i_value, k_value = divmod(pair, n_keys)
+            if cycle < kappa:
+                word = (k_value >> ((kappa - 1 - cycle) * width))
+            else:
+                word = (i_value >> ((depth - 1 - (cycle - kappa)) * width))
+            word &= (1 << width) - 1
+            bit = 1 << pair
+            for position, net in enumerate(inputs):
+                if (word >> (width - 1 - position)) & 1:
+                    words[net] |= bit
+        words_per_cycle.append(words)
+    locked_outputs, _ = locked_sim.run(words_per_cycle, n_pairs)
+
+    # Oracle run over plain input sequences.
+    oracle_sim = SequentialSimulator(locked.original)
+    oracle_words_per_cycle = []
+    for cycle in range(depth):
+        words = {net: 0 for net in inputs}
+        for i_value in range(n_inputs):
+            word = (i_value >> ((depth - 1 - cycle) * width)) & ((1 << width) - 1)
+            bit = 1 << i_value
+            for position, net in enumerate(inputs):
+                if (word >> (width - 1 - position)) & 1:
+                    words[net] |= bit
+        oracle_words_per_cycle.append(words)
+    oracle_outputs, _ = oracle_sim.run(oracle_words_per_cycle, n_inputs)
+
+    # Expand oracle words from input-space to pair-space (key minor).
+    def expand(word):
+        expanded = 0
+        for i_value in range(n_inputs):
+            if (word >> i_value) & 1:
+                expanded |= ((1 << n_keys) - 1) << (i_value * n_keys)
+        return expanded
+
+    mismatch = 0
+    for cycle in range(depth):
+        locked_cycle = locked_outputs[kappa + cycle]
+        oracle_cycle = oracle_outputs[cycle]
+        for locked_word, oracle_word in zip(locked_cycle, oracle_cycle):
+            mismatch |= locked_word ^ expand(oracle_word)
+
+    rows = []
+    for i_value in range(n_inputs):
+        row = [
+            bool((mismatch >> (i_value * n_keys + k_value)) & 1)
+            for k_value in range(n_keys)
+        ]
+        rows.append(row)
+    return ErrorTable(width, kappa, depth, rows)

@@ -1,0 +1,176 @@
+"""Gate-level building blocks of the TriLock error generator (Fig. 2).
+
+The paper specifies the error function and a block diagram; the concrete
+RTL choices here (one-hot phase tokens, hold-mux key stores, sticky
+comparison flags, MSB-first sequential magnitude comparison) are detailed
+and justified in DESIGN.md §5. Every block is built through
+:class:`~repro.netlist.builder.LogicBuilder`, so hardwired ``k*``/``k**``
+bits fold into literal trees and never appear as explicit constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import LockingError
+from repro.sim.bitvec import int_to_bits
+
+
+@dataclass
+class PhaseTracker:
+    """One-hot cycle markers for the lock's observation window.
+
+    ``markers[j]`` is high exactly during absolute cycle ``j`` (cycle 0 is
+    the first cycle after reset); the window spans ``κ + κs`` cycles.
+    """
+
+    markers: list
+    in_key_phase: str
+    after_key: str
+    after_window: str
+    registers: list = field(default_factory=list)
+
+
+def build_phase_tracker(builder, kappa, window_cycles):
+    """Build the ``started`` flag plus token chain; see DESIGN.md §5."""
+    if window_cycles < kappa or kappa < 1:
+        raise LockingError("phase window must cover at least the key cycles")
+
+    started_d = builder.const(1)
+    started = builder.flop(started_d, name=builder.names.fresh("tl_started"))
+    registers = [started]
+
+    markers = [builder.not_(started)]
+    previous = markers[0]
+    for cycle in range(1, window_cycles):
+        token = builder.flop(previous, name=builder.names.fresh(f"tl_tok{cycle}"))
+        registers.append(token)
+        markers.append(token)
+        previous = token
+
+    in_key_phase = builder.or_(markers[:kappa])
+    after_key = builder.not_(in_key_phase)
+    after_window = builder.not_(builder.or_(markers))
+    return PhaseTracker(
+        markers=markers,
+        in_key_phase=in_key_phase,
+        after_key=after_key,
+        after_window=after_window,
+        registers=registers,
+    )
+
+
+@dataclass
+class KeyStore:
+    """Captured key-prefix registers: ``words[j][p]`` holds cycle ``j``,
+    input ``p`` of the applied key."""
+
+    words: list
+    registers: list = field(default_factory=list)
+
+
+def build_key_store(builder, tracker, inputs, kappa_s):
+    """Hold-mux registers that latch the applied key prefix word-by-word."""
+    words = []
+    registers = []
+    for cycle in range(kappa_s):
+        capture = tracker.markers[cycle]
+        word = []
+        for position, pi in enumerate(inputs):
+            q_name = builder.names.fresh(f"tl_ks{cycle}_{position}")
+            # Self-loop placeholder D, re-pointed once the hold-mux exists
+            # (the mux reads the flop's own Q).
+            builder.netlist.add_flop(q_name, q_name, init=False)
+            mux = builder.mux(capture, q_name, pi)
+            builder.netlist.replace_flop_d(q_name, mux)
+            word.append(q_name)
+            registers.append(q_name)
+        words.append(word)
+    return KeyStore(words=words, registers=registers)
+
+
+def build_constant_sequence_mismatch(builder, tracker, inputs, words,
+                                     first_cycle, flag_name):
+    """Sticky flag: set when any windowed cycle's inputs differ from the
+    corresponding constant word. ``words[j]`` is an integer compared at
+    absolute cycle ``first_cycle + j``."""
+    set_terms = []
+    for offset, value in enumerate(words):
+        marker = tracker.markers[first_cycle + offset]
+        mismatch = builder.not_(builder.eq_const(list(inputs), value))
+        set_terms.append(builder.and_(marker, mismatch))
+    return builder.sticky_flag(builder.or_(set_terms), name=flag_name)
+
+
+def build_threshold_compare(builder, tracker, inputs, threshold,
+                            kappa_s, kappa_f):
+    """MSB-first sequential magnitude comparison of the key suffix vs ``T``.
+
+    Returns ``(lt_q, gt_q, registers)``; after the key phase, ``suffix <= T``
+    is exactly ``NOT gt_q``.
+    """
+    width = len(inputs)
+    threshold_bits = int_to_bits(threshold, kappa_f * width)
+    set_lt_terms = []
+    set_gt_terms = []
+    for offset in range(kappa_f):
+        marker = tracker.markers[kappa_s + offset]
+        word_value = _word_of(threshold_bits, offset, width)
+        word_lt, word_gt = builder.compare_const(list(inputs), word_value)
+        set_lt_terms.append(builder.and_(marker, word_lt))
+        set_gt_terms.append(builder.and_(marker, word_gt))
+
+    lt_name = builder.names.fresh("tl_suflt")
+    gt_name = builder.names.fresh("tl_sufgt")
+    builder.netlist.add_flop(lt_name, lt_name, init=False)
+    builder.netlist.add_flop(gt_name, gt_name, init=False)
+    equal_so_far = builder.and_(builder.not_(lt_name), builder.not_(gt_name))
+    builder.netlist.replace_flop_d(lt_name, builder.or_(
+        lt_name, builder.and_(equal_so_far, builder.or_(set_lt_terms))))
+    builder.netlist.replace_flop_d(gt_name, builder.or_(
+        gt_name, builder.and_(equal_so_far, builder.or_(set_gt_terms))))
+    return lt_name, gt_name, [lt_name, gt_name]
+
+
+def build_prefix_match(builder, tracker, inputs, key_store, kappa, kappa_s):
+    """``E^S`` detection: does the post-key input replay the stored prefix?
+
+    Returns ``(es_now, registers)`` where ``es_now`` is high combinationally
+    during absolute cycle ``κ+κs−1`` iff the whole prefix matched — this is
+    what pins the first error to unrolled cycle ``b* = κs``.
+    """
+    mismatch_words = []
+    for offset in range(kappa_s):
+        word = key_store.words[offset]
+        mismatch_words.append(
+            builder.not_(builder.word_eq(list(inputs), list(word)))
+        )
+
+    registers = []
+    if kappa_s >= 2:
+        set_terms = [
+            builder.and_(tracker.markers[kappa + offset], mismatch_words[offset])
+            for offset in range(kappa_s - 1)
+        ]
+        flag = builder.sticky_flag(
+            builder.or_(set_terms), name=builder.names.fresh("tl_pmiss"))
+        registers.append(flag)
+        no_earlier_mismatch = builder.not_(flag)
+    else:
+        no_earlier_mismatch = builder.const(1)
+
+    es_now = builder.and_(
+        tracker.markers[kappa + kappa_s - 1],
+        no_earlier_mismatch,
+        builder.not_(mismatch_words[kappa_s - 1]),
+    )
+    return es_now, registers
+
+
+def _word_of(bits, word_index, width):
+    """Integer value of word ``word_index`` in an MSB-first bit tuple."""
+    chunk = bits[word_index * width:(word_index + 1) * width]
+    value = 0
+    for bit in chunk:
+        value = (value << 1) | (1 if bit else 0)
+    return value

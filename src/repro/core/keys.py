@@ -1,0 +1,108 @@
+"""Key sequences.
+
+TriLock keys are *sequences*: one |I|-wide pattern per clock cycle for
+``κ = κs + κf`` cycles, applied on the primary inputs after reset. A key
+sequence is canonically identified with the integer formed by
+concatenating its cycle words MSB-first (cycle 0 word is the most
+significant block; within a word, the first primary input is the MSB).
+That integer view is what the paper's error functions and this library's
+spec-level code operate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LockingError
+from repro.sim.bitvec import bits_to_int, int_to_bits
+
+
+@dataclass(frozen=True)
+class KeySequence:
+    """A fixed input sequence: ``vectors[c]`` is the cycle-``c`` bit tuple."""
+
+    width: int
+    vectors: tuple
+
+    def __post_init__(self):
+        if self.width < 1:
+            raise LockingError("key width must be at least 1")
+        vectors = tuple(tuple(bool(b) for b in vec) for vec in self.vectors)
+        for vec in vectors:
+            if len(vec) != self.width:
+                raise LockingError(
+                    f"key vector width {len(vec)} != declared width {self.width}"
+                )
+        object.__setattr__(self, "vectors", vectors)
+
+    @property
+    def cycles(self):
+        return len(self.vectors)
+
+    @property
+    def as_int(self):
+        """MSB-first integer over ``cycles * width`` bits."""
+        value = 0
+        for vec in self.vectors:
+            value = (value << self.width) | bits_to_int(vec)
+        return value
+
+    @classmethod
+    def from_int(cls, value, cycles, width):
+        """Inverse of :attr:`as_int`."""
+        total_bits = cycles * width
+        bits = int_to_bits(value, total_bits)
+        vectors = tuple(
+            tuple(bits[c * width:(c + 1) * width]) for c in range(cycles)
+        )
+        return cls(width=width, vectors=vectors)
+
+    def word(self, cycle):
+        """Cycle word as an integer."""
+        return bits_to_int(self.vectors[cycle])
+
+    def prefix(self, n_cycles):
+        """First ``n_cycles`` cycles as a new sequence."""
+        self._check_slice(n_cycles)
+        return KeySequence(self.width, self.vectors[:n_cycles])
+
+    def suffix(self, n_cycles):
+        """Last ``n_cycles`` cycles as a new sequence."""
+        self._check_slice(n_cycles)
+        if n_cycles == 0:
+            return KeySequence(self.width, ())
+        return KeySequence(self.width, self.vectors[-n_cycles:])
+
+    def _check_slice(self, n_cycles):
+        if n_cycles < 0 or n_cycles > self.cycles:
+            raise LockingError(
+                f"slice of {n_cycles} cycles outside sequence of {self.cycles}"
+            )
+
+    def __str__(self):
+        return "|".join(
+            "".join("1" if b else "0" for b in vec) for vec in self.vectors
+        )
+
+
+def random_key(rng, cycles, width):
+    """Uniformly random key sequence."""
+    vectors = tuple(
+        tuple(bool(rng.getrandbits(1)) for _ in range(width))
+        for _ in range(cycles)
+    )
+    return KeySequence(width=width, vectors=vectors)
+
+
+def random_suffix_constant(rng, kappa_f, width, forbidden_value):
+    """Uniform ``k**`` over ``κf·width`` bits, avoiding ``forbidden_value``.
+
+    The paper requires ``k** != k*_{(κ−κf)↔κ}`` (the correct key's suffix).
+    """
+    space = 1 << (kappa_f * width)
+    if space < 2:
+        raise LockingError("suffix space too small to avoid the key suffix")
+    while True:
+        value = rng.getrandbits(kappa_f * width)
+        if value != forbidden_value:
+            return value

@@ -1,0 +1,229 @@
+"""The TriLock encryption flow (Section III, Fig. 2).
+
+``lock(netlist, config)`` returns a :class:`LockedCircuit` whose netlist:
+
+* expects the key sequence ``k*`` on the primary inputs during the first
+  ``κ = κs + κf`` cycles after reset (original state stalled meanwhile);
+* afterwards behaves exactly like the original under the correct key;
+* under a wrong key, injects output/state inversions according to the
+  error function ``E^SF`` (Eq. 16): immediately and persistently for
+  ``E^F``-selected keys, and from post-key cycle ``κs`` onward when the
+  input stream replays the applied wrong key prefix (``E^S``);
+* optionally re-encodes ``S`` register pairs (Algorithm 1) to merge
+  original/extra register SCCs against removal attacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import TriLockConfig
+from repro.core.error_function import ErrorSpec
+from repro.core.fsm_blocks import (
+    build_constant_sequence_mismatch,
+    build_key_store,
+    build_phase_tracker,
+    build_prefix_match,
+    build_threshold_compare,
+)
+from repro.core.keys import KeySequence, random_key, random_suffix_constant
+from repro.errors import LockingError
+from repro.netlist.builder import LogicBuilder
+from repro.sim.random_vectors import make_rng
+
+
+@dataclass
+class LockedCircuit:
+    """A locked netlist plus everything the experiments need to know."""
+
+    netlist: "Netlist"
+    original: "Netlist"
+    config: TriLockConfig
+    key: KeySequence                    # k*, κ cycles wide
+    spec: ErrorSpec                     # spec-level E^SF parameters
+    error_net: str
+    original_registers: tuple
+    extra_registers: tuple
+    encoded_registers: tuple = ()
+    reencoded_pairs: tuple = ()
+    flipped_output_positions: tuple = ()
+    flipped_state_registers: tuple = ()
+    notes: dict = field(default_factory=dict)
+
+    @property
+    def width(self):
+        return len(self.original.inputs)
+
+    @property
+    def kappa(self):
+        return self.config.kappa
+
+    def key_vectors(self):
+        """The correct key as per-cycle input bit tuples."""
+        return list(self.key.vectors)
+
+    def stimulus_with_key(self, key, input_vectors):
+        """Full locked-circuit stimulus: ``key`` cycles then data cycles."""
+        if key.cycles != self.kappa or key.width != self.width:
+            raise LockingError("key sequence has the wrong shape")
+        return list(key.vectors) + list(input_vectors)
+
+    def register_provenance(self):
+        """Map flop Q -> 'original' | 'extra' | 'encoded'."""
+        provenance = {}
+        for q in self.original_registers:
+            provenance[q] = "original"
+        for q in self.extra_registers:
+            provenance[q] = "extra"
+        for q in self.encoded_registers:
+            provenance[q] = "encoded"
+        live = set(self.netlist.flops)
+        return {q: kind for q, kind in provenance.items() if q in live}
+
+
+def lock(netlist, config=None, **config_kwargs):
+    """Apply TriLock to ``netlist``; returns a :class:`LockedCircuit`.
+
+    Accepts either a prepared :class:`TriLockConfig` or keyword arguments
+    forwarded to one (``lock(nl, kappa_s=3, alpha=0.6)``).
+    """
+    if config is None:
+        config = TriLockConfig(**config_kwargs)
+    elif config_kwargs:
+        raise LockingError("pass either a config object or kwargs, not both")
+    netlist.validate()
+    if not netlist.inputs:
+        raise LockingError("cannot lock a circuit without primary inputs")
+    if not netlist.outputs:
+        raise LockingError("cannot lock a circuit without primary outputs")
+    if netlist.num_flops() == 0:
+        raise LockingError("TriLock is a sequential scheme: need flops")
+
+    original = netlist.copy()
+    locked = netlist.copy(name=f"{netlist.name}_trilock")
+    rng = make_rng(("trilock", netlist.name, config.seed))
+    inputs = locked.inputs
+    width = len(inputs)
+    kappa_s, kappa_f, kappa = config.kappa_s, config.kappa_f, config.kappa
+
+    # --- key material -------------------------------------------------
+    if config.key_star is not None:
+        key = KeySequence.from_int(config.key_star, kappa, width)
+    else:
+        key = random_key(rng, kappa, width)
+    if kappa_f > 0:
+        star_suffix = key.suffix(kappa_f).as_int
+        if config.key_star_star is not None:
+            key_star_star = config.key_star_star
+        else:
+            key_star_star = random_suffix_constant(
+                rng, kappa_f, width, forbidden_value=star_suffix)
+    else:
+        key_star_star = None
+
+    spec = ErrorSpec(
+        width=width,
+        kappa_s=kappa_s,
+        kappa_f=kappa_f,
+        key_star=key.as_int,
+        key_star_star=key_star_star,
+        alpha=config.alpha,
+    )
+
+    # --- error generator ----------------------------------------------
+    builder = LogicBuilder(locked, prefix="tl")
+    window = kappa + kappa_s
+    tracker = build_phase_tracker(builder, kappa, window)
+    key_store = build_key_store(builder, tracker, inputs, kappa_s)
+
+    key_words = [key.word(c) for c in range(kappa)]
+    key_wrong = build_constant_sequence_mismatch(
+        builder, tracker, inputs, key_words, first_cycle=0,
+        flag_name=builder.names.fresh("tl_kwrong"))
+
+    extra_registers = list(tracker.registers)
+    extra_registers.extend(key_store.registers)
+    extra_registers.append(key_wrong)
+
+    if kappa_f > 0:
+        kss_words = [
+            (key_star_star >> ((kappa_f - 1 - j) * width)) & ((1 << width) - 1)
+            for j in range(kappa_f)
+        ]
+        suffix_ne = build_constant_sequence_mismatch(
+            builder, tracker, inputs, kss_words, first_cycle=kappa_s,
+            flag_name=builder.names.fresh("tl_sufne"))
+        _, gt_flag, compare_regs = build_threshold_compare(
+            builder, tracker, inputs, spec.threshold, kappa_s, kappa_f)
+        extra_registers.append(suffix_ne)
+        extra_registers.extend(compare_regs)
+        ef_active = builder.and_(key_wrong, suffix_ne, builder.not_(gt_flag))
+    else:
+        ef_active = builder.const(0)
+
+    es_now_raw, prefix_regs = build_prefix_match(
+        builder, tracker, inputs, key_store, kappa, kappa_s)
+    extra_registers.extend(prefix_regs)
+    es_now = builder.and_(es_now_raw, key_wrong)
+    es_latched = builder.sticky_flag(
+        es_now, name=builder.names.fresh("tl_eslatch"))
+    extra_registers.append(es_latched)
+
+    error = builder.and_(
+        tracker.after_key, builder.or_(ef_active, es_now, es_latched))
+    error_net = builder.alias(error, builder.names.fresh("tl_error"))
+
+    # --- output error handler -------------------------------------------
+    n_po = len(locked.outputs)
+    flip_positions = tuple(sorted(
+        rng.sample(range(n_po), config.resolved_output_flips(n_po))))
+    for position in flip_positions:
+        flipped = builder.xor_(locked.outputs[position], error_net)
+        locked.set_output(position, flipped)
+
+    # --- state error handler + key-phase stall ---------------------------
+    original_registers = tuple(original.flops)
+    flip_count = config.resolved_state_flips(len(original_registers))
+    flipped_state = tuple(sorted(
+        rng.sample(list(original_registers), flip_count)))
+    flip_set = set(flipped_state)
+    hold_reset = builder.not_(tracker.in_key_phase)
+    for q in original_registers:
+        flop = locked.flop(q)
+        d = flop.d
+        if q in flip_set:
+            d = builder.xor_(d, error_net)
+        if flop.init:
+            # Hold a set flop at its reset value (1) during the key phase.
+            stalled = builder.or_(tracker.in_key_phase, d)
+        else:
+            stalled = builder.and_(hold_reset, d)
+        locked.replace_flop_d(q, stalled)
+
+    # --- obfuscation coupling into the (now dead) key store --------------
+    if config.keystore_coupling and key_store.registers:
+        couple = builder.and_(error_net, tracker.after_window)
+        for q in key_store.registers:
+            locked.replace_flop_d(q, builder.xor_(locked.flop(q).d, couple))
+
+    locked.validate()
+    result = LockedCircuit(
+        netlist=locked,
+        original=original,
+        config=config,
+        key=key,
+        spec=spec,
+        error_net=error_net,
+        original_registers=original_registers,
+        extra_registers=tuple(extra_registers),
+        flipped_output_positions=flip_positions,
+        flipped_state_registers=flipped_state,
+    )
+
+    if config.s_pairs > 0:
+        from repro.core.reencode import apply_state_reencoding
+
+        apply_state_reencoding(result, config.s_pairs, rng=rng,
+                               codec_variants=config.codec_variants)
+        result.netlist.validate()
+    return result

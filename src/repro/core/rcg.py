@@ -1,0 +1,78 @@
+"""Register connection graph (RCG) construction.
+
+Nodes are flop Q nets; a directed edge ``a -> b`` exists iff a purely
+combinational path leads from ``a``'s Q output to ``b``'s D input
+(Section III-C). Both Algorithm 1 (the defender) and the removal attack
+(the adversary) operate on this graph.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+
+def flop_register_supports(netlist):
+    """Map flop Q -> set of flop Qs feeding its D combinationally.
+
+    One topological pass accumulating register-source sets per net (much
+    cheaper than per-flop cone walks on large circuits).
+    """
+    sources = {}
+    for net in netlist.inputs:
+        sources[net] = frozenset()
+    for q in netlist.flops:
+        sources[q] = frozenset((q,))
+
+    empty = frozenset()
+    for net in netlist.topo_order():
+        gate = netlist.gate(net)
+        acc = None
+        for src in gate.inputs:
+            contribution = sources.get(src, empty)
+            if acc is None:
+                acc = contribution
+            elif contribution and contribution is not acc:
+                acc = acc | contribution
+        sources[net] = acc if acc is not None else empty
+
+    return {
+        q: sources[flop.d] for q, flop in netlist.flops.items()
+    }
+
+
+def build_rcg(netlist, provenance=None):
+    """The RCG as a :class:`networkx.DiGraph`.
+
+    Each node carries ``weight`` (number of physical registers it stands
+    for — always 1 here; re-encoding bookkeeping may use more) and, when
+    ``provenance`` is given, a ``provenance`` attribute.
+    """
+    graph = nx.DiGraph()
+    for q in netlist.flops:
+        attrs = {"weight": 1}
+        if provenance is not None:
+            attrs["provenance"] = provenance.get(q, "original")
+        graph.add_node(q, **attrs)
+    for q, supports in flop_register_supports(netlist).items():
+        for src in supports:
+            graph.add_edge(src, q)
+    return graph
+
+
+def cyclic_sccs(graph):
+    """SCCs that actually contain a cycle (size >= 2, or a self-loop)."""
+    result = []
+    for component in nx.strongly_connected_components(graph):
+        if len(component) > 1:
+            result.append(set(component))
+        else:
+            node = next(iter(component))
+            if graph.has_edge(node, node):
+                result.append({node})
+    return result
+
+
+def scc_kinds(graph, component):
+    """Provenance kinds present in one SCC."""
+    return {graph.nodes[node].get("provenance", "original")
+            for node in component}

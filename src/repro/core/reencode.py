@@ -1,0 +1,215 @@
+"""State re-encoding against removal attacks (Section III-C, Algorithm 1).
+
+Each iteration picks one register from the largest all-original SCC and
+one from the largest all-extra SCC of the register connection graph (when
+one side is exhausted, the largest mixed SCC substitutes), then replaces
+the pair with four arithmetic-coded registers:
+
+    e1 = s1 + s2   (2 bits)          s1' = ((e1' + e2') >> 1) & 1
+    e2 = s1 - s2   (2-bit 2's comp)  s2' = ((e1' - e2') >> 1) & 1
+
+The decoder inverts the encoder (``dec(enc(a)) = a``) so the circuit
+function is untouched, while the new registers sit on looped paths between
+the two SCCs (Eq. 17) and merge them into one mixed SCC.
+
+Algorithm 1's ``update_graph`` is implemented as an exact node merge on
+the RCG (the four encoded registers share identical fan-in/fan-out), so
+the per-iteration SCC rerun never re-extracts the netlist.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.core.rcg import build_rcg
+from repro.errors import LockingError
+from repro.netlist.builder import LogicBuilder
+from repro.sim.random_vectors import make_rng
+
+
+def apply_state_reencoding(locked, s_pairs, rng=None, codec_variants=None):
+    """Run Algorithm 1 for ``s_pairs`` iterations on ``locked`` (in place).
+
+    Updates ``locked.netlist`` and the ``encoded_registers`` /
+    ``reencoded_pairs`` metadata. Returns the list of selected pairs.
+    ``codec_variants`` selects the encoder/decoder per pair (cycled in
+    order); the default is the paper's single arithmetic codec.
+    """
+    if s_pairs < 0:
+        raise LockingError("s_pairs must be >= 0")
+    rng = rng if rng is not None else make_rng(("reencode", locked.netlist.name))
+    variants = tuple(codec_variants) if codec_variants else ("sum_diff",)
+    for variant in variants:
+        if variant not in CODEC_VARIANTS:
+            raise LockingError(f"unknown codec variant {variant!r}")
+
+    netlist = locked.netlist
+    builder = LogicBuilder(netlist, prefix="re")
+    provenance = locked.register_provenance()
+    graph = build_rcg(netlist, provenance)
+
+    pairs = []
+    encoded = list(locked.encoded_registers)
+    for iteration in range(s_pairs):
+        selection = _select_pair(graph)
+        if selection is None:
+            break
+        r1, r2 = selection
+        variant = variants[iteration % len(variants)]
+        new_regs = insert_encoder_decoder(builder, r1, r2, iteration,
+                                          variant=variant)
+        _merge_nodes(graph, r1, r2, f"enc{iteration}", len(new_regs), new_regs)
+        pairs.append((r1, r2))
+        encoded.extend(new_regs)
+
+    locked.encoded_registers = tuple(encoded)
+    locked.reencoded_pairs = tuple(locked.reencoded_pairs) + tuple(pairs)
+    return pairs
+
+
+def _component_kind(graph, component):
+    kinds = set()
+    for node in component:
+        kinds.add(graph.nodes[node]["provenance"])
+    if "encoded" in kinds or len(kinds) > 1:
+        return "M"
+    return "O" if kinds == {"original"} else "E"
+
+
+def _component_weight(graph, component):
+    return sum(graph.nodes[node]["weight"] for node in component)
+
+
+def _select_pair(graph):
+    """Algorithm 1 lines 3-10: pick ``(r1, r2)`` from two SCCs."""
+    buckets = {"O": [], "E": [], "M": []}
+    for component in nx.strongly_connected_components(graph):
+        buckets[_component_kind(graph, component)].append(component)
+
+    def largest(components):
+        return max(
+            components,
+            key=lambda c: (_component_weight(graph, c), _max_degree(graph, c)),
+        )
+
+    if buckets["O"] and buckets["E"]:
+        scc1, scc2 = largest(buckets["O"]), largest(buckets["E"])
+    else:
+        remaining = buckets["O"] or buckets["E"]
+        if not remaining or not buckets["M"]:
+            return None
+        scc1, scc2 = largest(remaining), largest(buckets["M"])
+
+    r1 = _max_degree_register(graph, scc1)
+    r2 = _max_degree_register(graph, scc2)
+    if r1 is None or r2 is None or r1 == r2:
+        return None
+    return r1, r2
+
+
+def _max_degree(graph, component):
+    return max(graph.degree(node) for node in component)
+
+
+def _max_degree_register(graph, component):
+    """Highest-degree *physical* register (weight-1 node) in the SCC."""
+    candidates = [n for n in component if graph.nodes[n]["weight"] == 1]
+    if not candidates:
+        return None
+    return max(candidates, key=lambda n: (graph.degree(n), n))
+
+
+def _merge_nodes(graph, r1, r2, merged_name, weight, members):
+    """Exact RCG update: the encoded node inherits both fan-in/fan-out."""
+    predecessors = set(graph.predecessors(r1)) | set(graph.predecessors(r2))
+    successors = set(graph.successors(r1)) | set(graph.successors(r2))
+    predecessors = {merged_name if p in (r1, r2) else p for p in predecessors}
+    successors = {merged_name if s in (r1, r2) else s for s in successors}
+    graph.remove_node(r1)
+    graph.remove_node(r2)
+    graph.add_node(merged_name, weight=weight, provenance="encoded",
+                   members=tuple(members))
+    for p in predecessors:
+        graph.add_edge(p, merged_name)
+    for s in successors:
+        graph.add_edge(merged_name, s)
+
+
+#: Available encoder/decoder variants. The paper suggests varying the
+#: codec across pairs to avoid a repeated structural signature (its
+#: stated future work); every variant satisfies the fixed-point condition
+#: dec(enc(a)) = a, decodes the all-zero reset state to (0, 0), and gives
+#: some encoded register a fan-in from each of s1/s2 plus each decoder
+#: output a fan-in crossing to the other side (Eq. 17's looped path).
+#: Note a *two*-register binary codec cannot meet the dependence
+#: requirements: no permutation of B^2 fixing 00 makes both code bits
+#: depend on both state bits and vice versa — which is why the paper's
+#: arithmetic coding spends four registers (and ``onehot3`` three).
+CODEC_VARIANTS = ("sum_diff", "diff_sum", "onehot3")
+
+
+def insert_encoder_decoder(builder, r1, r2, tag=0, variant="sum_diff"):
+    """Replace flops ``r1``/``r2`` with arithmetic- or one-hot-coded
+    registers.
+
+    Returns the new register Q nets. Requires both flops to reset to 0
+    (the all-zero encoded reset state must decode back to ``(0, 0)``).
+
+    Variants (see :data:`CODEC_VARIANTS`):
+
+    * ``sum_diff`` — the paper's ``e1 = s1+s2``, ``e2 = s1−s2`` (4 regs);
+    * ``diff_sum`` — operands swapped: ``e1 = s2+s1``, ``e2 = s2−s1``,
+      a mirrored wiring signature (4 regs);
+    * ``onehot3`` — one-hot coding of the three non-reset states
+      (3 regs, OR-based decoder: a structurally distinct signature).
+    """
+    if variant not in CODEC_VARIANTS:
+        raise LockingError(f"unknown codec variant {variant!r}")
+    netlist = builder.netlist
+    flop1, flop2 = netlist.flop(r1), netlist.flop(r2)
+    if flop1.init or flop2.init:
+        raise LockingError("re-encoding supports zero-reset flops only")
+    s1, s2 = flop1.d, flop2.d
+
+    if variant == "onehot3":
+        # code(01)=a, code(10)=b, code(11)=c; code(00)=000 (reset).
+        e_a = builder.and_(builder.not_(s1), s2)
+        e_b = builder.and_(s1, builder.not_(s2))
+        e_c = builder.and_(s1, s2)
+        q_a = builder.flop(e_a, name=builder.names.fresh(f"re{tag}_oa"))
+        q_b = builder.flop(e_b, name=builder.names.fresh(f"re{tag}_ob"))
+        q_c = builder.flop(e_c, name=builder.names.fresh(f"re{tag}_oc"))
+        netlist.remove_flop(r1)
+        netlist.remove_flop(r2)
+        builder.alias(builder.or_(q_b, q_c), r1)  # s1' = b or c
+        builder.alias(builder.or_(q_a, q_c), r2)  # s2' = a or c
+        return [q_a, q_b, q_c]
+
+    if variant == "diff_sum":
+        s1, s2 = s2, s1  # encode the swapped pair, decode crosses back
+
+    # Encoder: e1 = s1+s2 -> (h1, l1); e2 = s1-s2 -> (h2, l2), 2's comp.
+    h1 = builder.and_(s1, s2)
+    l1 = builder.xor_(s1, s2)
+    h2 = builder.and_(builder.not_(s1), s2)  # sign: -1 iff s1=0, s2=1
+    l2 = l1  # |s1 - s2| low bit equals the XOR; sharing is intentional
+
+    q_h1 = builder.flop(h1, name=builder.names.fresh(f"re{tag}_e1h"))
+    q_l1 = builder.flop(l1, name=builder.names.fresh(f"re{tag}_e1l"))
+    q_h2 = builder.flop(h2, name=builder.names.fresh(f"re{tag}_e2h"))
+    q_l2 = builder.flop(l2, name=builder.names.fresh(f"re{tag}_e2l"))
+
+    netlist.remove_flop(r1)
+    netlist.remove_flop(r2)
+
+    # Decoder: a' = (e1'+e2')/2, b' = (e1'-e2')/2 (bit 1 of each).
+    dec_a = builder.xor_(q_h1, q_h2, builder.and_(q_l1, q_l2))
+    dec_b = builder.xor_(
+        q_h1, builder.not_(q_h2), builder.or_(q_l1, builder.not_(q_l2)))
+    if variant == "diff_sum":
+        dec_s2, dec_s1 = dec_a, dec_b  # cross back to original roles
+    else:
+        dec_s1, dec_s2 = dec_a, dec_b
+    builder.alias(dec_s1, r1)
+    builder.alias(dec_s2, r2)
+    return [q_h1, q_l1, q_h2, q_l2]

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the TriLock reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class NetlistError(ReproError):
+    """Structural problem in a netlist (duplicate driver, missing net, ...)."""
+
+
+class CombinationalCycleError(NetlistError):
+    """The combinational portion of a netlist contains a cycle."""
+
+    def __init__(self, nets):
+        self.nets = tuple(nets)
+        preview = ", ".join(self.nets[:8])
+        suffix = ", ..." if len(self.nets) > 8 else ""
+        super().__init__(f"combinational cycle through nets: {preview}{suffix}")
+
+
+class BenchFormatError(ReproError):
+    """Malformed ISCAS ``.bench`` text."""
+
+    def __init__(self, message, line_no=None):
+        self.line_no = line_no
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+
+
+class SimulationError(ReproError):
+    """Invalid stimulus or circuit state during simulation."""
+
+
+class CnfError(ReproError):
+    """Problem while building or reading a CNF formula."""
+
+
+class SolverError(ReproError):
+    """SAT solver misuse (e.g. querying a model after UNSAT)."""
+
+
+class UnrollError(ReproError):
+    """Invalid unrolling request (non-positive depth, missing nets, ...)."""
+
+
+class LockingError(ReproError):
+    """Invalid TriLock configuration or locking request."""
+
+
+class AttackError(ReproError):
+    """An attack was invoked on an incompatible circuit or ran out of budget."""
+
+
+class TechError(ReproError):
+    """Technology-library lookup failure (unknown cell, bad load, ...)."""
+
+
+class BenchmarkError(ReproError):
+    """Benchmark-suite lookup or generation failure."""

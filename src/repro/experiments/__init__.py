@@ -1,0 +1,5 @@
+"""Regeneration of every table and figure in the paper's evaluation."""
+
+from repro.experiments.common import DEFAULT_SCALE, ExperimentResult, format_table
+
+__all__ = ["DEFAULT_SCALE", "ExperimentResult", "format_table"]

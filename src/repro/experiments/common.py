@@ -1,0 +1,81 @@
+"""Shared experiment plumbing: results, table rendering, suite loading."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.suite import load_suite_circuit, suite_names
+
+#: Default size scale of the synthetic suite for in-repo experiment runs
+#: (the paper's full-size circuits are pure-Python-hostile; DESIGN.md §4).
+DEFAULT_SCALE = 0.08
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table/figure."""
+
+    experiment: str            # e.g. "table1"
+    title: str
+    parameters: dict
+    rows: list                 # list of dicts, one per table row/series point
+    notes: list = field(default_factory=list)
+
+    def render(self):
+        """Aligned plain-text table plus notes (the paper-artifact view)."""
+        lines = [f"== {self.experiment}: {self.title} =="]
+        params = ", ".join(f"{k}={v}" for k, v in self.parameters.items())
+        if params:
+            lines.append(f"-- parameters: {params}")
+        lines.append(format_table(self.rows))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def format_table(rows, float_format="{:.3g}"):
+    """Render a list of dicts as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    columns = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+
+    def fmt(value):
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    table = [[fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(str(col)), max((len(line[i]) for line in table), default=0))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(str(col).ljust(widths[i])
+                       for i, col in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = [
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(columns)))
+        for line in table
+    ]
+    return "\n".join([header, separator] + body)
+
+
+def suite_circuits(scale=DEFAULT_SCALE, names=None, seed=0):
+    """Load (name, netlist) pairs of the paper suite at ``scale``."""
+    selected = names if names is not None else suite_names()
+    return [(name, load_suite_circuit(name, scale=scale, seed=seed))
+            for name in selected]
+
+
+def engineering(value):
+    """Format big numbers like the paper ('3.9e+06', '32768')."""
+    if value >= 1e5:
+        return f"{value:.1e}"
+    if isinstance(value, float) and value != int(value):
+        return f"{value:.2f}"
+    return str(int(value))

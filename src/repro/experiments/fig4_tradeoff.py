@@ -1,0 +1,85 @@
+"""Fig. 4 — the ``ndip`` vs ``FC_b`` trade-off and its circumvention.
+
+Panel (a): the naive ``E^N`` on a 4-input circuit, ``κ = 1..10``:
+``ndip`` grows exponentially while ``FC ≈ 1/(ndip+1)`` collapses (Eq. 7).
+
+Panel (b): ``E^SF`` with ``κf = 1``: ``ndip = 2^{κs|I|}`` stays
+exponential while ``FC`` is pinned near ``α(1 − 2^{−κf|I|})`` (Eq. 15)
+independently of ``κs`` — the trade-off is broken.
+
+The analytic curves are cross-validated against exhaustive error tables
+at the small-``κ`` end.
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    ErrorSpec,
+    fc_naive_approx,
+    fc_naive_exact,
+    fc_trilock,
+    fc_trilock_exact,
+    naive_error_table,
+    ndip_naive,
+    ndip_trilock,
+    spec_error_table,
+)
+from repro.experiments.common import ExperimentResult
+
+WIDTH = 4  # the paper's "4-input circuit"
+ALPHAS = (0.0, 0.3, 0.6, 0.9)
+
+
+def run(max_kappa=10, validate=True):
+    rows = []
+    notes = []
+
+    for kappa in range(1, max_kappa + 1):
+        rows.append({
+            "panel": "a",
+            "kappa": kappa,
+            "ndip": ndip_naive(kappa, WIDTH),
+            "FC": fc_naive_approx(kappa, WIDTH),
+        })
+
+    for alpha in ALPHAS:
+        for kappa_s in range(1, max_kappa + 1):
+            rows.append({
+                "panel": "b",
+                "kappa": kappa_s,
+                "alpha": alpha,
+                "ndip": ndip_trilock(kappa_s, WIDTH),
+                "FC": fc_trilock(alpha, 1, WIDTH),
+            })
+
+    if validate:
+        # Exhaustive check at kappa = 1 (the largest tractable table).
+        table_a = naive_error_table(1, WIDTH, key_star=0b0110, depth=1)
+        exact_a = fc_naive_exact(1, WIDTH, b=1)
+        assert table_a.fc() == exact_a
+        notes.append(
+            f"validated: exhaustive E^N table at kappa=1 gives FC="
+            f"{table_a.fc():.4f} = Eq.(7) exact")
+
+        spec = ErrorSpec(width=WIDTH, kappa_s=1, kappa_f=1,
+                         key_star=0b01100011, key_star_star=0b0001,
+                         alpha=0.6)
+        table_b = spec_error_table(spec, depth=1)
+        exact_b = fc_trilock_exact(spec, 1)
+        assert abs(table_b.fc() - exact_b) < 1e-12
+        notes.append(
+            f"validated: exhaustive E^SF table at kappa_s=1, alpha=0.6 "
+            f"gives FC={table_b.fc():.4f} (Eq.15 predicts "
+            f"{fc_trilock(0.6, 1, WIDTH):.4f})")
+
+    notes.append(
+        "paper shape: (a) FC ~ 1/(ndip+1) anti-correlation; (b) flat FC "
+        "levels at alpha*(1-2^-4)=alpha*0.9375 with unchanged exponential "
+        "ndip")
+    return ExperimentResult(
+        experiment="fig4",
+        title="ndip vs FC: E^N trade-off (a) and E^SF decoupling (b)",
+        parameters={"|I|": WIDTH, "kappa_f": 1, "alphas": ALPHAS},
+        rows=rows,
+        notes=notes,
+    )

@@ -1,0 +1,100 @@
+"""Experiment runner CLI.
+
+Regenerate every table/figure of the paper::
+
+    python -m repro.experiments all --scale 0.08 --out results/
+    python -m repro.experiments table1 --effort standard
+    repro-experiments fig7 --circuits b12 s9234
+
+Each experiment prints a plain-text table mirroring the paper artifact
+plus notes comparing against the published numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from repro.experiments import (
+    fig3_error_tables,
+    fig4_tradeoff,
+    fig6_overhead,
+    fig7_fc,
+    table1_sat_resilience,
+    table2_removal,
+)
+from repro.experiments.common import DEFAULT_SCALE
+
+EXPERIMENTS = {
+    "fig3": lambda args: fig3_error_tables.run(),
+    "fig4": lambda args: fig4_tradeoff.run(),
+    "table1": lambda args: table1_sat_resilience.run(
+        scale=args.scale, effort=args.effort, seed=args.seed),
+    "fig7": lambda args: fig7_fc.run(
+        scale=args.scale, names=args.circuits, seed=args.seed,
+        n_samples=args.samples),
+    "table2": lambda args: table2_removal.run(
+        scale=args.scale, names=args.circuits, seed=args.seed),
+    "fig6": lambda args: fig6_overhead.run(
+        scale=args.scale, names=args.circuits, seed=args.seed),
+}
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the TriLock paper's tables and figures.")
+    parser.add_argument("experiment",
+                        choices=sorted(EXPERIMENTS) + ["all"],
+                        help="which artifact to regenerate")
+    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE,
+                        help="suite size scale (default %(default)s; "
+                             "interface widths never scale)")
+    parser.add_argument("--effort", default="quick",
+                        choices=["quick", "standard", "full"],
+                        help="how many Table I cells to attack for real")
+    parser.add_argument("--samples", type=int, default=800,
+                        help="FC samples per point (paper: 800)")
+    parser.add_argument("--circuits", nargs="*", default=None,
+                        help="subset of suite circuits")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default=None,
+                        help="directory for .txt dumps of each artifact")
+    return parser
+
+
+def run_experiment(name, args):
+    start = time.perf_counter()
+    result = EXPERIMENTS[name](args)
+    elapsed = time.perf_counter() - start
+    text = result.render()
+    if name == "fig3":
+        text += "\n" + fig3_error_tables.render_tables(result)
+    text += f"\n[{name} regenerated in {elapsed:.1f}s]\n"
+    return text
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" \
+        else [args.experiment]
+    exit_code = 0
+    for name in names:
+        try:
+            text = run_experiment(name, args)
+        except Exception as error:  # pragma: no cover - CLI robustness
+            text = f"== {name}: FAILED: {error} ==\n"
+            exit_code = 1
+        sys.stdout.write(text + "\n")
+        if args.out:
+            os.makedirs(args.out, exist_ok=True)
+            path = os.path.join(args.out, f"{name}.txt")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+    return exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

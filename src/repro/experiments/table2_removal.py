@@ -1,0 +1,94 @@
+"""Table II — removal-attack resilience via SCC statistics.
+
+For every suite circuit and ``S ∈ {0, 10, 30}``: lock, run the SCC
+clustering on the register connection graph, and report the number of
+all-original (O), all-extra (E) and mixed (M) SCCs plus ``P_M``, the
+percentage of registers inside M-SCCs. The paper's qualitative claims:
+
+* ``S = 0`` — clean separation: many O- and E-SCCs, no M-SCC, P_M = 0;
+* ``S = 10`` — E-SCCs essentially vanish, one M-SCC, P_M ≈ 90–100;
+* ``S = 30`` — stronger still.
+"""
+
+from __future__ import annotations
+
+from repro.attacks import scc_report
+from repro.core import TriLockConfig, lock
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    ExperimentResult,
+    suite_circuits,
+)
+
+#: Paper Table II: circuit -> S -> (O, E, M, PM).
+PAPER_TABLE2 = {
+    "s9234": {0: (72, 79, 0, 0), 10: (12, 0, 1, 95.2), 30: (0, 0, 1, 100)},
+    "s15850": {0: (203, 93, 0, 0), 10: (39, 0, 1, 94.0),
+               30: (14, 0, 1, 97.9)},
+    "s35932": {0: (18, 317, 0, 0), 10: (0, 0, 1, 100), 30: (0, 0, 1, 100)},
+    "s38417": {0: (889, 198, 0, 0), 10: (36, 0, 1, 97.9),
+               30: (20, 0, 1, 98.9)},
+    "s38584": {0: (735, 79, 0, 0), 10: (30, 0, 1, 97.5), 30: (0, 0, 1, 100)},
+    "b12": {0: (19, 37, 0, 0), 10: (0, 0, 1, 100), 30: (0, 0, 1, 100)},
+    "b14": {0: (57, 226, 0, 0), 10: (45, 0, 1, 90.4), 30: (24, 0, 1, 95.1)},
+    "b15": {0: (141, 254, 0, 0), 10: (91, 0, 1, 87.1), 30: (61, 0, 1, 91.8)},
+    "b18": {0: (95, 261, 0, 0), 10: (53, 0, 1, 98.4), 30: (42, 0, 1, 98.7)},
+    "b20": {0: (43, 226, 0, 0), 10: (31, 0, 1, 95.6), 30: (10, 0, 1, 98.6)},
+}
+
+S_VALUES = (0, 10, 30)
+
+
+def run(scale=DEFAULT_SCALE, names=None, s_values=S_VALUES, kappa_s=3,
+        kappa_f=1, alpha=0.6, seed=0, include_trivial=False):
+    circuits = suite_circuits(scale=scale, names=names, seed=seed)
+    rows = []
+    for name, netlist in circuits:
+        for s_pairs in s_values:
+            locked = lock(netlist, TriLockConfig(
+                kappa_s=kappa_s, kappa_f=kappa_f, alpha=alpha,
+                s_pairs=s_pairs, seed=seed))
+            report = scc_report(locked, include_trivial=include_trivial)
+            paper = PAPER_TABLE2[name][s_pairs]
+            rows.append({
+                "circuit": name,
+                "S": s_pairs,
+                "O": report.o_sccs,
+                "E": report.e_sccs,
+                "M": report.m_sccs,
+                "PM": report.pm_percent,
+                "pairs_applied": len(locked.reencoded_pairs),
+                "paper_O/E/M/PM": "/".join(str(v) for v in paper),
+            })
+
+    def average_reduction(kind_index, s_pairs):
+        base = {row["circuit"]: row for row in rows if row["S"] == 0}
+        cur = [row for row in rows if row["S"] == s_pairs]
+        reductions = []
+        key = "O" if kind_index == 0 else "E"
+        for row in cur:
+            before = base[row["circuit"]][key]
+            if before:
+                reductions.append(1 - row[key] / before)
+        return 100 * sum(reductions) / len(reductions) if reductions else 0.0
+
+    notes = []
+    for s_pairs in s_values:
+        if s_pairs == 0:
+            continue
+        notes.append(
+            f"S={s_pairs}: O-SCCs reduced {average_reduction(0, s_pairs):.1f}%"
+            f", E-SCCs reduced {average_reduction(1, s_pairs):.1f}% on "
+            "average (paper: 71.71%/100% at S=10, 83.80%/100% at S=30)")
+    notes.append(
+        "absolute SCC counts depend on circuit scale and the authors' "
+        "unpublished FSM microarchitecture; the structure (S=0 separable, "
+        "S>0 one dominant M-SCC with PM->100) is the reproduced claim")
+    return ExperimentResult(
+        experiment="table2",
+        title="Removal-attack resilience of TriLock",
+        parameters={"kappa_s": kappa_s, "kappa_f": kappa_f, "alpha": alpha,
+                    "scale": scale},
+        rows=rows,
+        notes=notes,
+    )

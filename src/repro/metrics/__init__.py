@@ -1,0 +1,27 @@
+"""Security and cost metrics: corruptibility, resilience, overhead."""
+
+from repro.metrics.corruptibility import (
+    PAPER_FC_SAMPLES,
+    average_simulated_fc,
+    exhaustive_fc,
+    paper_depth_range,
+    simulate_fc,
+)
+from repro.metrics.overhead import locking_overhead
+from repro.metrics.resilience import (
+    ResilienceMeasurement,
+    extrapolated_resilience,
+    measure_resilience,
+)
+
+__all__ = [
+    "PAPER_FC_SAMPLES",
+    "ResilienceMeasurement",
+    "average_simulated_fc",
+    "exhaustive_fc",
+    "extrapolated_resilience",
+    "locking_overhead",
+    "measure_resilience",
+    "paper_depth_range",
+    "simulate_fc",
+]

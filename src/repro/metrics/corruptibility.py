@@ -1,0 +1,65 @@
+"""Functional corruptibility (FC) measurement — Eq. (1).
+
+The paper simulates FC with 800 random input/key samples in VCS; here the
+same estimator runs bit-parallel: all samples are packed into one
+sequential run of the locked netlist plus one run of the oracle.
+"""
+
+from __future__ import annotations
+
+from statistics import mean
+
+from repro.core.error_tables import measured_error_table
+from repro.errors import SimulationError
+from repro.sim.bitvec import mask_for
+from repro.sim.random_vectors import make_rng, random_input_words
+from repro.sim.seq import SequentialSimulator
+
+#: The paper's sample count ("FC is simulated with 800 random inputs and
+#: keys using Synopsys VCS").
+PAPER_FC_SAMPLES = 800
+
+
+def simulate_fc(locked, depth, n_samples=PAPER_FC_SAMPLES, seed=0):
+    """Sampled ``FC_b``: fraction of random (input, key) pairs that corrupt
+    at least one output in the ``depth``-cycle post-key window."""
+    if depth < 1:
+        raise SimulationError("FC depth must be >= 1")
+    rng = make_rng(("fc", seed))
+    kappa = locked.config.kappa
+    inputs = locked.netlist.inputs
+
+    # Uniform (i, k) sampling == uniform stimulus over κ+depth cycles.
+    stimulus = [random_input_words(rng, inputs, n_samples)
+                for _ in range(kappa + depth)]
+    locked_outputs, _ = SequentialSimulator(locked.netlist).run(
+        stimulus, n_samples)
+    oracle_outputs, _ = SequentialSimulator(locked.original).run(
+        stimulus[kappa:], n_samples)
+
+    mismatch = 0
+    for cycle in range(depth):
+        for locked_word, oracle_word in zip(
+                locked_outputs[kappa + cycle], oracle_outputs[cycle]):
+            mismatch |= locked_word ^ oracle_word
+    mismatch &= mask_for(n_samples)
+    return mismatch.bit_count() / n_samples
+
+
+def average_simulated_fc(locked, depths, n_samples=PAPER_FC_SAMPLES, seed=0):
+    """Mean sampled FC over several unrolling depths (Fig. 7 aggregates
+    ``b ∈ [κs, κs+5]``)."""
+    return mean(
+        simulate_fc(locked, depth, n_samples=n_samples, seed=seed + index)
+        for index, depth in enumerate(depths)
+    )
+
+
+def paper_depth_range(kappa_s, span=5):
+    """Fig. 7's depth sweep: ``b`` from ``κs`` to ``κs + span``."""
+    return list(range(kappa_s, kappa_s + span + 1))
+
+
+def exhaustive_fc(locked, depth):
+    """Exact FC by exhaustive error-table enumeration (small circuits)."""
+    return measured_error_table(locked, depth).fc()

@@ -1,0 +1,11 @@
+"""Locking-overhead measurement (Fig. 6): ADP of locked vs original."""
+
+from __future__ import annotations
+
+from repro.tech.report import overhead
+
+
+def locking_overhead(locked, library=None, power_seed=0):
+    """Area/delay/power overhead of a :class:`LockedCircuit`."""
+    return overhead(locked.original, locked.netlist, library=library,
+                    power_seed=power_seed)

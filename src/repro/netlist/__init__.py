@@ -1,0 +1,28 @@
+"""Gate-level netlist IR: gates, netlists, ``.bench`` I/O, builders, passes."""
+
+from repro.netlist.bench_io import dump_bench, dumps_bench, load_bench, loads_bench
+from repro.netlist.builder import LogicBuilder
+from repro.netlist.gates import Flop, Gate, GateOp, evaluate_bools, evaluate_words
+from repro.netlist.netlist import Netlist
+from repro.netlist.transform import merged, relabelled, simplified, specialise_on_inputs
+from repro.netlist.verilog_io import dump_verilog, dumps_verilog
+
+__all__ = [
+    "Flop",
+    "Gate",
+    "GateOp",
+    "LogicBuilder",
+    "Netlist",
+    "dump_bench",
+    "dump_verilog",
+    "dumps_bench",
+    "dumps_verilog",
+    "evaluate_bools",
+    "evaluate_words",
+    "load_bench",
+    "loads_bench",
+    "merged",
+    "relabelled",
+    "simplified",
+    "specialise_on_inputs",
+]

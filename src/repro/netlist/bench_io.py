@@ -1,0 +1,153 @@
+"""ISCAS'89 ``.bench`` reader and writer.
+
+The ``.bench`` dialect accepted here is the one used by the ISCAS'89 and
+ITC'99 (re-released) benchmark sets::
+
+    # comment
+    INPUT(G0)
+    OUTPUT(G17)
+    G7 = DFF(G13)
+    G8 = AND(G14, G6)
+
+Operator aliases: ``BUFF``/``BUF``, ``CONST0``/``GND``, ``CONST1``/``VDD``.
+Parsing is case-insensitive on keywords and preserves net-name case.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import BenchFormatError
+from repro.netlist.gates import GateOp
+from repro.netlist.netlist import Netlist
+
+_LINE_RE = re.compile(
+    r"^\s*(?P<out>[^\s=()]+)\s*=\s*(?P<op>[A-Za-z01]+)\s*\((?P<args>[^)]*)\)\s*$"
+)
+_IO_RE = re.compile(r"^\s*(?P<kind>INPUT|OUTPUT)\s*\(\s*(?P<net>[^\s()]+)\s*\)\s*$", re.I)
+
+_OP_ALIASES = {
+    "AND": GateOp.AND,
+    "NAND": GateOp.NAND,
+    "OR": GateOp.OR,
+    "NOR": GateOp.NOR,
+    "XOR": GateOp.XOR,
+    "XNOR": GateOp.XNOR,
+    "NOT": GateOp.NOT,
+    "INV": GateOp.NOT,
+    "BUF": GateOp.BUF,
+    "BUFF": GateOp.BUF,
+    "CONST0": GateOp.CONST0,
+    "GND": GateOp.CONST0,
+    "CONST1": GateOp.CONST1,
+    "VDD": GateOp.CONST1,
+}
+
+
+def loads_bench(text, name="bench"):
+    """Parse ``.bench`` text into a validated :class:`Netlist`."""
+    netlist = Netlist(name)
+    pending_outputs = []
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+
+        io_match = _IO_RE.match(line)
+        if io_match:
+            net = io_match.group("net")
+            if io_match.group("kind").upper() == "INPUT":
+                try:
+                    netlist.add_input(net)
+                except Exception as exc:
+                    raise BenchFormatError(str(exc), line_no) from exc
+            else:
+                pending_outputs.append((net, line_no))
+            continue
+
+        gate_match = _LINE_RE.match(line)
+        if gate_match is None:
+            raise BenchFormatError(f"unrecognised statement: {line!r}", line_no)
+
+        out = gate_match.group("out")
+        op_text = gate_match.group("op").upper()
+        args = [a.strip() for a in gate_match.group("args").split(",") if a.strip()]
+
+        if op_text == "DFF":
+            if len(args) != 1:
+                raise BenchFormatError(f"DFF takes one input, got {len(args)}", line_no)
+            try:
+                netlist.add_flop(out, args[0])
+            except Exception as exc:
+                raise BenchFormatError(str(exc), line_no) from exc
+            continue
+
+        op = _OP_ALIASES.get(op_text)
+        if op is None:
+            raise BenchFormatError(f"unknown operator {op_text!r}", line_no)
+        try:
+            netlist.add_gate(out, op, args)
+        except Exception as exc:
+            raise BenchFormatError(str(exc), line_no) from exc
+
+    for net, line_no in pending_outputs:
+        if not netlist.is_driven(net):
+            raise BenchFormatError(f"OUTPUT({net}) has no driver", line_no)
+        netlist.add_output(net)
+
+    try:
+        netlist.validate()
+    except Exception as exc:
+        raise BenchFormatError(f"invalid netlist: {exc}") from exc
+    return netlist
+
+
+def load_bench(path, name=None):
+    """Read a ``.bench`` file from ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    if name is None:
+        name = str(path).rsplit("/", 1)[-1].removesuffix(".bench")
+    return loads_bench(text, name=name)
+
+
+_WRITE_OPS = {
+    GateOp.AND: "AND",
+    GateOp.NAND: "NAND",
+    GateOp.OR: "OR",
+    GateOp.NOR: "NOR",
+    GateOp.XOR: "XOR",
+    GateOp.XNOR: "XNOR",
+    GateOp.NOT: "NOT",
+    GateOp.BUF: "BUFF",
+    GateOp.CONST0: "CONST0",
+    GateOp.CONST1: "CONST1",
+}
+
+
+def dumps_bench(netlist):
+    """Serialise a netlist to canonical ``.bench`` text."""
+    lines = [f"# {netlist.name}"]
+    stats = netlist.stats()
+    lines.append(
+        f"# {stats['inputs']} inputs, {stats['outputs']} outputs, "
+        f"{stats['flops']} flops, {stats['gates']} gates"
+    )
+    for net in netlist.inputs:
+        lines.append(f"INPUT({net})")
+    for net in netlist.outputs:
+        lines.append(f"OUTPUT({net})")
+    for q, flop in sorted(netlist.flops.items()):
+        lines.append(f"{q} = DFF({flop.d})")
+    for net in netlist.topo_order():
+        gate = netlist.gate(net)
+        args = ", ".join(gate.inputs)
+        lines.append(f"{net} = {_WRITE_OPS[gate.op]}({args})")
+    return "\n".join(lines) + "\n"
+
+
+def dump_bench(netlist, path):
+    """Write a netlist to ``path`` in ``.bench`` format."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps_bench(netlist))

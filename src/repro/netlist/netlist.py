@@ -1,0 +1,335 @@
+"""The sequential gate-level netlist IR used throughout the library.
+
+A :class:`Netlist` is a set of named nets, each driven by exactly one of:
+
+* a primary input,
+* a :class:`~repro.netlist.gates.Gate` (combinational), or
+* a :class:`~repro.netlist.gates.Flop` (the net is the flop's Q output).
+
+Primary outputs are references to driven nets. The class enforces the
+single-driver rule at construction time and offers the structural queries
+(topological order, fanin cones, register support) that the simulator, the
+CNF encoder, the locker, and the attacks all share.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import CombinationalCycleError, NetlistError
+from repro.netlist.gates import Flop, Gate, GateOp
+
+
+class Netlist:
+    """Mutable sequential netlist with single-driver nets."""
+
+    def __init__(self, name="top"):
+        self.name = name
+        self._inputs = []
+        self._input_set = set()
+        self._outputs = []
+        self._gates = {}
+        self._flops = {}
+        self._topo_cache = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def inputs(self):
+        """Ordered tuple of primary input nets."""
+        return tuple(self._inputs)
+
+    @property
+    def outputs(self):
+        """Ordered tuple of primary output nets (may repeat a net)."""
+        return tuple(self._outputs)
+
+    @property
+    def gates(self):
+        """Read-only view: driven net -> :class:`Gate`."""
+        return dict(self._gates)
+
+    @property
+    def flops(self):
+        """Read-only view: Q net -> :class:`Flop`."""
+        return dict(self._flops)
+
+    def gate(self, net):
+        """The gate driving ``net`` (KeyError if not gate-driven)."""
+        return self._gates[net]
+
+    def flop(self, net):
+        """The flop whose Q is ``net`` (KeyError if not flop-driven)."""
+        return self._flops[net]
+
+    def is_input(self, net):
+        return net in self._input_set
+
+    def is_gate(self, net):
+        return net in self._gates
+
+    def is_flop(self, net):
+        return net in self._flops
+
+    def is_driven(self, net):
+        return net in self._input_set or net in self._gates or net in self._flops
+
+    def nets(self):
+        """Every driven net in the netlist."""
+        seen = list(self._inputs)
+        seen.extend(self._gates)
+        seen.extend(self._flops)
+        return seen
+
+    def num_gates(self):
+        return len(self._gates)
+
+    def num_flops(self):
+        return len(self._flops)
+
+    def stats(self):
+        """Summary dict: interface widths and logic size."""
+        return {
+            "name": self.name,
+            "inputs": len(self._inputs),
+            "outputs": len(self._outputs),
+            "flops": len(self._flops),
+            "gates": len(self._gates),
+        }
+
+    def __repr__(self):
+        s = self.stats()
+        return (
+            f"Netlist({s['name']!r}, pi={s['inputs']}, po={s['outputs']}, "
+            f"ff={s['flops']}, gates={s['gates']})"
+        )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _check_fresh(self, net):
+        if not isinstance(net, str) or not net:
+            raise NetlistError(f"net name must be a non-empty str, got {net!r}")
+        if self.is_driven(net):
+            raise NetlistError(f"net {net!r} already has a driver")
+
+    def add_input(self, net):
+        """Declare ``net`` as a primary input; returns the net name."""
+        self._check_fresh(net)
+        self._inputs.append(net)
+        self._input_set.add(net)
+        self._topo_cache = None
+        return net
+
+    def add_output(self, net):
+        """Mark an existing (or later-driven) net as a primary output."""
+        if not isinstance(net, str) or not net:
+            raise NetlistError(f"output net must be a non-empty str, got {net!r}")
+        self._outputs.append(net)
+        return net
+
+    def clear_outputs(self):
+        """Remove all primary-output markers (drivers stay in place)."""
+        self._outputs = []
+
+    def set_output(self, position, net):
+        """Re-point output ``position`` at a different net (order kept)."""
+        if not 0 <= position < len(self._outputs):
+            raise NetlistError(f"output position {position} out of range")
+        if not isinstance(net, str) or not net:
+            raise NetlistError(f"output net must be a non-empty str, got {net!r}")
+        self._outputs[position] = net
+
+    def add_gate(self, net, op, inputs=()):
+        """Drive ``net`` with ``op(inputs)``; returns the net name."""
+        self._check_fresh(net)
+        self._gates[net] = Gate(op, tuple(inputs))
+        self._topo_cache = None
+        return net
+
+    def add_flop(self, q, d, init=False):
+        """Drive ``q`` with a flop loading ``d``; returns the Q net name."""
+        self._check_fresh(q)
+        self._flops[q] = Flop(d, init)
+        self._topo_cache = None
+        return q
+
+    def replace_gate(self, net, op, inputs=()):
+        """Swap the gate driving ``net`` (net must be gate-driven)."""
+        if net not in self._gates:
+            raise NetlistError(f"net {net!r} is not gate-driven")
+        self._gates[net] = Gate(op, tuple(inputs))
+        self._topo_cache = None
+
+    def replace_flop_d(self, q, d):
+        """Re-point flop ``q``'s D input at net ``d``."""
+        if q not in self._flops:
+            raise NetlistError(f"net {q!r} is not flop-driven")
+        self._flops[q] = Flop(d, self._flops[q].init)
+        self._topo_cache = None
+
+    def remove_flop(self, q):
+        """Delete flop ``q`` (the Q net becomes undriven)."""
+        if q not in self._flops:
+            raise NetlistError(f"net {q!r} is not flop-driven")
+        del self._flops[q]
+        self._topo_cache = None
+
+    def remove_gate(self, net):
+        """Delete the gate driving ``net`` (the net becomes undriven)."""
+        if net not in self._gates:
+            raise NetlistError(f"net {net!r} is not gate-driven")
+        del self._gates[net]
+        self._topo_cache = None
+
+    # ------------------------------------------------------------------
+    # Structural queries
+    # ------------------------------------------------------------------
+    def referenced_nets(self):
+        """Every net that appears as a gate input, flop D, or output."""
+        referenced = set()
+        for gate in self._gates.values():
+            referenced.update(gate.inputs)
+        for flop in self._flops.values():
+            referenced.add(flop.d)
+        referenced.update(self._outputs)
+        return referenced
+
+    def undriven_nets(self):
+        """Referenced nets without a driver (empty for a valid netlist)."""
+        return {net for net in self.referenced_nets() if not self.is_driven(net)}
+
+    def validate(self):
+        """Raise :class:`NetlistError` on dangling nets or comb cycles."""
+        dangling = self.undriven_nets()
+        if dangling:
+            preview = ", ".join(sorted(dangling)[:8])
+            raise NetlistError(f"undriven nets: {preview}")
+        self.topo_order()  # raises CombinationalCycleError on a cycle
+        return self
+
+    def topo_order(self):
+        """Gate nets in combinational topological order (cached).
+
+        Primary inputs and flop Q nets are sources and are not listed; the
+        order is valid for single-pass evaluation of all gates.
+        """
+        if self._topo_cache is not None:
+            return self._topo_cache
+
+        indegree = {}
+        consumers = {}
+        for net, gate in self._gates.items():
+            count = 0
+            for src in gate.inputs:
+                if src in self._gates:
+                    count += 1
+                    consumers.setdefault(src, []).append(net)
+            indegree[net] = count
+
+        ready = deque(net for net, count in indegree.items() if count == 0)
+        order = []
+        while ready:
+            net = ready.popleft()
+            order.append(net)
+            for sink in consumers.get(net, ()):
+                indegree[sink] -= 1
+                if indegree[sink] == 0:
+                    ready.append(sink)
+
+        if len(order) != len(self._gates):
+            stuck = [net for net, count in indegree.items() if count > 0]
+            raise CombinationalCycleError(sorted(stuck))
+        self._topo_cache = order
+        return order
+
+    def fanout_map(self):
+        """Map net -> list of gate/flop nets that consume it."""
+        fanout = {}
+        for net, gate in self._gates.items():
+            for src in gate.inputs:
+                fanout.setdefault(src, []).append(net)
+        for q, flop in self._flops.items():
+            fanout.setdefault(flop.d, []).append(q)
+        return fanout
+
+    def combinational_fanin(self, nets):
+        """Transitive combinational fanin of ``nets``.
+
+        Returns ``(cone_gates, sources)`` where ``cone_gates`` is the set of
+        gate-driven nets in the cone and ``sources`` the set of non-gate
+        nets (primary inputs / flop Qs) the cone reads.
+        """
+        cone = set()
+        sources = set()
+        stack = list(nets)
+        while stack:
+            net = stack.pop()
+            if net in self._gates:
+                if net in cone:
+                    continue
+                cone.add(net)
+                stack.extend(self._gates[net].inputs)
+            elif self.is_driven(net):
+                sources.add(net)
+            else:
+                raise NetlistError(f"undriven net in fanin traversal: {net!r}")
+        return cone, sources
+
+    def register_support(self, net):
+        """Flop Q nets in the combinational fanin cone of ``net``."""
+        _, sources = self.combinational_fanin([net])
+        return {src for src in sources if src in self._flops}
+
+    def logic_levels(self):
+        """Map gate net -> combinational depth (sources are level 0)."""
+        levels = {}
+        for net in self.topo_order():
+            gate = self._gates[net]
+            if gate.op in (GateOp.CONST0, GateOp.CONST1):
+                levels[net] = 0
+                continue
+            depth = 0
+            for src in gate.inputs:
+                depth = max(depth, levels.get(src, 0))
+            levels[net] = depth + 1
+        return levels
+
+    # ------------------------------------------------------------------
+    # Copies and renaming
+    # ------------------------------------------------------------------
+    def copy(self, name=None):
+        """Deep-enough copy (gates/flops are immutable value objects)."""
+        dup = Netlist(name if name is not None else self.name)
+        dup._inputs = list(self._inputs)
+        dup._input_set = set(self._input_set)
+        dup._outputs = list(self._outputs)
+        dup._gates = dict(self._gates)
+        dup._flops = dict(self._flops)
+        return dup
+
+    def renamed(self, mapping, name=None):
+        """Copy with every net renamed through ``mapping`` (others kept).
+
+        ``mapping`` must be injective on the nets it covers; collisions with
+        unmapped nets raise :class:`NetlistError`.
+        """
+        def translate(net):
+            return mapping.get(net, net)
+
+        dup = Netlist(name if name is not None else self.name)
+        for net in self._inputs:
+            dup.add_input(translate(net))
+        for net, gate in self._gates.items():
+            dup.add_gate(translate(net), gate.op, [translate(s) for s in gate.inputs])
+        for q, flop in self._flops.items():
+            dup.add_flop(translate(q), translate(flop.d), flop.init)
+        for net in self._outputs:
+            dup.add_output(translate(net))
+        return dup
+
+    def with_prefix(self, prefix, name=None):
+        """Copy with ``prefix`` prepended to every net name."""
+        mapping = {net: prefix + net for net in self.nets()}
+        return self.renamed(mapping, name=name)

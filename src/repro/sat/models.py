@@ -1,0 +1,35 @@
+"""Model enumeration on top of the CDCL solver."""
+
+from __future__ import annotations
+
+from repro.sat.solver import Solver
+
+
+def enumerate_models(cnf, project_to=None, limit=None):
+    """Yield models of ``cnf`` as dicts var->bool.
+
+    ``project_to`` restricts both the reported variables and the blocking
+    clauses to that variable subset (projected model enumeration), which is
+    how key-space enumeration is done in the attack tests. ``limit`` caps
+    the number of models produced.
+    """
+    solver = Solver()
+    if not solver.add_cnf(cnf):
+        return
+    variables = sorted(project_to) if project_to is not None \
+        else list(range(1, cnf.num_vars + 1))
+    produced = 0
+    while limit is None or produced < limit:
+        if not solver.solve():
+            return
+        model = {var: solver.model_value(var) for var in variables}
+        yield dict(model)
+        produced += 1
+        blocking = [(-var if model[var] else var) for var in variables]
+        if not blocking or not solver.add_clause(blocking):
+            return
+
+
+def count_models(cnf, project_to=None, limit=None):
+    """Number of (projected) models, up to ``limit``."""
+    return sum(1 for _ in enumerate_models(cnf, project_to, limit))

@@ -1,0 +1,84 @@
+"""Bit-parallel combinational evaluation.
+
+:class:`CombSimulator` compiles a netlist's topological order once and then
+evaluates any number of pattern-packed stimulus words against it. Flop Q
+nets are treated as additional sources, so the same engine serves purely
+combinational circuits, unrolled circuits, and one clock phase of the
+sequential simulator.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.netlist.gates import GateOp
+from repro.sim.bitvec import mask_for
+
+
+class CombSimulator:
+    """Single-pass evaluator over a fixed netlist."""
+
+    def __init__(self, netlist):
+        netlist.validate()
+        self.netlist = netlist
+        self._sources = list(netlist.inputs) + list(netlist.flops)
+        # Pre-compile (net, op, inputs) triples in evaluation order.
+        self._program = [
+            (net, netlist.gate(net).op, netlist.gate(net).inputs)
+            for net in netlist.topo_order()
+        ]
+
+    @property
+    def sources(self):
+        """Nets that must be supplied: primary inputs then flop Qs."""
+        return tuple(self._sources)
+
+    def evaluate(self, source_words, n_patterns):
+        """Evaluate all gates; returns ``{net: word}`` for every driven net.
+
+        ``source_words`` must assign a word to every primary input and flop
+        Q net. Bits above ``n_patterns`` are ignored (masked).
+        """
+        mask = mask_for(n_patterns)
+        values = {}
+        for net in self._sources:
+            try:
+                values[net] = source_words[net] & mask
+            except KeyError:
+                raise SimulationError(f"missing stimulus for source net {net!r}")
+
+        for net, op, inputs in self._program:
+            if op is GateOp.CONST0:
+                values[net] = 0
+            elif op is GateOp.CONST1:
+                values[net] = mask
+            elif op is GateOp.BUF:
+                values[net] = values[inputs[0]]
+            elif op is GateOp.NOT:
+                values[net] = ~values[inputs[0]] & mask
+            elif op is GateOp.AND or op is GateOp.NAND:
+                acc = mask
+                for src in inputs:
+                    acc &= values[src]
+                values[net] = acc if op is GateOp.AND else ~acc & mask
+            elif op is GateOp.OR or op is GateOp.NOR:
+                acc = 0
+                for src in inputs:
+                    acc |= values[src]
+                values[net] = acc if op is GateOp.OR else ~acc & mask
+            else:  # XOR / XNOR
+                acc = 0
+                for src in inputs:
+                    acc ^= values[src]
+                values[net] = acc if op is GateOp.XOR else ~acc & mask
+        return values
+
+    def evaluate_outputs(self, source_words, n_patterns):
+        """Words for the primary outputs only, in declaration order."""
+        values = self.evaluate(source_words, n_patterns)
+        return [values[net] for net in self.netlist.outputs]
+
+    def evaluate_pattern(self, assignment):
+        """Single-pattern convenience: ``{net: bool} -> {net: bool}``."""
+        words = {net: (1 if value else 0) for net, value in assignment.items()}
+        values = self.evaluate(words, 1)
+        return {net: bool(word) for net, word in values.items()}

@@ -1,0 +1,28 @@
+"""Technology model: cell library, timing, power, overhead reports."""
+
+from repro.tech.library import DEFAULT_LIBRARY, CellSpec, Library, MappedGate
+from repro.tech.power import (
+    PowerReport,
+    cell_area,
+    leakage_power_nw,
+    simulate_power,
+)
+from repro.tech.report import AdpReport, OverheadReport, measure_adp, overhead
+from repro.tech.timing import arrival_times, critical_path_delay
+
+__all__ = [
+    "AdpReport",
+    "CellSpec",
+    "DEFAULT_LIBRARY",
+    "Library",
+    "MappedGate",
+    "OverheadReport",
+    "PowerReport",
+    "arrival_times",
+    "cell_area",
+    "critical_path_delay",
+    "leakage_power_nw",
+    "measure_adp",
+    "overhead",
+    "simulate_power",
+]

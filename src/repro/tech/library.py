@@ -1,0 +1,162 @@
+"""Nangate-45nm-like standard-cell library model.
+
+The paper synthesises with Synopsys DC against the Nangate 45nm Open Cell
+Library; offline we model each cell with four scalars — area (µm²), pin-to-
+pin delay (ns), leakage power (nW), and dynamic energy per output toggle
+(fJ). The values below follow the typical-corner Nangate 45nm OCL X1-drive
+cells closely enough that *ratios* between netlists (all that Fig. 6
+reports) are meaningful; see DESIGN.md §4 for the substitution argument.
+
+Gates wider than the widest library cell are costed as the balanced tree
+of library cells a technology mapper would produce.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import TechError
+from repro.netlist.gates import GateOp
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One standard cell: area, delay, leakage, per-toggle energy."""
+
+    name: str
+    area_um2: float
+    delay_ns: float
+    leakage_nw: float
+    switch_energy_fj: float
+
+
+#: (op, arity) -> cell. Arity 2..4 for the AND/OR family, 2 for XOR family.
+_CELLS = {
+    (GateOp.NOT, 1): CellSpec("INV_X1", 0.532, 0.010, 1.16, 0.35),
+    (GateOp.BUF, 1): CellSpec("BUF_X1", 0.798, 0.021, 1.40, 0.60),
+    (GateOp.NAND, 2): CellSpec("NAND2_X1", 0.798, 0.012, 1.60, 0.53),
+    (GateOp.NAND, 3): CellSpec("NAND3_X1", 1.064, 0.016, 1.90, 0.78),
+    (GateOp.NAND, 4): CellSpec("NAND4_X1", 1.330, 0.019, 2.20, 1.02),
+    (GateOp.NOR, 2): CellSpec("NOR2_X1", 0.798, 0.014, 1.80, 0.55),
+    (GateOp.NOR, 3): CellSpec("NOR3_X1", 1.064, 0.022, 2.20, 0.81),
+    (GateOp.NOR, 4): CellSpec("NOR4_X1", 1.330, 0.029, 2.50, 1.07),
+    (GateOp.AND, 2): CellSpec("AND2_X1", 1.064, 0.022, 1.90, 0.72),
+    (GateOp.AND, 3): CellSpec("AND3_X1", 1.330, 0.025, 2.20, 0.95),
+    (GateOp.AND, 4): CellSpec("AND4_X1", 1.596, 0.028, 2.50, 1.18),
+    (GateOp.OR, 2): CellSpec("OR2_X1", 1.064, 0.024, 1.95, 0.74),
+    (GateOp.OR, 3): CellSpec("OR3_X1", 1.330, 0.028, 2.25, 0.97),
+    (GateOp.OR, 4): CellSpec("OR4_X1", 1.596, 0.031, 2.55, 1.20),
+    (GateOp.XOR, 2): CellSpec("XOR2_X1", 1.596, 0.035, 2.80, 1.50),
+    (GateOp.XNOR, 2): CellSpec("XNOR2_X1", 1.596, 0.036, 2.90, 1.52),
+}
+
+_DFF = CellSpec("DFF_X1", 4.522, 0.093, 5.80, 2.50)
+_DFF_SETUP_NS = 0.035
+
+#: Constant drivers are tie cells: tiny, leaky, never toggle.
+_TIE = CellSpec("TIE_X1", 0.266, 0.0, 0.60, 0.0)
+
+#: Widest AND/OR-family cell in the library.
+_MAX_SIMPLE_ARITY = 4
+
+#: De-inverted base op used to cost the inner tree of wide inverting gates.
+_TREE_BASE = {
+    GateOp.AND: GateOp.AND,
+    GateOp.NAND: GateOp.AND,
+    GateOp.OR: GateOp.OR,
+    GateOp.NOR: GateOp.OR,
+    GateOp.XOR: GateOp.XOR,
+    GateOp.XNOR: GateOp.XOR,
+}
+
+
+@dataclass(frozen=True)
+class MappedGate:
+    """Technology-mapped cost of one IR gate (possibly a cell tree)."""
+
+    cells: tuple  # CellSpec instances
+    area_um2: float
+    delay_ns: float
+    leakage_nw: float
+    switch_energy_fj: float
+
+
+class Library:
+    """Lookup/mapping interface over the embedded cell data."""
+
+    name = "nangate45_like"
+
+    def dff(self):
+        return _DFF
+
+    def dff_setup_ns(self):
+        return _DFF_SETUP_NS
+
+    def cell(self, name):
+        """Find a cell spec by name."""
+        for spec in list(_CELLS.values()) + [_DFF, _TIE]:
+            if spec.name == name:
+                return spec
+        raise TechError(f"unknown cell {name!r}")
+
+    def map_gate(self, op, arity):
+        """Map an IR gate to library cells; returns a :class:`MappedGate`.
+
+        AND/OR/NAND/NOR wider than 4 inputs and XOR/XNOR wider than 2 are
+        decomposed into balanced trees, the way a mapper would implement
+        them.
+        """
+        if op is GateOp.CONST0 or op is GateOp.CONST1:
+            return _single(_TIE)
+        if op in (GateOp.NOT, GateOp.BUF):
+            return _single(_CELLS[(op, 1)])
+
+        if op in (GateOp.XOR, GateOp.XNOR):
+            if arity < 2:
+                raise TechError(f"{op} arity {arity} invalid")
+            if arity == 2:
+                return _single(_CELLS[(op, 2)])
+            inner = _CELLS[(GateOp.XOR, 2)]
+            final = _CELLS[(op, 2)]
+            cells = (inner,) * (arity - 2) + (final,)
+            depth = math.ceil(math.log2(arity))
+            return _tree(cells, depth * inner.delay_ns)
+
+        if op in (GateOp.AND, GateOp.NAND, GateOp.OR, GateOp.NOR):
+            if arity < 2:
+                raise TechError(f"{op} arity {arity} invalid")
+            if arity <= _MAX_SIMPLE_ARITY:
+                return _single(_CELLS[(op, arity)])
+            base = _TREE_BASE[op]
+            node_count = math.ceil((arity - 1) / (_MAX_SIMPLE_ARITY - 1))
+            inner = _CELLS[(base, _MAX_SIMPLE_ARITY)]
+            final = _CELLS[(op, _MAX_SIMPLE_ARITY)]
+            cells = (inner,) * (node_count - 1) + (final,)
+            depth = math.ceil(math.log(arity, _MAX_SIMPLE_ARITY))
+            return _tree(cells, depth * inner.delay_ns)
+
+        raise TechError(f"cannot map operator {op}")  # pragma: no cover
+
+
+def _single(spec):
+    return MappedGate(
+        cells=(spec,),
+        area_um2=spec.area_um2,
+        delay_ns=spec.delay_ns,
+        leakage_nw=spec.leakage_nw,
+        switch_energy_fj=spec.switch_energy_fj,
+    )
+
+
+def _tree(cells, delay_ns):
+    return MappedGate(
+        cells=tuple(cells),
+        area_um2=sum(c.area_um2 for c in cells),
+        delay_ns=delay_ns,
+        leakage_nw=sum(c.leakage_nw for c in cells),
+        switch_energy_fj=sum(c.switch_energy_fj for c in cells),
+    )
+
+
+DEFAULT_LIBRARY = Library()

@@ -1,0 +1,105 @@
+"""Area and power accounting.
+
+Dynamic power comes from simulated switching activity: the circuit is run
+for a number of cycles on packed random stimulus, toggles are counted per
+net with bit-parallel XOR/popcount, and each toggle is charged the driving
+cell's per-toggle energy. Leakage is the sum of cell leakages. This is the
+activity-based estimate a gate-level power tool computes, minus wire
+capacitance (a common factor that cancels in overhead ratios).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.bitvec import mask_for
+from repro.sim.comb import CombSimulator
+from repro.sim.random_vectors import make_rng, random_input_words
+from repro.tech.library import DEFAULT_LIBRARY
+
+
+def cell_area(netlist, library=None):
+    """Total standard-cell area (µm²), flops included."""
+    library = library or DEFAULT_LIBRARY
+    total = 0.0
+    for gate in netlist.gates.values():
+        total += library.map_gate(gate.op, gate.arity).area_um2
+    total += netlist.num_flops() * library.dff().area_um2
+    return total
+
+
+def leakage_power_nw(netlist, library=None):
+    """Total leakage (nW)."""
+    library = library or DEFAULT_LIBRARY
+    total = 0.0
+    for gate in netlist.gates.values():
+        total += library.map_gate(gate.op, gate.arity).leakage_nw
+    total += netlist.num_flops() * library.dff().leakage_nw
+    return total
+
+
+@dataclass
+class PowerReport:
+    """Power split and the parameters that produced it."""
+
+    dynamic_uw: float
+    leakage_uw: float
+    cycles: int
+    patterns: int
+    clock_ns: float
+
+    @property
+    def total_uw(self):
+        return self.dynamic_uw + self.leakage_uw
+
+
+def simulate_power(netlist, library=None, cycles=32, patterns=64,
+                   clock_ns=2.0, seed=0):
+    """Activity-based power estimate (µW) at the given clock period.
+
+    Runs ``patterns`` parallel random traces for ``cycles`` cycles from
+    reset, counts toggles of every gate output and flop Q, and converts
+    per-toggle energies into average power.
+    """
+    library = library or DEFAULT_LIBRARY
+    netlist.validate()
+    rng = make_rng(seed)
+    sim = CombSimulator(netlist)
+    mask = mask_for(patterns)
+
+    energy_per_toggle = {}
+    for net, gate in netlist.gates.items():
+        energy_per_toggle[net] = \
+            library.map_gate(gate.op, gate.arity).switch_energy_fj
+    dff_energy = library.dff().switch_energy_fj
+
+    state = {q: (mask if flop.init else 0) for q, flop in netlist.flops.items()}
+    previous_values = None
+    total_energy_fj = 0.0
+
+    for _ in range(cycles):
+        source = dict(state)
+        source.update(random_input_words(rng, netlist.inputs, patterns))
+        values = sim.evaluate(source, patterns)
+        if previous_values is not None:
+            for net, energy in energy_per_toggle.items():
+                toggles = (values[net] ^ previous_values[net]).bit_count()
+                total_energy_fj += toggles * energy
+            for q in netlist.flops:
+                toggles = (source[q] ^ previous_state[q]).bit_count()
+                total_energy_fj += toggles * dff_energy
+        previous_values = values
+        previous_state = dict(state)
+        state = {q: values[flop.d] for q, flop in netlist.flops.items()}
+
+    observed_cycles = max(cycles - 1, 1)
+    window_ns = observed_cycles * clock_ns * patterns
+    dynamic_uw = total_energy_fj / window_ns  # fJ/ns == µW
+    leakage_uw = leakage_power_nw(netlist, library) * 1e-3
+    return PowerReport(
+        dynamic_uw=dynamic_uw,
+        leakage_uw=leakage_uw,
+        cycles=cycles,
+        patterns=patterns,
+        clock_ns=clock_ns,
+    )

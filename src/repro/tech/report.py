@@ -1,0 +1,74 @@
+"""Area/delay/power overhead reporting (the quantity Fig. 6 plots).
+
+Overheads are ratios: ``(locked - original) / original``. Both netlists
+are folded/swept first so the comparison mirrors post-synthesis netlists
+rather than raw construction output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netlist.transform import simplified
+from repro.tech.library import DEFAULT_LIBRARY
+from repro.tech.power import cell_area, simulate_power
+from repro.tech.timing import critical_path_delay
+
+
+@dataclass
+class AdpReport:
+    """Absolute metrics of one netlist."""
+
+    area_um2: float
+    delay_ns: float
+    power_uw: float
+
+
+@dataclass
+class OverheadReport:
+    """Relative area/delay/power overhead of ``locked`` over ``original``."""
+
+    original: AdpReport
+    locked: AdpReport
+    area_overhead: float
+    delay_overhead: float
+    power_overhead: float
+
+    def as_row(self):
+        return {
+            "area": self.area_overhead,
+            "delay": self.delay_overhead,
+            "power": self.power_overhead,
+        }
+
+
+def measure_adp(netlist, library=None, power_seed=0, presimplify=True):
+    """Absolute area (µm²), delay (ns), power (µW) of a netlist."""
+    library = library or DEFAULT_LIBRARY
+    measured = simplified(netlist) if presimplify else netlist
+    power = simulate_power(measured, library, seed=power_seed)
+    return AdpReport(
+        area_um2=cell_area(measured, library),
+        delay_ns=critical_path_delay(measured, library),
+        power_uw=power.total_uw,
+    )
+
+
+def overhead(original, locked, library=None, power_seed=0):
+    """ADP overhead of ``locked`` relative to ``original``."""
+    library = library or DEFAULT_LIBRARY
+    base = measure_adp(original, library, power_seed=power_seed)
+    cost = measure_adp(locked, library, power_seed=power_seed)
+    return OverheadReport(
+        original=base,
+        locked=cost,
+        area_overhead=_ratio(cost.area_um2, base.area_um2),
+        delay_overhead=_ratio(cost.delay_ns, base.delay_ns),
+        power_overhead=_ratio(cost.power_uw, base.power_uw),
+    )
+
+
+def _ratio(value, base):
+    if base == 0:
+        return 0.0
+    return (value - base) / base

@@ -1,0 +1,66 @@
+"""Static timing analysis over the cell model.
+
+Load-independent pin-to-pin delays (good enough for overhead ratios):
+arrival(PI) = 0, arrival(flop Q) = clk-to-Q, arrival(gate output) =
+max(input arrivals) + mapped delay. The reported critical path is the
+worst of (a) any flop D arrival plus setup and (b) any primary-output
+arrival — i.e. the minimum clock period of the design.
+"""
+
+from __future__ import annotations
+
+from repro.tech.library import DEFAULT_LIBRARY
+
+
+def arrival_times(netlist, library=None):
+    """Arrival time (ns) of every driven net."""
+    library = library or DEFAULT_LIBRARY
+    clk_to_q = library.dff().delay_ns
+    arrivals = {net: 0.0 for net in netlist.inputs}
+    for q in netlist.flops:
+        arrivals[q] = clk_to_q
+    for net in netlist.topo_order():
+        gate = netlist.gate(net)
+        mapped = library.map_gate(gate.op, gate.arity)
+        worst_input = max(
+            (arrivals[src] for src in gate.inputs), default=0.0
+        )
+        arrivals[net] = worst_input + mapped.delay_ns
+    return arrivals
+
+
+def critical_path_delay(netlist, library=None):
+    """Minimum clock period (ns) under the cell model."""
+    library = library or DEFAULT_LIBRARY
+    arrivals = arrival_times(netlist, library)
+    setup = library.dff_setup_ns()
+    worst = 0.0
+    for net in netlist.outputs:
+        worst = max(worst, arrivals[net])
+    for flop in netlist.flops.values():
+        worst = max(worst, arrivals[flop.d] + setup)
+    return worst
+
+
+def path_slack_histogram(netlist, period_ns, library=None, bins=10):
+    """Histogram of endpoint slacks against a target period (diagnostics)."""
+    library = library or DEFAULT_LIBRARY
+    arrivals = arrival_times(netlist, library)
+    setup = library.dff_setup_ns()
+    endpoints = [arrivals[net] for net in netlist.outputs]
+    endpoints += [arrivals[f.d] + setup for f in netlist.flops.values()]
+    if not endpoints:
+        return []
+    slacks = [period_ns - t for t in endpoints]
+    low, high = min(slacks), max(slacks)
+    if high == low:
+        return [(low, high, len(slacks))]
+    width = (high - low) / bins
+    histogram = []
+    for b in range(bins):
+        lo = low + b * width
+        hi = lo + width
+        count = sum(1 for s in slacks
+                    if lo <= s < hi or (b == bins - 1 and s == hi))
+        histogram.append((lo, hi, count))
+    return histogram

@@ -1,0 +1,5 @@
+"""Sequential-to-combinational unrolling."""
+
+from repro.unroll.unroller import UnrolledCircuit, unroll
+
+__all__ = ["UnrolledCircuit", "unroll"]

@@ -1,0 +1,137 @@
+"""Sequential-to-combinational unrolling (Fig. 1 of the paper).
+
+``unroll(netlist, b)`` produces the combinational circuit :math:`C_b` that
+replays ``b`` clock cycles of the sequential circuit: one copy of the
+combinational logic per cycle, flop Qs at cycle 0 tied to their reset
+values (or exposed as free inputs), and flop Qs at cycle ``c>0`` wired to
+the previous copy's D nets. Net ``x`` at cycle ``c`` is named ``x@c``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._naming import unrolled_name
+from repro.errors import UnrollError
+from repro.netlist.gates import GateOp
+from repro.netlist.netlist import Netlist
+
+
+@dataclass
+class UnrolledCircuit:
+    """An unrolled netlist plus the cycle-indexed interface map."""
+
+    netlist: Netlist
+    depth: int
+    source: Netlist
+    free_initial_state: bool
+    state_inputs: tuple = field(default=())
+
+    def input_net(self, net, cycle):
+        """Unrolled name of primary input ``net`` at ``cycle``."""
+        self._check(net in self.source.inputs, f"{net!r} is not an input")
+        self._check_cycle(cycle)
+        return unrolled_name(net, cycle)
+
+    def output_net(self, net, cycle):
+        """Unrolled name of primary output ``net`` at ``cycle``."""
+        self._check(net in self.source.outputs, f"{net!r} is not an output")
+        self._check_cycle(cycle)
+        return unrolled_name(net, cycle)
+
+    def inputs_at(self, cycle):
+        """All unrolled input nets of one cycle, in source order."""
+        self._check_cycle(cycle)
+        return [unrolled_name(net, cycle) for net in self.source.inputs]
+
+    def outputs_at(self, cycle):
+        """All unrolled output nets of one cycle, in source order."""
+        self._check_cycle(cycle)
+        return [unrolled_name(net, cycle) for net in self.source.outputs]
+
+    def all_outputs(self):
+        """Cycle-major list of every unrolled output net."""
+        nets = []
+        for cycle in range(self.depth):
+            nets.extend(self.outputs_at(cycle))
+        return nets
+
+    def _check_cycle(self, cycle):
+        self._check(0 <= cycle < self.depth,
+                    f"cycle {cycle} outside [0, {self.depth})")
+
+    @staticmethod
+    def _check(condition, message):
+        if not condition:
+            raise UnrollError(message)
+
+
+def unroll(netlist, depth, free_initial_state=False, name=None):
+    """Unroll ``netlist`` for ``depth`` cycles into a combinational circuit.
+
+    With ``free_initial_state`` the cycle-0 flop values become primary
+    inputs named ``{q}@init`` (in sorted flop order) instead of reset
+    constants — used for inductive checks and state-exploration attacks.
+    """
+    if depth <= 0:
+        raise UnrollError(f"unroll depth must be positive, got {depth}")
+    for net in netlist.nets():
+        if "@" in net:
+            raise UnrollError(f"net {net!r} already carries a cycle marker '@'")
+    netlist.validate()
+
+    result = Netlist(name if name is not None else f"{netlist.name}_x{depth}")
+
+    state_inputs = []
+    const_nets = {}
+
+    def constant(value):
+        if value not in const_nets:
+            net = f"__const{int(value)}"
+            result.add_gate(net, GateOp.CONST1 if value else GateOp.CONST0, ())
+            const_nets[value] = net
+        return const_nets[value]
+
+    # Cycle-0 state.
+    state = {}
+    if free_initial_state:
+        for q in sorted(netlist.flops):
+            free_net = f"{q}@init"
+            result.add_input(free_net)
+            state_inputs.append(free_net)
+            state[q] = free_net
+    else:
+        for q, flop in netlist.flops.items():
+            state[q] = constant(flop.init)
+
+    topo = netlist.topo_order()
+    for cycle in range(depth):
+        mapping = dict(state)
+        for net in netlist.inputs:
+            unrolled = unrolled_name(net, cycle)
+            result.add_input(unrolled)
+            mapping[net] = unrolled
+        for net in topo:
+            gate = netlist.gate(net)
+            unrolled = unrolled_name(net, cycle)
+            result.add_gate(
+                unrolled, gate.op, [mapping[src] for src in gate.inputs]
+            )
+            mapping[net] = unrolled
+        for net in netlist.outputs:
+            unrolled = unrolled_name(net, cycle)
+            if mapping[net] != unrolled and not result.is_driven(unrolled):
+                # Outputs fed by flop Qs (or reset constants) get a BUF
+                # alias so that ``o@c`` always names the cycle-c output.
+                result.add_gate(unrolled, GateOp.BUF, (mapping[net],))
+            result.add_output(unrolled)
+        state = {q: mapping[flop.d] for q, flop in netlist.flops.items()}
+
+    result.validate()
+    return UnrolledCircuit(
+        netlist=result,
+        depth=depth,
+        source=netlist,
+        free_initial_state=free_initial_state,
+        state_inputs=tuple(state_inputs),
+    )

@@ -1,0 +1,83 @@
+"""Tests for structural analysis helpers."""
+
+from repro.bench.iscas import load_embedded
+from repro.netlist import GateOp, Netlist
+from repro.netlist.analysis import (
+    cone_size,
+    constant_output_indices,
+    fanout_histogram,
+    gate_histogram,
+    interface_signature,
+    is_purely_combinational,
+    logic_depth,
+    max_fanout,
+    summarize,
+    transitive_register_fanin,
+)
+
+
+def chain_netlist(length=4):
+    netlist = Netlist("chain")
+    netlist.add_input("a")
+    previous = "a"
+    for index in range(length):
+        previous = netlist.add_gate(f"n{index}", GateOp.NOT, (previous,))
+    netlist.add_output(previous)
+    return netlist.validate()
+
+
+class TestHistograms:
+    def test_gate_histogram_s27(self):
+        histogram = gate_histogram(load_embedded("s27"))
+        assert histogram[GateOp.NOR] == 4
+        assert histogram[GateOp.NOT] == 2
+        assert sum(histogram.values()) == 10
+
+    def test_fanout(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        netlist.add_gate("x", GateOp.NOT, ("a",))
+        netlist.add_gate("y", GateOp.AND, ("a", "x"))
+        netlist.add_output("y")
+        assert max_fanout(netlist) == 2  # net 'a' feeds x and y
+        histogram = fanout_histogram(netlist)
+        assert histogram[2] == 1
+
+    def test_depth(self):
+        assert logic_depth(chain_netlist(5)) == 5
+        empty = Netlist()
+        empty.add_input("a")
+        empty.add_output("a")
+        assert logic_depth(empty) == 0
+
+
+class TestQueries:
+    def test_interface_signature(self):
+        netlist = load_embedded("s27")
+        inputs, outputs, flops = interface_signature(netlist)
+        assert inputs == ("G0", "G1", "G2", "G3")
+        assert outputs == ("G17",)
+        assert flops == ("G5", "G6", "G7")
+
+    def test_transitive_register_fanin(self):
+        netlist = load_embedded("s27")
+        assert "G5" in transitive_register_fanin(netlist, "G6")
+
+    def test_cone_size(self):
+        assert cone_size(chain_netlist(4), "n3") == 4
+
+    def test_purely_combinational(self):
+        assert is_purely_combinational(chain_netlist())
+        assert not is_purely_combinational(load_embedded("s27"))
+
+    def test_constant_outputs(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        netlist.add_gate("k", GateOp.CONST0, ())
+        netlist.add_output("a")
+        netlist.add_output("k")
+        assert constant_output_indices(netlist) == [1]
+
+    def test_summarize_mentions_shape(self):
+        text = summarize(load_embedded("s27"))
+        assert "PI=4" in text and "FF=3" in text and "depth=" in text

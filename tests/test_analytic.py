@@ -1,0 +1,115 @@
+"""Tests for the closed-form formulas against exhaustive enumeration."""
+
+import pytest
+
+from repro.core import (
+    ErrorSpec,
+    expected_runtime_extrapolation,
+    fc_max_trilock,
+    fc_naive_approx,
+    fc_naive_exact,
+    fc_trilock,
+    fc_trilock_exact,
+    n_errors_es,
+    naive_error_table,
+    ndip_naive,
+    ndip_trilock,
+    spec_error_table,
+)
+
+
+def spec(width=2, kappa_s=2, kappa_f=1, alpha=0.6, key_star=0b100101,
+         key_star_star=0b11):
+    return ErrorSpec(width=width, kappa_s=kappa_s, kappa_f=kappa_f,
+                     key_star=key_star, key_star_star=key_star_star,
+                     alpha=alpha)
+
+
+class TestNdip:
+    def test_eq6(self):
+        assert ndip_naive(2, 2) == 15
+        assert ndip_naive(1, 4) == 15
+        assert ndip_naive(3, 4) == 2**12 - 1
+
+    def test_eq10(self):
+        assert ndip_trilock(2, 2) == 16
+        assert ndip_trilock(3, 19) == 2**57
+
+    def test_table1_ndip_values(self):
+        """Reproduce the blue analytic entries of Table I."""
+        assert ndip_trilock(1, 19) == 524288          # s9234, κs=1
+        assert ndip_trilock(1, 13) == 8192            # s15850, κs=1
+        assert ndip_trilock(1, 11) == 2048            # s38584, κs=1
+        assert ndip_trilock(1, 5) == 32               # b12, κs=1
+        assert ndip_trilock(2, 5) == 1024             # b12, κs=2
+        assert ndip_trilock(3, 5) == 32768            # b12, κs=3
+
+
+class TestNaiveFc:
+    def test_eq7_exact_matches_table(self):
+        table = naive_error_table(kappa=2, width=2, key_star=0b0110, depth=2)
+        assert table.fc() == pytest.approx(fc_naive_exact(2, 2, b=2))
+
+    def test_approx_close_to_exact(self):
+        exact = fc_naive_exact(2, 2, b=3)
+        assert fc_naive_approx(2, 2) == pytest.approx(exact, rel=0.1)
+
+    def test_fig4a_tradeoff_relation(self):
+        # FC ≈ 1/(ndip+1): the Fig. 4(a) anti-correlation.
+        for kappa in range(1, 5):
+            assert fc_naive_approx(kappa, 4) == pytest.approx(
+                1.0 / (ndip_naive(kappa, 4) + 1))
+
+
+class TestTriLockFc:
+    def test_eq9_error_count(self):
+        s = spec()
+        table = spec_error_table(
+            ErrorSpec(width=2, kappa_s=2, kappa_f=1, key_star=s.key_star,
+                      key_star_star=0b11, alpha=1.0), depth=2)
+        # With alpha=1 every P entry errors; red count from Eq. 9 plus the
+        # full columns: check total against exact counting instead.
+        assert table.error_count() > n_errors_es(2, 1, 2, 2) // 2
+
+    def test_eq12_ceiling(self):
+        assert fc_max_trilock(1, 2) == pytest.approx(0.75)
+        assert fc_max_trilock(2, 2) == pytest.approx(1 - 1 / 16)
+
+    def test_eq15_tracks_exhaustive(self):
+        for alpha in (0.0, 0.3, 0.6, 0.9, 1.0):
+            s = spec(alpha=alpha)
+            table = spec_error_table(s, depth=2)
+            assert table.fc() == pytest.approx(
+                fc_trilock_exact(s, 2), abs=1e-12)
+            # Eq. 15 approximates the exact value within the paper's band.
+            assert abs(table.fc() - fc_trilock(alpha, 1, 2)) < 0.3
+
+    def test_fig3b_scenario_ceiling(self):
+        """Fig. 3(b): |I|=κs=b=2, κf=1 -> max FC 0.75 when all P selected."""
+        s = spec(alpha=1.0)
+        assert fc_trilock(1.0, 1, 2) == pytest.approx(0.75)
+        exact = fc_trilock_exact(s, 2)
+        assert 0.70 < exact <= 0.78
+
+    def test_exact_fc_independent_of_depth_for_ef(self):
+        s = spec(alpha=0.6)
+        shallow = fc_trilock_exact(s, 2)
+        deep = fc_trilock_exact(s, 5)
+        # EF dominates; ES contribution shrinks with depth.
+        assert deep == pytest.approx(shallow, abs=0.1)
+
+
+class TestExtrapolation:
+    def test_scales_linearly(self):
+        predicted = expected_runtime_extrapolation(
+            finished=[(32, 64.0)], targets=[1024])
+        assert predicted == [2048.0]
+
+    def test_uses_worst_rate(self):
+        predicted = expected_runtime_extrapolation(
+            finished=[(32, 32.0), (64, 128.0)], targets=[100])
+        assert predicted == [200.0]
+
+    def test_needs_data(self):
+        with pytest.raises(ValueError):
+            expected_runtime_extrapolation(finished=[], targets=[10])

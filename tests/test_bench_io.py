@@ -1,0 +1,91 @@
+"""Tests for the ISCAS .bench reader/writer, anchored on the real s27."""
+
+import pytest
+
+from repro.errors import BenchFormatError
+from repro.netlist import GateOp, dumps_bench, loads_bench
+from repro.bench.iscas import S27_BENCH, load_embedded
+
+
+class TestParseS27:
+    def test_interface(self):
+        netlist = load_embedded("s27")
+        assert netlist.inputs == ("G0", "G1", "G2", "G3")
+        assert netlist.outputs == ("G17",)
+        assert set(netlist.flops) == {"G5", "G6", "G7"}
+        assert netlist.num_gates() == 10
+
+    def test_gate_details(self):
+        netlist = load_embedded("s27")
+        assert netlist.gate("G9").op is GateOp.NAND
+        assert netlist.gate("G9").inputs == ("G16", "G15")
+        assert netlist.flop("G7").d == "G13"
+
+    def test_roundtrip_preserves_structure(self):
+        original = load_embedded("s27")
+        reparsed = loads_bench(dumps_bench(original), name="s27")
+        assert reparsed.inputs == original.inputs
+        assert reparsed.outputs == original.outputs
+        assert reparsed.flops == original.flops
+        assert reparsed.gates == original.gates
+
+
+class TestDialect:
+    def test_comments_blank_lines_and_case(self):
+        text = """
+        # leading comment
+        input(a)
+        INPUT(b)
+
+        OUTPUT(y)
+        y = nand(a, b)   # trailing comment
+        """
+        netlist = loads_bench(text)
+        assert netlist.gate("y").op is GateOp.NAND
+
+    def test_buff_and_const_aliases(self):
+        text = """
+        INPUT(a)
+        OUTPUT(y)
+        OUTPUT(k)
+        y = BUFF(a)
+        k = VDD()
+        """
+        netlist = loads_bench(text)
+        assert netlist.gate("y").op is GateOp.BUF
+        assert netlist.gate("k").op is GateOp.CONST1
+
+    def test_spacing_insensitive(self):
+        netlist = loads_bench("INPUT( a )\nOUTPUT( y )\ny=AND( a , a )")
+        assert netlist.gate("y").inputs == ("a", "a")
+
+
+class TestErrors:
+    def test_unknown_operator(self):
+        with pytest.raises(BenchFormatError, match="MAJ"):
+            loads_bench("INPUT(a)\ny = MAJ(a, a, a)")
+
+    def test_garbage_line_reports_number(self):
+        with pytest.raises(BenchFormatError, match="line 2"):
+            loads_bench("INPUT(a)\nthis is not bench")
+
+    def test_dff_arity(self):
+        with pytest.raises(BenchFormatError, match="DFF"):
+            loads_bench("INPUT(a)\nq = DFF(a, a)")
+
+    def test_undriven_output(self):
+        with pytest.raises(BenchFormatError, match="no driver"):
+            loads_bench("INPUT(a)\nOUTPUT(ghost)")
+
+    def test_duplicate_driver(self):
+        with pytest.raises(BenchFormatError):
+            loads_bench("INPUT(a)\nx = NOT(a)\nx = BUFF(a)")
+
+    def test_dangling_gate_input(self):
+        with pytest.raises(BenchFormatError, match="invalid netlist"):
+            loads_bench("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)")
+
+
+def test_s27_text_is_stable():
+    # The embedded golden must never drift: fingerprint its gate count.
+    assert S27_BENCH.count("=") == 13  # 10 gates + 3 DFFs

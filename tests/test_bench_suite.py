@@ -1,0 +1,131 @@
+"""Tests for the synthetic benchmark generator and the paper suite."""
+
+import networkx as nx
+import pytest
+
+from repro.bench import (
+    CircuitSpec,
+    TABLE1_CIRCUITS,
+    available_benchmarks,
+    generate,
+    load_benchmark,
+    load_suite_circuit,
+    suite_names,
+    suite_spec,
+)
+from repro.errors import BenchmarkError
+from repro.sim import SequentialSimulator, make_rng, random_vectors
+
+
+def rcg_edges(netlist):
+    """Register connection graph edges (q -> q') for testing."""
+    edges = set()
+    for q, flop in netlist.flops.items():
+        for src in netlist.register_support(flop.d):
+            edges.add((src, q))
+    return edges
+
+
+class TestGenerator:
+    def test_interface_matches_spec(self):
+        spec = CircuitSpec("toy", 6, 4, 12, 80, seed=3)
+        circuit = generate(spec)
+        stats = circuit.netlist.stats()
+        assert stats["inputs"] == 6
+        assert stats["outputs"] == 4
+        assert stats["flops"] == 12
+        assert abs(stats["gates"] - 80) <= 1
+
+    def test_deterministic_per_seed(self):
+        a = generate(CircuitSpec("toy", 4, 2, 8, 50, seed=1)).netlist
+        b = generate(CircuitSpec("toy", 4, 2, 8, 50, seed=1)).netlist
+        assert a.gates == b.gates
+        assert a.flops == b.flops
+        c = generate(CircuitSpec("toy", 4, 2, 8, 50, seed=2)).netlist
+        assert c.gates != a.gates
+
+    def test_is_simulatable(self):
+        netlist = generate(CircuitSpec("toy", 5, 3, 10, 60, seed=0)).netlist
+        sim = SequentialSimulator(netlist)
+        trace = sim.run_vectors(random_vectors(make_rng(0), 5, 8))
+        assert len(trace) == 8
+
+    def test_all_inputs_used(self):
+        netlist = generate(CircuitSpec("toy", 9, 2, 6, 40, seed=5)).netlist
+        used = set()
+        for gate in netlist.gates.values():
+            used.update(gate.inputs)
+        assert set(netlist.inputs) <= used
+
+    def test_clusters_are_strongly_connected(self):
+        circuit = generate(CircuitSpec("toy", 5, 3, 20, 150, seed=7))
+        graph = nx.DiGraph()
+        graph.add_nodes_from(circuit.netlist.flops)
+        graph.add_edges_from(rcg_edges(circuit.netlist))
+        for cluster in circuit.clusters:
+            if len(cluster) < 2:
+                continue
+            sub = graph.subgraph(cluster)
+            assert nx.is_strongly_connected(sub), cluster
+
+    def test_cross_cluster_edges_are_forward_only(self):
+        circuit = generate(CircuitSpec("toy", 5, 3, 25, 160, seed=11))
+        position = {}
+        for index, cluster in enumerate(circuit.clusters):
+            for q in cluster:
+                position[q] = index
+        for src, dst in rcg_edges(circuit.netlist):
+            assert position[src] <= position[dst]
+
+    def test_condensation_has_one_scc_per_multiflop_cluster(self):
+        circuit = generate(CircuitSpec("toy", 6, 2, 30, 200, seed=13))
+        graph = nx.DiGraph()
+        graph.add_nodes_from(circuit.netlist.flops)
+        graph.add_edges_from(rcg_edges(circuit.netlist))
+        sccs = [c for c in nx.strongly_connected_components(graph) if len(c) > 1]
+        multi = [set(c) for c in circuit.clusters if len(c) > 1]
+        assert set(map(frozenset, sccs)) == set(map(frozenset, multi))
+
+    def test_rejects_bad_specs(self):
+        with pytest.raises(BenchmarkError):
+            generate(CircuitSpec("bad", 0, 1, 4, 10))
+        with pytest.raises(BenchmarkError):
+            generate(CircuitSpec("bad", 2, 1, 0, 10))
+
+
+class TestSuite:
+    def test_all_ten_circuits_present(self):
+        assert len(suite_names()) == 10
+        assert suite_names()[0] == "s9234"
+        assert set(TABLE1_CIRCUITS["b12"]) == {5, 6, 121, 1000}
+
+    def test_scaling_preserves_interface(self):
+        spec = suite_spec("s9234", scale=0.1)
+        assert spec.n_inputs == 19 and spec.n_outputs == 22
+        assert spec.n_flops == 23  # 228 * 0.1, rounded
+        assert spec.n_gates == round(5597 * 0.1)
+
+    def test_scale_floor(self):
+        spec = suite_spec("b12", scale=0.001)
+        assert spec.n_flops >= 4
+        assert spec.n_gates >= 2 * (spec.n_flops + spec.n_outputs)
+
+    def test_load_scaled_circuit(self):
+        netlist = load_suite_circuit("b12", scale=0.3)
+        stats = netlist.stats()
+        assert stats["inputs"] == 5 and stats["outputs"] == 6
+        assert stats["flops"] == round(121 * 0.3)
+
+    def test_load_benchmark_dispatches(self):
+        assert load_benchmark("s27").stats()["flops"] == 3
+        assert load_benchmark("b12", scale=0.2).stats()["inputs"] == 5
+        with pytest.raises(BenchmarkError):
+            load_benchmark("nonexistent")
+
+    def test_available_listing(self):
+        names = available_benchmarks()
+        assert "s27" in names and "b18" in names
+
+    def test_bad_scale(self):
+        with pytest.raises(BenchmarkError):
+            suite_spec("b12", scale=0)

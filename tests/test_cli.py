@@ -1,0 +1,123 @@
+"""Tests for the repro-lock command-line tool (full shell workflow)."""
+
+import io
+import json
+
+import pytest
+
+from repro.bench.iscas import S27_BENCH
+from repro.cli import main
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    design = tmp_path / "s27.bench"
+    design.write_text(S27_BENCH)
+    return {
+        "design": str(design),
+        "locked": str(tmp_path / "locked.bench"),
+        "key": str(tmp_path / "s27.key"),
+        "tmp": tmp_path,
+    }
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestLockCommand:
+    def test_lock_writes_outputs(self, workspace):
+        code, text = run_cli([
+            "lock", workspace["design"], "--kappa-s", "1",
+            "--s-pairs", "4", "--out", workspace["locked"],
+            "--key-out", workspace["key"]])
+        assert code == 0
+        assert "key (2 cycles x 4 bits)" in text
+        payload = json.loads(open(workspace["key"]).read())
+        assert payload["format"] == "trilock-key-v1"
+        assert payload["cycles"] == 2 and payload["width"] == 4
+
+    def test_locked_file_is_valid_bench(self, workspace):
+        run_cli(["lock", workspace["design"], "--kappa-s", "1",
+                 "--out", workspace["locked"], "--key-out",
+                 workspace["key"]])
+        from repro.netlist import load_bench
+
+        locked = load_bench(workspace["locked"])
+        assert locked.inputs == ("G0", "G1", "G2", "G3")
+
+
+class TestVerifyCommand:
+    def test_verify_passes_for_genuine_pair(self, workspace):
+        run_cli(["lock", workspace["design"], "--kappa-s", "1",
+                 "--s-pairs", "3", "--out", workspace["locked"],
+                 "--key-out", workspace["key"]])
+        code, text = run_cli([
+            "verify", workspace["design"], workspace["locked"],
+            workspace["key"], "--depth", "5"])
+        assert code == 0
+        assert "PASS" in text
+
+    def test_verify_fails_for_wrong_key(self, workspace):
+        run_cli(["lock", workspace["design"], "--kappa-s", "1",
+                 "--out", workspace["locked"], "--key-out",
+                 workspace["key"]])
+        payload = json.loads(open(workspace["key"]).read())
+        payload["key_int"] ^= 1  # flip one key bit
+        with open(workspace["key"], "w") as handle:
+            json.dump(payload, handle)
+        code, text = run_cli([
+            "verify", workspace["design"], workspace["locked"],
+            workspace["key"], "--depth", "5"])
+        assert code == 1
+        assert "counterexample" in text
+
+    def test_bad_key_file(self, workspace):
+        bogus = workspace["tmp"] / "bogus.key"
+        bogus.write_text("{}")
+        code, text = run_cli([
+            "verify", workspace["design"], workspace["design"],
+            str(bogus)])
+        assert code == 2
+        assert "error" in text
+
+
+class TestAttackCommand:
+    def test_attack_recovers_key(self, workspace):
+        run_cli(["lock", workspace["design"], "--kappa-s", "1",
+                 "--seed", "3", "--out", workspace["locked"],
+                 "--key-out", workspace["key"]])
+        payload = json.loads(open(workspace["key"]).read())
+        code, text = run_cli([
+            "attack", workspace["design"], workspace["locked"],
+            "--kappa", "2", "--depth", "1"])
+        assert code == 0
+        assert "key recovered" in text
+        assert payload["key"] in text
+
+    def test_attack_budget_exhausted(self, workspace):
+        run_cli(["lock", workspace["design"], "--kappa-s", "1",
+                 "--out", workspace["locked"], "--key-out",
+                 workspace["key"]])
+        code, text = run_cli([
+            "attack", workspace["design"], workspace["locked"],
+            "--kappa", "2", "--depth", "1", "--max-dips", "1"])
+        assert code == 1
+        assert "max_dips" in text
+
+
+class TestReportCommand:
+    def test_report_contains_all_sections(self, workspace):
+        run_cli(["lock", workspace["design"], "--kappa-s", "1",
+                 "--s-pairs", "4", "--out", workspace["locked"],
+                 "--key-out", workspace["key"]])
+        code, text = run_cli([
+            "report", workspace["design"], workspace["locked"],
+            workspace["key"], "--fc-samples", "200"])
+        assert code == 0
+        assert "SAT resilience" in text
+        assert "functional corruptibility" in text
+        assert "removal resilience" in text
+        assert "overhead" in text

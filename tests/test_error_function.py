@@ -1,0 +1,139 @@
+"""Tests for the spec-level error functions (Eqs. 3, 8, 11-16)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ErrorSpec, e_n, threshold_for
+from repro.errors import LockingError
+
+
+def small_spec(width=2, kappa_s=2, kappa_f=1, alpha=0.6, key_star=0b100101,
+               key_star_star=0b11):
+    return ErrorSpec(width=width, kappa_s=kappa_s, kappa_f=kappa_f,
+                     key_star=key_star, key_star_star=key_star_star,
+                     alpha=alpha)
+
+
+class TestValidation:
+    def test_kss_must_differ_from_key_suffix(self):
+        with pytest.raises(LockingError, match="differ"):
+            small_spec(key_star=0b100101, key_star_star=0b01)
+
+    def test_kappa_f_zero_forbids_kss(self):
+        with pytest.raises(LockingError):
+            ErrorSpec(width=2, kappa_s=2, kappa_f=0, key_star=0b1001,
+                      key_star_star=1, alpha=0.0)
+
+    def test_ranges(self):
+        with pytest.raises(LockingError):
+            small_spec(key_star=1 << 6)  # 6 bits available: max 63
+        with pytest.raises(LockingError):
+            small_spec(alpha=1.5)
+
+    def test_threshold_for(self):
+        assert threshold_for(0.6, 1, 2) == 1      # floor(0.6*3)
+        assert threshold_for(1.0, 1, 2) == 3
+        assert threshold_for(0.0, 2, 2) == 0
+        with pytest.raises(LockingError):
+            threshold_for(-0.1, 1, 2)
+
+
+class TestES:
+    def test_fires_only_on_prefix_replay(self):
+        spec = small_spec()
+        wrong = 0b110101  # prefix 1101
+        matching_input = 0b1101  # b=2, equals the prefix
+        assert spec.e_s(matching_input, 2, wrong)
+        assert not spec.e_s(0b1100, 2, wrong)
+
+    def test_never_fires_for_correct_key(self):
+        spec = small_spec()
+        star_prefix_input = spec.key_star >> (spec.kappa_f * spec.width)
+        assert not spec.e_s(star_prefix_input, 2, spec.key_star)
+
+    def test_deeper_unrollings_use_prefix_only(self):
+        spec = small_spec()
+        wrong = 0b110101
+        for tail in range(4):
+            input_value = (0b1101 << 4) | tail  # b=4: prefix then anything
+            assert spec.e_s(input_value, 4, wrong)
+
+    def test_depth_shorter_than_kappa_s_rejected(self):
+        spec = small_spec()
+        with pytest.raises(LockingError):
+            spec.e_s(0b11, 1, 0b110101)
+
+
+class TestEF:
+    def test_column_structure_is_input_independent(self):
+        spec = small_spec()
+        for key in range(1 << 6):
+            value = spec.e_f(key)
+            # No input argument at all: EF is a pure key predicate.
+            assert isinstance(value, bool)
+
+    def test_excludes_kss_suffix_and_correct_key(self):
+        spec = small_spec()
+        assert not spec.e_f(spec.key_star)
+        for prefix in range(1 << 4):
+            key = (prefix << 2) | spec.key_star_star
+            assert not spec.e_f(key)
+
+    def test_threshold_selects_columns(self):
+        spec = small_spec(alpha=0.6)  # T = 1 over 2 suffix bits
+        for key in range(1 << 6):
+            suffix = key & 0b11
+            expected = (key != spec.key_star and suffix != 0b11
+                        and suffix <= 1)
+            assert spec.e_f(key) == expected
+
+    def test_alpha_one_covers_all_but_kss(self):
+        spec = small_spec(alpha=1.0)
+        covered = sum(spec.e_f(k) for k in range(1 << 6))
+        # All keys except: suffix==k** (16) and k* itself.
+        assert covered == (1 << 6) - 16 - 1
+
+    def test_kappa_f_zero_disables_ef(self):
+        spec = ErrorSpec(width=2, kappa_s=2, kappa_f=0, key_star=0b1001,
+                         key_star_star=None, alpha=0.0)
+        assert not any(spec.e_f(k) for k in range(1 << 4))
+
+
+class TestESF:
+    @given(key=st.integers(0, 63), input_value=st.integers(0, 15))
+    @settings(max_examples=128, deadline=None)
+    def test_is_union(self, key, input_value):
+        spec = small_spec()
+        assert spec.e_sf(input_value, 2, key) == (
+            spec.e_s(input_value, 2, key) or spec.e_f(key))
+
+    def test_theorem1_kss_keys_need_private_dips(self):
+        """Wrong keys suffixed k** are detectable only via their own prefix
+        (the core of Theorem 1's counting argument)."""
+        spec = small_spec()
+        kss_keys = [
+            (prefix << 2) | spec.key_star_star
+            for prefix in range(1 << 4)
+            if ((prefix << 2) | spec.key_star_star) != spec.key_star
+        ]
+        for key in kss_keys:
+            detecting_inputs = [
+                i for i in range(1 << 4) if spec.e_sf(i, 2, key)
+            ]
+            prefix = key >> 2
+            assert detecting_inputs == [prefix]
+            # ... and that input detects no *other* k**-suffixed key.
+            for other in kss_keys:
+                if other != key:
+                    assert not spec.e_sf(prefix, 2, other)
+
+
+class TestEN:
+    def test_point_function(self):
+        key_star = 0b0110
+        for key in range(1 << 4):
+            for input_value in range(1 << 4):
+                expected = key != key_star and key == input_value
+                assert e_n(input_value, 2, key, kappa=2, width=2,
+                           key_star=key_star) == expected

@@ -1,0 +1,101 @@
+"""Tests for error tables: spec-level construction and, crucially, the
+exact equality between the gate-level locked circuit and ``E^SF``."""
+
+import pytest
+
+from repro.core import (
+    ErrorSpec,
+    TriLockConfig,
+    lock,
+    measured_error_table,
+    naive_error_table,
+    spec_error_table,
+)
+from repro.errors import LockingError
+
+from tests.conftest import locked_factory
+
+
+def small_spec(**overrides):
+    params = dict(width=2, kappa_s=2, kappa_f=1, key_star=0b100101,
+                  key_star_star=0b11, alpha=0.6)
+    params.update(overrides)
+    return ErrorSpec(**params)
+
+
+class TestSpecTables:
+    def test_fig3a_structure(self):
+        """Fig. 3(a): E^N diagonal — each wrong key detected by exactly the
+        inputs replaying it."""
+        table = naive_error_table(kappa=2, width=2, key_star=0b0110, depth=2)
+        assert table.n_inputs == 16 and table.n_keys == 16
+        for key in range(16):
+            expected = 0 if key == 0b0110 else 1
+            assert table.errors_for_key(key) == expected
+
+    def test_fig3b_structure(self):
+        """Fig. 3(b): red prefix-diagonal plus full blue columns."""
+        spec = small_spec(alpha=1.0)
+        table = spec_error_table(spec, depth=2)
+        assert table.n_inputs == 16 and table.n_keys == 64
+        for key in range(64):
+            suffix = key & 0b11
+            if key == spec.key_star:
+                assert table.errors_for_key(key) == 0
+            elif suffix == 0b11:  # k** column: only the prefix diagonal
+                assert table.errors_for_key(key) == 1
+            else:  # full column (16) — possibly already including diagonal
+                assert table.errors_for_key(key) == 16
+
+    def test_render_smoke(self):
+        table = naive_error_table(kappa=1, width=2, key_star=0b01, depth=1)
+        text = table.render()
+        assert "i\\k" in text and "#" in text and "." in text
+
+    def test_size_guard(self):
+        with pytest.raises(LockingError):
+            spec_error_table(small_spec(width=8), depth=2)
+
+
+class TestMeasuredEqualsSpec:
+    """The central hardware-correctness theorem of this reproduction."""
+
+    @pytest.mark.parametrize("kappa_s,kappa_f,alpha,seed", [
+        (1, 1, 0.6, 3),
+        (2, 1, 0.6, 3),
+        (2, 1, 0.0, 4),
+        (2, 1, 1.0, 5),
+        (1, 2, 0.5, 6),
+        (2, 0, 0.0, 7),   # naive E^N degeneration
+        (3, 1, 0.9, 8),
+    ])
+    def test_gate_level_table_matches_spec(self, kappa_s, kappa_f, alpha,
+                                           seed):
+        locked = locked_factory(kappa_s=kappa_s, kappa_f=kappa_f,
+                                alpha=alpha, seed=seed)
+        depth = kappa_s  # b = b* = kappa_s
+        spec_table = spec_error_table(locked.spec, depth)
+        measured = measured_error_table(locked, depth)
+        assert measured.rows == spec_table.rows
+
+    def test_match_beyond_bstar(self):
+        locked = locked_factory(kappa_s=2, kappa_f=1, alpha=0.6, seed=3)
+        for depth in (2, 3, 4):
+            assert measured_error_table(locked, depth).rows == \
+                spec_error_table(locked.spec, depth).rows
+
+    def test_no_output_flip_loses_exactness_guard(self):
+        """With zero flipped outputs, state flips may still corrupt, but
+        the table can only under-approximate the spec (never invent
+        errors)."""
+        from tests.conftest import _tiny_circuit
+
+        locked = lock(_tiny_circuit(), TriLockConfig(
+            kappa_s=2, kappa_f=1, alpha=0.6, seed=9, n_output_flips=0,
+            n_state_flips=3))
+        spec_table = spec_error_table(locked.spec, 2)
+        measured = measured_error_table(locked, 2)
+        for spec_row, measured_row in zip(spec_table.rows, measured.rows):
+            for spec_cell, measured_cell in zip(spec_row, measured_row):
+                if measured_cell:
+                    assert spec_cell

@@ -1,0 +1,135 @@
+"""Smoke + shape tests for the experiment harness (every paper artifact)."""
+
+import pytest
+
+from repro.experiments import format_table
+from repro.experiments import (
+    fig3_error_tables,
+    fig4_tradeoff,
+    fig6_overhead,
+    fig7_fc,
+    table1_sat_resilience,
+    table2_removal,
+)
+from repro.experiments.runner import build_parser, main
+
+
+class TestFig3:
+    def test_gate_level_matches_spec_everywhere(self):
+        result = fig3_error_tables.run()
+        assert all(row["gate_level_matches_spec"] for row in result.rows)
+
+    def test_fc_values_match_paper(self):
+        result = fig3_error_tables.run(alpha=1.0)
+        naive_fc = result.rows[0]["FC"]
+        trilock_fc = result.rows[1]["FC"]
+        assert naive_fc == pytest.approx(0.0586, abs=0.001)  # paper ~0.06
+        assert trilock_fc == pytest.approx(0.75, abs=1e-9)   # Eq. 12
+
+    def test_render_tables(self):
+        result = fig3_error_tables.run()
+        art = fig3_error_tables.render_tables(result)
+        assert "(a) E^N" in art and "(b) E^SF" in art
+
+
+class TestFig4:
+    def test_tradeoff_shape(self):
+        result = fig4_tradeoff.run(max_kappa=6)
+        panel_a = [r for r in result.rows if r["panel"] == "a"]
+        # (a): FC collapses as ndip explodes.
+        assert panel_a[0]["FC"] > panel_a[-1]["FC"] * 1000
+        # (b): FC flat in kappa for fixed alpha, ndip exponential.
+        panel_b06 = [r for r in result.rows
+                     if r["panel"] == "b" and r.get("alpha") == 0.6]
+        fcs = {r["FC"] for r in panel_b06}
+        assert len(fcs) == 1
+        assert panel_b06[-1]["ndip"] == 2 ** (6 * 4)
+
+    def test_validation_runs(self):
+        result = fig4_tradeoff.run(max_kappa=3, validate=True)
+        assert any("validated" in note for note in result.notes)
+
+
+class TestTable1:
+    def test_quick_protocol(self):
+        result = table1_sat_resilience.run(scale=0.05, effort="quick")
+        assert len(result.rows) == 30  # 10 circuits x 3 kappa_s
+        measured = [r for r in result.rows if r["measured"]]
+        assert measured, "at least one cell must be attacked for real"
+        assert all(r["key_ok"] for r in measured)
+        assert all(r["ndip==2^(ks|I|)"] for r in result.rows)
+
+    def test_b12_cell_matches_paper_exactly(self):
+        result = table1_sat_resilience.run(scale=0.05, effort="quick")
+        cell = next(r for r in result.rows
+                    if r["circuit"] == "b12" and r["kappa_s"] == 1)
+        assert cell["ndip"] == "32" == cell["paper_ndip"]
+
+
+class TestFig7:
+    def test_eq15_band(self):
+        result = fig7_fc.run(scale=0.05, names=["b12"], n_samples=400,
+                             depth_span=2)
+        assert all(row["abs_err"] < 0.08 for row in result.rows)
+
+    def test_alpha_monotone_per_config(self):
+        result = fig7_fc.run(scale=0.05, names=["b12"], n_samples=400,
+                             depth_span=1, alphas=(0.0, 0.9))
+        by_kf = {}
+        for row in result.rows:
+            by_kf.setdefault(row["kappa_f"], []).append(row["FC_sim"])
+        for values in by_kf.values():
+            assert values[0] <= values[1]
+
+
+class TestTable2:
+    def test_structure_claims(self):
+        result = table2_removal.run(scale=0.05, names=["b12", "s9234"],
+                                    s_values=(0, 10))
+        for row in result.rows:
+            if row["S"] == 0:
+                assert row["M"] == 0 and row["PM"] == 0
+                assert row["O"] > 0 and row["E"] > 0
+            else:
+                assert row["M"] >= 1
+                assert row["E"] == 0
+                assert row["PM"] > 80
+
+
+class TestFig6:
+    def test_overhead_shape(self):
+        result = fig6_overhead.run(scale=0.05, names=["b12"],
+                                   kappa_s_values=(1, 3))
+        rows = result.rows
+        assert rows[0]["area_ovh"] < rows[1]["area_ovh"]
+        assert all(r["area_ovh"] > 0 for r in rows)
+
+
+class TestRunner:
+    def test_parser_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig3"])
+        assert args.experiment == "fig3"
+
+    def test_main_runs_fig3(self, capsys, tmp_path):
+        code = main(["fig3", "--out", str(tmp_path)])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "fig3" in captured.out
+        assert (tmp_path / "fig3.txt").exists()
+
+    def test_main_runs_fig4(self, capsys):
+        assert main(["fig4"]) == 0
+        assert "ndip" in capsys.readouterr().out
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        text = format_table([{"a": 1, "b": "xy"}, {"a": 22, "c": 3.5}])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4
+        assert "3.5" in lines[3]
+
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"

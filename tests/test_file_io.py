@@ -1,0 +1,61 @@
+"""File-level I/O tests (bench and DIMACS paths, artifact plumbing)."""
+
+from repro.bench.iscas import S27_BENCH
+from repro.cnf import Cnf, dump_dimacs, load_dimacs
+from repro.netlist import dump_bench, load_bench
+from repro.tech.timing import path_slack_histogram
+from repro.bench.iscas import load_embedded
+
+
+class TestBenchFiles:
+    def test_bench_file_roundtrip(self, tmp_path):
+        path = tmp_path / "s27.bench"
+        path.write_text(S27_BENCH)
+        netlist = load_bench(path)
+        assert netlist.name == "s27"
+        assert netlist.num_gates() == 10
+
+        out_path = tmp_path / "copy.bench"
+        dump_bench(netlist, out_path)
+        reparsed = load_bench(out_path)
+        assert reparsed.gates == netlist.gates
+        assert reparsed.flops == netlist.flops
+
+    def test_name_from_filename(self, tmp_path):
+        path = tmp_path / "mydesign.bench"
+        path.write_text("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")
+        assert load_bench(path).name == "mydesign"
+
+
+class TestDimacsFiles:
+    def test_dimacs_file_roundtrip(self, tmp_path):
+        cnf = Cnf(3)
+        cnf.add_clause([1, -2, 3])
+        cnf.add_clause([-1, 2])
+        path = tmp_path / "formula.cnf"
+        dump_dimacs(cnf, path, comments=["from test"])
+        parsed = load_dimacs(path)
+        assert parsed.num_vars == 3
+        assert parsed.clauses == cnf.clauses
+        assert "c from test" in path.read_text()
+
+
+class TestTimingDiagnostics:
+    def test_slack_histogram_bins(self):
+        netlist = load_embedded("s27")
+        histogram = path_slack_histogram(netlist, period_ns=2.0, bins=5)
+        assert histogram
+        total = sum(count for _, _, count in histogram)
+        # endpoints = POs + flop D inputs
+        assert total == len(netlist.outputs) + netlist.num_flops()
+
+    def test_slack_histogram_degenerate(self):
+        from repro.netlist import GateOp, Netlist
+
+        netlist = Netlist()
+        netlist.add_input("a")
+        netlist.add_gate("y", GateOp.NOT, ("a",))
+        netlist.add_output("y")
+        histogram = path_slack_histogram(netlist, period_ns=1.0)
+        assert len(histogram) == 1
+        assert histogram[0][2] == 1

@@ -1,0 +1,65 @@
+"""Tests for key-sequence encoding and generation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import KeySequence, random_key, random_suffix_constant
+from repro.errors import LockingError
+from repro.sim import make_rng
+
+
+class TestKeySequence:
+    def test_int_roundtrip_example(self):
+        # Fig. 3(b)'s k* = 100101 over |I|=2, kappa=3: words 10,01,01.
+        key = KeySequence.from_int(0b100101, cycles=3, width=2)
+        assert key.vectors == ((True, False), (False, True), (False, True))
+        assert key.as_int == 0b100101
+        assert key.word(0) == 0b10
+        assert str(key) == "10|01|01"
+
+    @given(value=st.integers(0, 2**12 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_int_roundtrip_property(self, value):
+        key = KeySequence.from_int(value, cycles=4, width=3)
+        assert key.as_int == value
+        assert key.cycles == 4
+
+    def test_prefix_suffix(self):
+        key = KeySequence.from_int(0b100101, cycles=3, width=2)
+        assert key.prefix(2).as_int == 0b1001
+        assert key.suffix(1).as_int == 0b01
+        assert key.suffix(0).cycles == 0
+        with pytest.raises(LockingError):
+            key.prefix(4)
+
+    def test_width_validation(self):
+        with pytest.raises(LockingError):
+            KeySequence(width=2, vectors=((True,),))
+        with pytest.raises(LockingError):
+            KeySequence(width=0, vectors=())
+
+    def test_prefix_plus_suffix_recompose(self):
+        key = KeySequence.from_int(0x5A3, cycles=4, width=3)
+        prefix, suffix = key.prefix(3), key.suffix(1)
+        assert (prefix.as_int << 3) | suffix.as_int == key.as_int
+
+
+class TestGeneration:
+    def test_random_key_deterministic(self):
+        a = random_key(make_rng(7), 3, 4)
+        b = random_key(make_rng(7), 3, 4)
+        assert a == b
+        assert a.cycles == 3 and a.width == 4
+
+    def test_random_suffix_avoids_forbidden(self):
+        rng = make_rng(1)
+        for _ in range(64):
+            value = random_suffix_constant(rng, 1, 2, forbidden_value=2)
+            assert value != 2
+            assert 0 <= value < 4
+
+    def test_suffix_space_too_small(self):
+        # kappa_f * width = 0 bits -> space of 1 value, nothing to avoid.
+        with pytest.raises(LockingError):
+            random_suffix_constant(make_rng(0), 0, 1, forbidden_value=0)

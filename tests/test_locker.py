@@ -1,0 +1,197 @@
+"""Tests for the gate-level locking flow: preservation, corruption,
+interfaces, and configuration handling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks import bounded_equivalence
+from repro.bench.iscas import load_embedded
+from repro.core import KeySequence, TriLockConfig, lock, naive_config
+from repro.errors import LockingError
+from repro.netlist import Netlist, GateOp
+from repro.sim import SequentialSimulator, make_rng, random_vectors
+
+from tests.conftest import _tiny_circuit, locked_factory
+
+
+class TestInterfaces:
+    def test_io_shape_preserved(self, locked_tiny):
+        assert locked_tiny.netlist.inputs == locked_tiny.original.inputs
+        assert len(locked_tiny.netlist.outputs) == \
+            len(locked_tiny.original.outputs)
+
+    def test_metadata_partition(self, locked_tiny):
+        regs = set(locked_tiny.netlist.flops)
+        original = set(locked_tiny.original_registers)
+        extra = set(locked_tiny.extra_registers)
+        assert original | extra == regs
+        assert not original & extra
+
+    def test_extra_register_budget(self, locked_tiny):
+        """Extra FF count = window tokens + key store + flags."""
+        config = locked_tiny.config
+        width = locked_tiny.width
+        window = config.kappa + config.kappa_s
+        expected = window + config.kappa_s * width + 1 + 3 + 1 + 1
+        # tokens+started | key store | key_wrong | suffix flags (ne,lt,gt)
+        # | prefix_mismatch (kappa_s >= 2) | es_latch
+        assert len(locked_tiny.extra_registers) == expected
+
+    def test_key_material_shapes(self, locked_tiny):
+        key = locked_tiny.key
+        assert key.cycles == locked_tiny.config.kappa
+        assert key.width == locked_tiny.width
+        spec = locked_tiny.spec
+        assert spec.key_star == key.as_int
+        assert spec.key_star_star != spec.key_suffix
+
+
+class TestFunctionalPreservation:
+    @pytest.mark.parametrize("kappa_s,kappa_f", [(1, 1), (2, 1), (2, 0), (3, 2)])
+    def test_correct_key_replays_original(self, kappa_s, kappa_f):
+        locked = locked_factory(kappa_s=kappa_s, kappa_f=kappa_f,
+                                alpha=0.6 if kappa_f else 0.0, seed=11)
+        rng = make_rng(100 + kappa_s)
+        kappa = locked.config.kappa
+        for _ in range(10):
+            vectors = random_vectors(rng, locked.width, 8)
+            want = SequentialSimulator(locked.original).run_vectors(vectors)
+            got = SequentialSimulator(locked.netlist).run_vectors(
+                locked.stimulus_with_key(locked.key, vectors))
+            assert got[kappa:] == want
+
+    def test_correct_key_bmc_equivalence(self, locked_tiny):
+        result = bounded_equivalence(
+            locked_tiny.original, locked_tiny.netlist,
+            depth=locked_tiny.config.kappa_s + 4,
+            prefix_vectors=locked_tiny.key_vectors())
+        assert result.equivalent
+
+    @given(seed=st.integers(0, 2**30))
+    @settings(max_examples=15, deadline=None)
+    def test_random_wrong_key_preserves_until_detection(self, seed):
+        """Before any error fires the locked circuit tracks the oracle; a
+        non-EF wrong key corrupts only after a prefix replay."""
+        locked = locked_factory(kappa_s=2, kappa_f=1, alpha=0.6, seed=3)
+        rng = make_rng(seed)
+        spec = locked.spec
+        kappa = locked.config.kappa
+        key_value = rng.randrange(1 << (kappa * locked.width))
+        key = KeySequence.from_int(key_value, kappa, locked.width)
+        vectors = random_vectors(rng, locked.width, 6)
+        got = SequentialSimulator(locked.netlist).run_vectors(
+            locked.stimulus_with_key(key, vectors))[kappa:]
+        want = SequentialSimulator(locked.original).run_vectors(vectors)
+        if key_value == spec.key_star or not spec.e_f(key_value):
+            prefix_value = sum(
+                (1 << (locked.width - 1 - p)) << ((1 - c) * locked.width)
+                for c in range(2) for p in range(locked.width)
+                if vectors[c][p]
+            )
+            replayed = prefix_value == (key_value >> locked.width)
+            if key_value == spec.key_star or not replayed:
+                assert got == want
+            else:
+                assert got != want
+        else:
+            assert got != want  # EF key: corrupted from the first cycle
+
+
+class TestWrongKeyCorruption:
+    def test_ef_key_corrupts_first_window_cycle(self, locked_tiny):
+        spec = locked_tiny.spec
+        kappa = locked_tiny.config.kappa
+        ef_keys = [k for k in range(1 << (kappa * locked_tiny.width))
+                   if spec.e_f(k)]
+        assert ef_keys, "config must yield EF keys"
+        key = KeySequence.from_int(ef_keys[0], kappa, locked_tiny.width)
+        vectors = random_vectors(make_rng(5), locked_tiny.width, 3)
+        got = SequentialSimulator(locked_tiny.netlist).run_vectors(
+            locked_tiny.stimulus_with_key(key, vectors))[kappa:]
+        want = SequentialSimulator(locked_tiny.original).run_vectors(vectors)
+        assert got[0] != want[0]
+
+    def test_es_error_lands_at_bstar(self, locked_tiny):
+        """A non-EF wrong key whose prefix the input replays corrupts at
+        exactly cycle κs of the window (b* = κs), not earlier."""
+        spec = locked_tiny.spec
+        kappa, kappa_s = locked_tiny.config.kappa, locked_tiny.config.kappa_s
+        width = locked_tiny.width
+        wrong = None
+        for k in range(1 << (kappa * width)):
+            if k != spec.key_star and not spec.e_f(k):
+                wrong = k
+                break
+        assert wrong is not None
+        key = KeySequence.from_int(wrong, kappa, width)
+        replay = list(key.vectors[:kappa_s])
+        tail = random_vectors(make_rng(9), width, 3)
+        vectors = replay + tail
+        got = SequentialSimulator(locked_tiny.netlist).run_vectors(
+            locked_tiny.stimulus_with_key(key, vectors))[kappa:]
+        want = SequentialSimulator(locked_tiny.original).run_vectors(vectors)
+        assert got[:kappa_s - 1] == want[:kappa_s - 1]
+        assert got[kappa_s - 1] != want[kappa_s - 1]
+
+
+class TestConfigHandling:
+    def test_kwargs_frontend(self, tiny_circuit):
+        locked = lock(tiny_circuit, kappa_s=1, kappa_f=1, alpha=0.3, seed=2)
+        assert locked.config.kappa_s == 1
+
+    def test_config_and_kwargs_conflict(self, tiny_circuit):
+        with pytest.raises(LockingError):
+            lock(tiny_circuit, TriLockConfig(), kappa_s=2)
+
+    def test_explicit_key_material(self, tiny_circuit):
+        locked = lock(tiny_circuit, TriLockConfig(
+            kappa_s=2, kappa_f=1, key_star=0b100101, key_star_star=0b11,
+            seed=1))
+        assert locked.key.as_int == 0b100101
+        assert locked.spec.key_star_star == 0b11
+
+    def test_conflicting_kss_rejected(self, tiny_circuit):
+        with pytest.raises(LockingError):
+            lock(tiny_circuit, TriLockConfig(
+                kappa_s=2, kappa_f=1, key_star=0b100101,
+                key_star_star=0b01))
+
+    def test_naive_config_helper(self):
+        config = naive_config(3)
+        assert config.kappa_s == 3 and config.kappa_f == 0
+        assert config.kappa == 3
+
+    def test_requires_sequential_circuit(self):
+        comb = Netlist("comb")
+        comb.add_input("a")
+        comb.add_gate("y", GateOp.NOT, ("a",))
+        comb.add_output("y")
+        with pytest.raises(LockingError):
+            lock(comb, TriLockConfig())
+
+    def test_locks_s27(self):
+        locked = lock(load_embedded("s27"), TriLockConfig(
+            kappa_s=2, kappa_f=1, alpha=0.6, seed=1))
+        rng = make_rng(3)
+        vectors = random_vectors(rng, 4, 6)
+        want = SequentialSimulator(locked.original).run_vectors(vectors)
+        got = SequentialSimulator(locked.netlist).run_vectors(
+            locked.stimulus_with_key(locked.key, vectors))
+        assert got[locked.config.kappa:] == want
+
+    def test_deterministic_given_seed(self, tiny_circuit):
+        a = lock(tiny_circuit, TriLockConfig(seed=4))
+        b = lock(tiny_circuit, TriLockConfig(seed=4))
+        assert a.key == b.key
+        assert a.netlist.gates == b.netlist.gates
+
+    def test_flip_resolution(self):
+        config = TriLockConfig(n_output_flips=None, n_state_flips=None)
+        assert config.resolved_output_flips(6) == 3
+        assert config.resolved_output_flips(1) == 1
+        assert config.resolved_state_flips(100) == 10
+        assert config.resolved_state_flips(3) == 3
+        explicit = TriLockConfig(n_output_flips=2, n_state_flips=50)
+        assert explicit.resolved_output_flips(6) == 2
+        assert explicit.resolved_state_flips(10) == 10

@@ -1,0 +1,103 @@
+"""Tests for metrics: FC estimation, resilience measurement, overhead."""
+
+import pytest
+
+from repro.core import fc_trilock, fc_trilock_exact
+from repro.metrics import (
+    average_simulated_fc,
+    exhaustive_fc,
+    extrapolated_resilience,
+    locking_overhead,
+    measure_resilience,
+    paper_depth_range,
+    simulate_fc,
+)
+
+from tests.conftest import locked_factory, _locked_mid
+
+
+class TestSimulatedFc:
+    def test_matches_exhaustive_on_tiny(self):
+        locked = locked_factory(kappa_s=2, kappa_f=1, alpha=0.6, seed=3)
+        exact = exhaustive_fc(locked, 2)
+        sampled = simulate_fc(locked, 2, n_samples=800, seed=1)
+        assert sampled == pytest.approx(exact, abs=0.06)
+
+    def test_matches_eq15_within_paper_band(self):
+        """Fig. 7's claim: |simulated - Eq.15| < 0.05 (larger key spaces);
+        on the tiny 2-bit-suffix circuit the quantisation of T dominates,
+        so compare against the exact count instead."""
+        for alpha in (0.0, 0.3, 0.6, 0.9):
+            locked = locked_factory(kappa_s=2, kappa_f=1, alpha=alpha,
+                                    seed=3)
+            sampled = simulate_fc(locked, 2, n_samples=800, seed=2)
+            exact = fc_trilock_exact(locked.spec, 2)
+            assert sampled == pytest.approx(exact, abs=0.06)
+
+    def test_alpha_monotonicity(self):
+        values = []
+        for alpha in (0.0, 0.5, 1.0):
+            locked = locked_factory(kappa_s=1, kappa_f=1, alpha=alpha,
+                                    seed=6)
+            values.append(simulate_fc(locked, 2, n_samples=400, seed=3))
+        assert values[0] <= values[1] <= values[2]
+        assert values[2] > 0.5  # alpha=1, kappa_f=1, width=2 -> FC ~ 0.7
+
+    def test_correct_key_only_would_be_zero(self):
+        # With kappa_f=0 and alpha=0 the only errors are prefix replays:
+        # FC is near zero under random sampling.
+        locked = locked_factory(kappa_s=2, kappa_f=0, alpha=0.0, seed=8)
+        sampled = simulate_fc(locked, 2, n_samples=800, seed=4)
+        assert sampled < 0.15
+
+    def test_depth_range_helper(self):
+        assert paper_depth_range(4) == [4, 5, 6, 7, 8, 9]
+
+    def test_average_over_depths(self):
+        locked = locked_factory(kappa_s=1, kappa_f=1, alpha=0.6, seed=3)
+        value = average_simulated_fc(locked, [1, 2, 3], n_samples=200,
+                                     seed=5)
+        assert 0.0 <= value <= 1.0
+
+    def test_eq15_reference_direction(self):
+        # Eq. 15 itself: alpha scales the ceiling.
+        assert fc_trilock(0.6, 1, 4) == pytest.approx(
+            0.6 * (1 - 1 / 16))
+
+
+class TestResilience:
+    def test_measured_cell(self):
+        locked = locked_factory(kappa_s=1, kappa_f=1, alpha=0.6, seed=3)
+        cell = measure_resilience(locked)
+        assert cell.measured and cell.attack_succeeded and cell.key_correct
+        assert cell.ndip == 4
+        assert cell.seconds > 0
+
+    def test_extrapolated_cell(self):
+        locked = locked_factory(kappa_s=1, kappa_f=1, alpha=0.6, seed=3)
+        finished = [measure_resilience(locked)]
+        cell = extrapolated_resilience("b12", 3, 5, finished)
+        assert not cell.measured
+        assert cell.ndip == 2**15
+        assert cell.seconds > finished[0].seconds
+
+    def test_budget_capped_attack_reports_failure(self):
+        locked = locked_factory(kappa_s=2, kappa_f=1, alpha=0.6, seed=3)
+        cell = measure_resilience(locked, max_dips=2)
+        assert not cell.measured
+        assert cell.ndip == 2
+
+
+class TestOverhead:
+    def test_locking_costs_area_and_power(self):
+        locked = _locked_mid(kappa_s=2, s_pairs=0, seed=5)
+        report = locking_overhead(locked)
+        assert report.area_overhead > 0
+        assert report.power_overhead > 0
+        assert report.delay_overhead >= 0
+
+    def test_overhead_grows_with_kappa_s(self):
+        small = _locked_mid(kappa_s=1, s_pairs=0, seed=5)
+        large = _locked_mid(kappa_s=3, s_pairs=0, seed=5)
+        assert locking_overhead(large).area_overhead > \
+            locking_overhead(small).area_overhead

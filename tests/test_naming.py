@@ -1,0 +1,50 @@
+"""Tests for net-name utilities."""
+
+import pytest
+
+from repro._naming import NameFactory, parse_unrolled_name, unrolled_name
+
+
+class TestNameFactory:
+    def test_fresh_avoids_taken(self):
+        factory = NameFactory(["x_0", "x_1"])
+        assert factory.fresh("x") == "x_2"
+        assert factory.fresh("x") == "x_3"
+
+    def test_reserve(self):
+        factory = NameFactory()
+        factory.reserve("y_0")
+        assert factory.fresh("y") == "y_1"
+
+    def test_fresh_many(self):
+        factory = NameFactory()
+        names = factory.fresh_many("n", 3)
+        assert names == ["n_0", "n_1", "n_2"]
+
+    def test_contains(self):
+        factory = NameFactory(["a"])
+        assert "a" in factory
+        assert "b" not in factory
+        factory.fresh("b")
+        assert "b_0" in factory
+
+    def test_independent_prefixes(self):
+        factory = NameFactory()
+        assert factory.fresh("a") == "a_0"
+        assert factory.fresh("b") == "b_0"
+
+
+class TestUnrolledNames:
+    def test_roundtrip(self):
+        name = unrolled_name("G17", 4)
+        assert name == "G17@4"
+        assert parse_unrolled_name(name) == ("G17", 4)
+
+    def test_nested_at_signs(self):
+        assert parse_unrolled_name("a@1@2") == ("a@1", 2)
+
+    def test_rejects_plain_names(self):
+        with pytest.raises(ValueError):
+            parse_unrolled_name("G17")
+        with pytest.raises(ValueError):
+            parse_unrolled_name("G17@x")

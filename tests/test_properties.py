@@ -1,0 +1,147 @@
+"""Cross-cutting property-based tests (hypothesis) over random circuits
+and random lock configurations.
+
+These complement the targeted unit tests: each property here is an
+end-to-end invariant that must hold for *arbitrary* inputs, not just the
+fixtures — the closest thing to a specification of the library.
+"""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.cnf import encode
+from repro.core import KeySequence, TriLockConfig, lock, spec_error_table
+from repro.core.error_tables import measured_error_table
+from repro.netlist import dumps_bench, loads_bench, simplified
+from repro.sat import Solver, count_models
+from repro.sim import SequentialSimulator, make_rng, random_vectors
+from repro.unroll import unroll
+
+from tests.util import (
+    random_comb_netlist,
+    random_seq_netlist,
+    reference_sequential_run,
+)
+
+circuit_seeds = st.integers(0, 10_000)
+
+
+class TestNetlistRoundtrips:
+    @given(seed=circuit_seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_bench_roundtrip_preserves_semantics(self, seed):
+        netlist = random_seq_netlist(seed)
+        reparsed = loads_bench(dumps_bench(netlist), name=netlist.name)
+        vectors = random_vectors(make_rng(seed), len(netlist.inputs), 6)
+        assert reference_sequential_run(reparsed, vectors) == \
+            reference_sequential_run(netlist, vectors)
+
+    @given(seed=circuit_seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_simplify_is_idempotent(self, seed):
+        netlist = random_seq_netlist(seed)
+        once = simplified(netlist)
+        twice = simplified(once)
+        assert twice.num_gates() == once.num_gates()
+        assert twice.num_flops() == once.num_flops()
+
+
+class TestSolverCircuitAgreement:
+    @given(seed=circuit_seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_tseitin_model_count_is_two_power_inputs(self, seed):
+        """A deterministic circuit has exactly one model per input
+        valuation — a strong joint test of encoder and solver."""
+        netlist = random_comb_netlist(seed, n_inputs=4, n_gates=10)
+        circuit = encode(netlist)
+        assert count_models(circuit.cnf) == 2 ** 4
+
+    @given(seed=circuit_seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_unrolled_encoding_consistent_with_simulation(self, seed):
+        netlist = random_seq_netlist(seed)
+        depth = 3
+        unrolled = unroll(netlist, depth)
+        circuit = encode(unrolled.netlist)
+        solver = Solver()
+        assert solver.add_cnf(circuit.cnf)
+
+        rng = make_rng(seed + 1)
+        vectors = random_vectors(rng, len(netlist.inputs), depth)
+        assumptions = []
+        for cycle, vector in enumerate(vectors):
+            for net, bit in zip(netlist.inputs, vector):
+                var = circuit.var_of[unrolled.input_net(net, cycle)]
+                assumptions.append(var if bit else -var)
+        assert solver.solve(assumptions=assumptions)
+        trace = SequentialSimulator(netlist).run_vectors(vectors)
+        for cycle in range(depth):
+            got = tuple(
+                solver.model_value(circuit.var_of[net])
+                for net in unrolled.outputs_at(cycle)
+            )
+            assert got == trace[cycle]
+
+
+@st.composite
+def lock_configs(draw):
+    kappa_s = draw(st.integers(1, 2))
+    kappa_f = draw(st.integers(0, 2))
+    alpha = draw(st.sampled_from([0.0, 0.3, 0.6, 1.0])) if kappa_f else 0.0
+    return TriLockConfig(
+        kappa_s=kappa_s, kappa_f=kappa_f, alpha=alpha,
+        seed=draw(st.integers(0, 500)),
+        s_pairs=draw(st.sampled_from([0, 3])),
+    )
+
+
+class TestLockingInvariants:
+    @given(seed=st.integers(0, 300), config=lock_configs())
+    @settings(max_examples=20, deadline=None)
+    def test_correct_key_always_replays_original(self, seed, config):
+        netlist = random_seq_netlist(seed, n_inputs=2, n_flops=4,
+                                     n_gates=18)
+        locked = lock(netlist, config)
+        rng = make_rng(seed * 7 + 1)
+        vectors = random_vectors(rng, 2, 6)
+        want = reference_sequential_run(netlist, vectors)
+        got = SequentialSimulator(locked.netlist).run_vectors(
+            locked.stimulus_with_key(locked.key, vectors))
+        assert got[config.kappa:] == want
+
+    @given(seed=st.integers(0, 300), config=lock_configs(),
+           key_value=st.integers(0, 2**8 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_error_occurs_iff_spec_says_so(self, seed, config, key_value):
+        """For a random key and random inputs, the gate-level circuit
+        corrupts the window iff E^SF(i, k) = 1."""
+        netlist = random_seq_netlist(seed, n_inputs=2, n_flops=4,
+                                     n_gates=18)
+        locked = lock(netlist, config)
+        spec = locked.spec
+        kappa = config.kappa
+        width = 2
+        key_value %= 1 << (kappa * width)
+        key = KeySequence.from_int(key_value, kappa, width)
+        depth = config.kappa_s + 2
+        rng = make_rng(seed + key_value)
+        vectors = random_vectors(rng, width, depth)
+        input_value = 0
+        for vec in vectors:
+            for bit in vec:
+                input_value = (input_value << 1) | int(bit)
+        got = SequentialSimulator(locked.netlist).run_vectors(
+            locked.stimulus_with_key(key, vectors))[kappa:]
+        want = reference_sequential_run(netlist, vectors)
+        assert (got != want) == spec.e_sf(input_value, depth, key_value)
+
+    @given(config=lock_configs())
+    @settings(max_examples=10, deadline=None)
+    def test_error_table_equality_random_configs(self, config):
+        assume(config.kappa <= 3)  # keep the exhaustive table tractable
+        netlist = random_seq_netlist(11, n_inputs=2, n_flops=4, n_gates=18)
+        locked = lock(netlist, config)
+        depth = config.kappa_s
+        assert measured_error_table(locked, depth).rows == \
+            spec_error_table(locked.spec, depth).rows

@@ -1,0 +1,87 @@
+"""Tests for register-connection-graph construction."""
+
+import networkx as nx
+
+from repro.core import build_rcg, cyclic_sccs, flop_register_supports
+from repro.netlist import GateOp, Netlist
+
+
+def ring_netlist(n=4):
+    """n flops in a ring plus one isolated flop."""
+    netlist = Netlist("ring")
+    netlist.add_input("a")
+    for k in range(n):
+        netlist.add_flop(f"q{k}", f"d{k}")
+    for k in range(n):
+        netlist.add_gate(f"d{k}", GateOp.XOR, (f"q{(k + 1) % n}", "a"))
+    netlist.add_flop("lone", "lone_d")
+    netlist.add_gate("lone_d", GateOp.NOT, ("a",))
+    netlist.add_output("q0")
+    return netlist.validate()
+
+
+class TestSupports:
+    def test_ring_supports(self):
+        netlist = ring_netlist(3)
+        supports = flop_register_supports(netlist)
+        assert supports["q0"] == {"q1"}
+        assert supports["q2"] == {"q0"}
+        assert supports["lone"] == frozenset()
+
+    def test_deep_cone_union(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        netlist.add_flop("q0", "mix")
+        netlist.add_flop("q1", "a")
+        netlist.add_flop("q2", "a")
+        netlist.add_gate("stage1", GateOp.AND, ("q1", "a"))
+        netlist.add_gate("mix", GateOp.OR, ("stage1", "q2"))
+        netlist.add_output("q0")
+        supports = flop_register_supports(netlist.validate())
+        assert supports["q0"] == {"q1", "q2"}
+
+    def test_self_loop(self):
+        netlist = Netlist()
+        netlist.add_flop("q", "d")
+        netlist.add_gate("d", GateOp.NOT, ("q",))
+        netlist.add_output("q")
+        assert flop_register_supports(netlist)["q"] == {"q"}
+
+
+class TestGraph:
+    def test_ring_is_one_scc(self):
+        graph = build_rcg(ring_netlist(4))
+        components = cyclic_sccs(graph)
+        assert len(components) == 1
+        assert components[0] == {"q0", "q1", "q2", "q3"}
+
+    def test_lone_register_not_cyclic(self):
+        graph = build_rcg(ring_netlist(4))
+        assert "lone" in graph.nodes
+        assert all("lone" not in c for c in cyclic_sccs(graph))
+
+    def test_self_loop_counts_as_cyclic(self):
+        netlist = Netlist()
+        netlist.add_flop("q", "d")
+        netlist.add_gate("d", GateOp.NOT, ("q",))
+        netlist.add_output("q")
+        components = cyclic_sccs(build_rcg(netlist))
+        assert components == [{"q"}]
+
+    def test_provenance_attributes(self):
+        netlist = ring_netlist(2)
+        graph = build_rcg(netlist, provenance={"q0": "extra"})
+        assert graph.nodes["q0"]["provenance"] == "extra"
+        assert graph.nodes["q1"]["provenance"] == "original"
+
+    def test_edge_direction(self):
+        graph = build_rcg(ring_netlist(3))
+        # q0 reads q1 -> edge q1 -> q0.
+        assert graph.has_edge("q1", "q0")
+        assert not graph.has_edge("q0", "q1")
+
+    def test_matches_naive_per_flop_traversal(self, locked_mid):
+        netlist = locked_mid.netlist
+        supports = flop_register_supports(netlist)
+        for q, flop in list(netlist.flops.items())[:10]:
+            assert supports[q] == netlist.register_support(flop.d)

@@ -1,0 +1,137 @@
+"""Tests for state re-encoding (Algorithm 1 + encoder/decoder)."""
+
+import itertools
+
+import pytest
+
+from repro.core import (
+    KeySequence,
+    TriLockConfig,
+    build_rcg,
+    cyclic_sccs,
+    insert_encoder_decoder,
+    lock,
+)
+from repro.errors import LockingError
+from repro.netlist import GateOp, LogicBuilder, Netlist
+from repro.sim import SequentialSimulator, make_rng, random_vectors
+
+from tests.conftest import _mid_circuit
+from tests.util import reference_eval
+
+
+class TestEncoderDecoderFixedPoint:
+    def test_dec_enc_identity_exhaustive(self):
+        """dec(enc(a)) = a for all 2-bit a — the paper's fixed-point
+        condition, checked on real gates."""
+        netlist = Netlist("codec")
+        s1 = netlist.add_input("s1")
+        s2 = netlist.add_input("s2")
+        netlist.add_flop("r1", "s1")
+        netlist.add_flop("r2", "s2")
+        netlist.add_output("r1")
+        netlist.add_output("r2")
+        builder = LogicBuilder(netlist, prefix="re")
+        regs = insert_encoder_decoder(builder, "r1", "r2")
+        netlist.validate()
+        assert len(regs) == 4
+
+        sim = SequentialSimulator(netlist)
+        for bits in itertools.product([False, True], repeat=2):
+            trace = sim.run_vectors([bits, (False, False)])
+            # Cycle 1 outputs = decoded state captured at cycle 0.
+            assert trace[1] == bits
+
+    def test_reset_state_decodes_to_zero(self):
+        netlist = Netlist("codec0")
+        netlist.add_input("s1")
+        netlist.add_input("s2")
+        netlist.add_flop("r1", "s1")
+        netlist.add_flop("r2", "s2")
+        netlist.add_output("r1")
+        netlist.add_output("r2")
+        builder = LogicBuilder(netlist, prefix="re")
+        insert_encoder_decoder(builder, "r1", "r2")
+        values = reference_eval(
+            netlist, {"s1": False, "s2": False,
+                      **{q: False for q in netlist.flops}})
+        assert values["r1"] is False and values["r2"] is False
+
+    def test_nonzero_reset_rejected(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        netlist.add_flop("r1", "a", init=True)
+        netlist.add_flop("r2", "a")
+        netlist.add_output("r1")
+        builder = LogicBuilder(netlist)
+        with pytest.raises(LockingError):
+            insert_encoder_decoder(builder, "r1", "r2")
+
+
+class TestReencodedLockedCircuit:
+    def test_function_preserved_for_all_key_classes(self):
+        base = _mid_circuit()
+        plain = lock(base, TriLockConfig(kappa_s=2, kappa_f=1, alpha=0.6,
+                                         s_pairs=0, seed=5))
+        recoded = lock(base, TriLockConfig(kappa_s=2, kappa_f=1, alpha=0.6,
+                                           s_pairs=8, seed=5))
+        assert plain.key == recoded.key
+        rng = make_rng(17)
+        width = plain.width
+        kappa = plain.config.kappa
+        keys = [plain.key] + [
+            KeySequence.from_int(rng.randrange(1 << (kappa * width)),
+                                 kappa, width)
+            for _ in range(8)
+        ]
+        for key in keys:
+            vectors = random_vectors(rng, width, 9)
+            a = SequentialSimulator(plain.netlist).run_vectors(
+                plain.stimulus_with_key(key, vectors))
+            b = SequentialSimulator(recoded.netlist).run_vectors(
+                recoded.stimulus_with_key(key, vectors))
+            assert a == b, str(key)
+
+    def test_metadata_updates(self, locked_mid_reencoded):
+        locked = locked_mid_reencoded
+        assert locked.reencoded_pairs
+        assert len(locked.encoded_registers) == \
+            4 * len(locked.reencoded_pairs)
+        provenance = locked.register_provenance()
+        for q in locked.encoded_registers:
+            assert provenance[q] == "encoded"
+        # Replaced registers no longer exist in the netlist.
+        for r1, r2 in locked.reencoded_pairs:
+            assert not locked.netlist.is_flop(r1)
+            assert not locked.netlist.is_flop(r2)
+            # ...but their nets are still driven (decoder aliases).
+            assert locked.netlist.is_gate(r1)
+            assert locked.netlist.is_gate(r2)
+
+    def test_pairs_mix_original_and_extra_first(self, locked_mid_reencoded):
+        locked = locked_mid_reencoded
+        r1, r2 = locked.reencoded_pairs[0]
+        assert r1 in locked.original_registers
+        assert r2 in locked.extra_registers
+
+    def test_sccs_merge(self, locked_mid, locked_mid_reencoded):
+        def mixed_fraction(locked):
+            provenance = locked.register_provenance()
+            graph = build_rcg(locked.netlist, provenance)
+            in_mixed = 0
+            for component in cyclic_sccs(graph):
+                kinds = {graph.nodes[n]["provenance"] for n in component}
+                if len(kinds) > 1 or "encoded" in kinds:
+                    in_mixed += len(component)
+            return in_mixed / locked.netlist.num_flops()
+
+        assert mixed_fraction(locked_mid) == 0.0
+        assert mixed_fraction(locked_mid_reencoded) > 0.8
+
+    def test_stops_when_nothing_left(self):
+        base = _mid_circuit()
+        modest = lock(base, TriLockConfig(kappa_s=1, kappa_f=1, alpha=0.5,
+                                          s_pairs=500, seed=6))
+        # Far fewer than 500 pairs exist; the loop must stop gracefully.
+        assert len(modest.reencoded_pairs) < 60
+        modest.netlist.validate()

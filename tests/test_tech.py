@@ -1,0 +1,159 @@
+"""Tests for the technology model: mapping, timing, power, overhead."""
+
+import pytest
+
+from repro.errors import TechError
+from repro.netlist import GateOp, Netlist
+from repro.tech import (
+    DEFAULT_LIBRARY,
+    arrival_times,
+    cell_area,
+    critical_path_delay,
+    leakage_power_nw,
+    measure_adp,
+    overhead,
+    simulate_power,
+)
+from repro.bench.iscas import load_embedded
+
+from tests.util import random_seq_netlist
+
+
+class TestLibraryMapping:
+    def test_simple_cells(self):
+        mapped = DEFAULT_LIBRARY.map_gate(GateOp.NAND, 2)
+        assert mapped.cells[0].name == "NAND2_X1"
+        assert mapped.area_um2 == pytest.approx(0.798)
+
+    def test_wide_and_becomes_tree(self):
+        mapped = DEFAULT_LIBRARY.map_gate(GateOp.AND, 9)
+        # ceil((9-1)/3) = 3 four-input cells
+        assert len(mapped.cells) == 3
+        assert mapped.area_um2 > DEFAULT_LIBRARY.map_gate(GateOp.AND, 4).area_um2
+
+    def test_wide_xor_chain(self):
+        mapped = DEFAULT_LIBRARY.map_gate(GateOp.XNOR, 4)
+        assert len(mapped.cells) == 3
+        assert mapped.cells[-1].name == "XNOR2_X1"
+
+    def test_constants_are_tie_cells(self):
+        mapped = DEFAULT_LIBRARY.map_gate(GateOp.CONST1, 0)
+        assert mapped.cells[0].name == "TIE_X1"
+        assert mapped.switch_energy_fj == 0.0
+
+    def test_cell_lookup(self):
+        assert DEFAULT_LIBRARY.cell("DFF_X1").area_um2 == pytest.approx(4.522)
+        with pytest.raises(TechError):
+            DEFAULT_LIBRARY.cell("NAND9_X9")
+
+    def test_bad_arity(self):
+        with pytest.raises(TechError):
+            DEFAULT_LIBRARY.map_gate(GateOp.AND, 1)
+
+
+class TestAreaAndLeakage:
+    def test_counts_gates_and_flops(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        netlist.add_flop("q", "d")
+        netlist.add_gate("d", GateOp.NAND, ("a", "q"))
+        netlist.add_output("q")
+        lib = DEFAULT_LIBRARY
+        expected = lib.cell("NAND2_X1").area_um2 + lib.dff().area_um2
+        assert cell_area(netlist) == pytest.approx(expected)
+        assert leakage_power_nw(netlist) == pytest.approx(
+            lib.cell("NAND2_X1").leakage_nw + lib.dff().leakage_nw)
+
+    def test_area_monotone_in_gate_count(self):
+        small = random_seq_netlist(0, n_gates=10)
+        large = random_seq_netlist(0, n_gates=40)
+        assert cell_area(large) > cell_area(small)
+
+
+class TestTiming:
+    def test_chain_delay_adds_up(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        netlist.add_gate("x1", GateOp.NOT, ("a",))
+        netlist.add_gate("x2", GateOp.NOT, ("x1",))
+        netlist.add_gate("x3", GateOp.NOT, ("x2",))
+        netlist.add_output("x3")
+        inv = DEFAULT_LIBRARY.cell("INV_X1").delay_ns
+        assert critical_path_delay(netlist) == pytest.approx(3 * inv)
+
+    def test_flop_paths_include_clk_q_and_setup(self):
+        netlist = Netlist()
+        netlist.add_flop("q", "d")
+        netlist.add_gate("d", GateOp.NOT, ("q",))
+        netlist.add_output("q")
+        lib = DEFAULT_LIBRARY
+        expected = lib.dff().delay_ns + lib.cell("INV_X1").delay_ns + \
+            lib.dff_setup_ns()
+        assert critical_path_delay(netlist) == pytest.approx(expected)
+
+    def test_arrival_times_cover_all_nets(self):
+        netlist = random_seq_netlist(3)
+        arrivals = arrival_times(netlist)
+        assert set(arrivals) >= set(netlist.gates)
+
+
+class TestPower:
+    def test_toggling_circuit_consumes_dynamic_power(self):
+        # A free-running toggle flop switches every cycle.
+        netlist = Netlist()
+        netlist.add_input("unused")
+        netlist.add_flop("q", "d")
+        netlist.add_gate("d", GateOp.NOT, ("q",))
+        netlist.add_output("q")
+        report = simulate_power(netlist, cycles=16, patterns=8)
+        assert report.dynamic_uw > 0
+        assert report.leakage_uw > 0
+
+    def test_quiet_circuit_has_no_dynamic_power(self):
+        netlist = Netlist()
+        netlist.add_input("unused")
+        netlist.add_gate("k", GateOp.CONST1, ())
+        netlist.add_flop("q", "k")
+        netlist.add_output("q")
+        report = simulate_power(netlist, cycles=16, patterns=8)
+        # One flop toggle (0 -> 1 after reset), then silence: far below
+        # the free-running toggle flop above.
+        busy = Netlist()
+        busy.add_input("unused")
+        busy.add_flop("q", "d")
+        busy.add_gate("d", GateOp.NOT, ("q",))
+        busy.add_output("q")
+        busy_report = simulate_power(busy, cycles=16, patterns=8)
+        assert report.dynamic_uw < busy_report.dynamic_uw / 5
+
+    def test_deterministic_given_seed(self):
+        netlist = random_seq_netlist(5)
+        a = simulate_power(netlist, seed=42).total_uw
+        b = simulate_power(netlist, seed=42).total_uw
+        assert a == b
+
+
+class TestOverhead:
+    def test_self_overhead_is_zero(self):
+        netlist = load_embedded("s27")
+        report = overhead(netlist, netlist.copy())
+        assert report.area_overhead == pytest.approx(0.0)
+        assert report.delay_overhead == pytest.approx(0.0)
+        assert report.power_overhead == pytest.approx(0.0, abs=1e-9)
+
+    def test_added_logic_shows_up(self):
+        original = load_embedded("s27")
+        bigger = original.copy()
+        bigger.add_gate("extra1", GateOp.XOR, ("G0", "G1"))
+        bigger.add_gate("extra2", GateOp.XOR, ("extra1", "G2"))
+        bigger.add_flop("extra_q", "extra2")
+        bigger.add_output("extra_q")
+        report = overhead(original, bigger)
+        assert report.area_overhead > 0
+        assert report.locked.area_um2 > report.original.area_um2
+
+    def test_measure_adp_shape(self):
+        report = measure_adp(load_embedded("s27"))
+        assert report.area_um2 > 0
+        assert report.delay_ns > 0
+        assert report.power_uw > 0

@@ -1,0 +1,156 @@
+"""Tests for netlist rewriting passes (fold, sweep, partial evaluation)."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist import (
+    GateOp,
+    Netlist,
+    merged,
+    relabelled,
+    simplified,
+)
+from repro.bench.iscas import load_embedded
+
+from tests.util import (
+    all_assignments,
+    random_comb_netlist,
+    random_seq_netlist,
+    reference_outputs,
+    reference_sequential_run,
+)
+from repro.sim import random_vectors, make_rng
+
+
+class TestSimplifiedPreservesFunction:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_combinational_equivalence(self, seed):
+        original = random_comb_netlist(seed)
+        slim = simplified(original)
+        for assignment in all_assignments(original.inputs):
+            assert reference_outputs(slim, assignment) == \
+                reference_outputs(original, assignment)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_sequential_equivalence(self, seed):
+        original = random_seq_netlist(seed)
+        slim = simplified(original)
+        rng = make_rng(seed)
+        vectors = random_vectors(rng, len(original.inputs), 12)
+        assert reference_sequential_run(slim, vectors) == \
+            reference_sequential_run(original, vectors)
+
+    def test_s27_simplification_preserves_trace(self):
+        original = load_embedded("s27")
+        slim = simplified(original)
+        vectors = random_vectors(make_rng(7), 4, 20)
+        assert reference_sequential_run(slim, vectors) == \
+            reference_sequential_run(original, vectors)
+
+    def test_never_grows(self):
+        for seed in range(8):
+            original = random_comb_netlist(seed, n_gates=20)
+            assert simplified(original).num_gates() <= original.num_gates()
+
+
+class TestDeadLogicRemoval:
+    def test_unreachable_gates_dropped(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        netlist.add_gate("used", GateOp.NOT, ("a",))
+        netlist.add_gate("dead", GateOp.AND, ("a", "used"))
+        netlist.add_output("used")
+        slim = simplified(netlist)
+        assert slim.num_gates() == 1
+
+    def test_constant_cone_collapses(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        netlist.add_gate("zero", GateOp.CONST0, ())
+        netlist.add_gate("anded", GateOp.AND, ("a", "zero"))
+        netlist.add_gate("ored", GateOp.OR, ("anded", "zero"))
+        netlist.add_output("ored")
+        slim = simplified(netlist)
+        assert slim.gate(slim.outputs[0]).op is GateOp.CONST0
+        assert slim.num_gates() == 1
+
+
+class TestPartialEvaluation:
+    def test_constant_inputs_disappear(self):
+        netlist = Netlist()
+        for name in ("a", "b", "c"):
+            netlist.add_input(name)
+        netlist.add_gate("y", GateOp.AND, ("a", "b", "c"))
+        netlist.add_output("y")
+        slim = simplified(netlist, constant_inputs={"b": 1})
+        assert slim.inputs == ("a", "c")
+        for assignment in all_assignments(("a", "c")):
+            full = dict(assignment, b=True)
+            assert reference_outputs(slim, assignment) == \
+                reference_outputs(netlist, full)
+
+    def test_all_inputs_constant_gives_constant_circuit(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        netlist.add_gate("y", GateOp.NOT, ("a",))
+        netlist.add_output("y")
+        slim = simplified(netlist, constant_inputs={"a": 0})
+        assert slim.inputs == ()
+        assert reference_outputs(slim, {}) == (True,)
+
+    def test_rejects_non_input_key(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        netlist.add_gate("y", GateOp.NOT, ("a",))
+        netlist.add_output("y")
+        with pytest.raises(NetlistError):
+            simplified(netlist, constant_inputs={"y": 1})
+
+    def test_flop_d_may_become_constant(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        netlist.add_flop("q", "d")
+        netlist.add_gate("d", GateOp.AND, ("a", "q"))
+        netlist.add_output("q")
+        slim = simplified(netlist, constant_inputs={"a": 0})
+        assert slim.num_flops() == 1  # flop survives even with constant D
+
+
+class TestRelabelled:
+    def test_interface_stable_and_function_preserved(self):
+        original = random_seq_netlist(3)
+        renamed = relabelled(original, "t")
+        assert renamed.inputs == original.inputs
+        assert set(renamed.flops) == set(original.flops)
+        vectors = random_vectors(make_rng(3), len(original.inputs), 8)
+        assert reference_sequential_run(renamed, vectors) == \
+            reference_sequential_run(original, vectors)
+
+
+class TestMerged:
+    def test_stitches_on_shared_nets(self):
+        target = Netlist("host")
+        target.add_input("a")
+        target.add_gate("inv", GateOp.NOT, ("a",))
+        target.add_output("inv")
+
+        addon = Netlist("addon")
+        addon.add_input("inv")  # reads the host's net
+        addon.add_input("fresh")
+        addon.add_gate("mix", GateOp.AND, ("inv", "fresh"))
+        addon.add_output("mix")
+
+        merged(target, addon)
+        target.validate()
+        assert target.inputs == ("a", "fresh")
+        assert target.outputs == ("inv", "mix")
+
+    def test_collision_raises(self):
+        target = Netlist()
+        target.add_input("a")
+        target.add_gate("x", GateOp.NOT, ("a",))
+        addon = Netlist()
+        addon.add_input("a")
+        addon.add_gate("x", GateOp.BUF, ("a",))
+        with pytest.raises(NetlistError):
+            merged(target, addon)

@@ -1,0 +1,140 @@
+"""Tests for unrolling: semantics vs sequential simulation, interface map."""
+
+import pytest
+
+from repro.errors import UnrollError
+from repro.netlist import GateOp, Netlist
+from repro.sim import CombSimulator, SequentialSimulator, make_rng, random_vectors
+from repro.unroll import unroll
+from repro.bench.iscas import load_embedded
+
+from tests.util import random_seq_netlist
+
+
+def unrolled_trace(unrolled, vectors):
+    """Evaluate an unrolled circuit on per-cycle vectors; per-cycle tuples."""
+    sim = CombSimulator(unrolled.netlist)
+    words = {}
+    for cycle, vector in enumerate(vectors):
+        for net, bit in zip(unrolled.source.inputs, vector):
+            words[unrolled.input_net(net, cycle)] = 1 if bit else 0
+    values = sim.evaluate(words, 1)
+    trace = []
+    for cycle in range(unrolled.depth):
+        trace.append(tuple(
+            bool(values[net]) for net in unrolled.outputs_at(cycle)
+        ))
+    return trace
+
+
+class TestUnrollSemantics:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("depth", [1, 3, 5])
+    def test_matches_sequential_simulation(self, seed, depth):
+        netlist = random_seq_netlist(seed)
+        unrolled = unroll(netlist, depth)
+        vectors = random_vectors(make_rng(seed * 10 + depth),
+                                 len(netlist.inputs), depth)
+        sequential = SequentialSimulator(netlist).run_vectors(vectors)
+        assert unrolled_trace(unrolled, vectors) == sequential
+
+    def test_s27_depths(self):
+        netlist = load_embedded("s27")
+        for depth in (1, 2, 4):
+            unrolled = unroll(netlist, depth)
+            vectors = random_vectors(make_rng(depth), 4, depth)
+            sequential = SequentialSimulator(netlist).run_vectors(vectors)
+            assert unrolled_trace(unrolled, vectors) == sequential
+
+    def test_nonzero_reset_state_respected(self):
+        netlist = Netlist("setflop")
+        netlist.add_input("a")
+        netlist.add_flop("q", "d", init=True)
+        netlist.add_gate("d", GateOp.AND, ("q", "a"))
+        netlist.add_output("q")
+        unrolled = unroll(netlist, 2)
+        trace = unrolled_trace(unrolled, [(False,), (False,)])
+        assert trace == [(True,), (False,)]
+
+    def test_flop_q_output_aliases(self):
+        netlist = Netlist("qout")
+        netlist.add_input("a")
+        netlist.add_flop("q", "a")
+        netlist.add_output("q")
+        unrolled = unroll(netlist, 3)
+        trace = unrolled_trace(unrolled, [(True,), (False,), (True,)])
+        assert trace == [(False,), (True,), (False,)]
+
+
+class TestFreeInitialState:
+    def test_state_becomes_inputs(self):
+        netlist = random_seq_netlist(2)
+        unrolled = unroll(netlist, 2, free_initial_state=True)
+        assert len(unrolled.state_inputs) == netlist.num_flops()
+        for net in unrolled.state_inputs:
+            assert net.endswith("@init")
+            assert unrolled.netlist.is_input(net)
+
+    def test_free_state_reproduces_forced_state_run(self):
+        netlist = random_seq_netlist(5)
+        depth = 3
+        unrolled = unroll(netlist, depth, free_initial_state=True)
+        rng = make_rng(11)
+        vectors = random_vectors(rng, len(netlist.inputs), depth)
+        state = {q: bool(rng.getrandbits(1)) for q in netlist.flops}
+
+        sim = CombSimulator(unrolled.netlist)
+        words = {}
+        for cycle, vector in enumerate(vectors):
+            for net, bit in zip(netlist.inputs, vector):
+                words[unrolled.input_net(net, cycle)] = 1 if bit else 0
+        for q in netlist.flops:
+            words[f"{q}@init"] = 1 if state[q] else 0
+        values = sim.evaluate(words, 1)
+        got = [
+            tuple(bool(values[n]) for n in unrolled.outputs_at(c))
+            for c in range(depth)
+        ]
+        expected = SequentialSimulator(netlist).run_vectors(
+            vectors, initial_state=state)
+        assert got == expected
+
+
+class TestInterfaceMap:
+    def test_input_output_lookup(self):
+        netlist = random_seq_netlist(1)
+        unrolled = unroll(netlist, 2)
+        first_input = netlist.inputs[0]
+        assert unrolled.input_net(first_input, 1) == f"{first_input}@1"
+        assert unrolled.inputs_at(0) == [f"{n}@0" for n in netlist.inputs]
+        assert len(unrolled.all_outputs()) == 2 * len(netlist.outputs)
+
+    def test_bad_lookups_raise(self):
+        netlist = random_seq_netlist(1)
+        unrolled = unroll(netlist, 2)
+        with pytest.raises(UnrollError):
+            unrolled.input_net("nonexistent", 0)
+        with pytest.raises(UnrollError):
+            unrolled.input_net(netlist.inputs[0], 2)
+        with pytest.raises(UnrollError):
+            unrolled.outputs_at(-1)
+
+
+class TestValidation:
+    def test_depth_must_be_positive(self):
+        with pytest.raises(UnrollError):
+            unroll(random_seq_netlist(0), 0)
+
+    def test_at_sign_nets_rejected(self):
+        netlist = Netlist()
+        netlist.add_input("a@0")
+        netlist.add_gate("y", GateOp.NOT, ("a@0",))
+        netlist.add_output("y")
+        with pytest.raises(UnrollError):
+            unroll(netlist, 1)
+
+    def test_gate_count_scales_linearly(self):
+        netlist = random_seq_netlist(4)
+        single = unroll(netlist, 1).netlist.num_gates()
+        triple = unroll(netlist, 3).netlist.num_gates()
+        assert triple >= 3 * (single - len(netlist.outputs) - 2)

@@ -1,0 +1,98 @@
+"""Tests for the structural Verilog writer."""
+
+import re
+
+import pytest
+
+from repro.bench.iscas import load_embedded
+from repro.errors import NetlistError
+from repro.netlist import GateOp, Netlist
+from repro.netlist.verilog_io import dump_verilog, dumps_verilog
+
+from tests.conftest import _locked_tiny
+
+
+class TestStructure:
+    def test_s27_module(self):
+        text = dumps_verilog(load_embedded("s27"))
+        assert text.startswith("// generated")
+        assert "module s27 (clk, rst, G0, G1, G2, G3, po0);" in text
+        assert "assign po0 = G17;" in text
+        assert "always @(posedge clk)" in text
+        assert "G5 <= G10;" in text
+        assert text.rstrip().endswith("endmodule")
+
+    def test_every_gate_instantiated(self):
+        netlist = load_embedded("s27")
+        text = dumps_verilog(netlist)
+        instances = re.findall(r"^\s+(and|or|nand|nor|xor|xnor|not|buf) g\d+",
+                               text, re.M)
+        assert len(instances) == netlist.num_gates()
+
+    def test_constants_become_assigns(self):
+        netlist = Netlist("consts")
+        netlist.add_input("a")
+        netlist.add_gate("one", GateOp.CONST1, ())
+        netlist.add_gate("zero", GateOp.CONST0, ())
+        netlist.add_gate("y", GateOp.AND, ("a", "one"))
+        netlist.add_output("y")
+        netlist.add_output("zero")
+        text = dumps_verilog(netlist)
+        assert "assign one = 1'b1;" in text
+        assert "assign zero = 1'b0;" in text
+
+    def test_reset_values(self):
+        netlist = Netlist("rv")
+        netlist.add_input("a")
+        netlist.add_flop("q0", "a", init=False)
+        netlist.add_flop("q1", "a", init=True)
+        netlist.add_output("q1")
+        text = dumps_verilog(netlist)
+        assert "q0 <= 1'b0;" in text
+        assert "q1 <= 1'b1;" in text
+
+
+class TestSanitisation:
+    def test_illegal_characters_rewritten(self):
+        netlist = Netlist("weird")
+        netlist.add_input("sig@0")
+        netlist.add_gate("io::x", GateOp.NOT, ("sig@0",))
+        netlist.add_output("io::x")
+        text = dumps_verilog(netlist)
+        assert "@" not in text.split("\n", 1)[1]
+        assert "::" not in text
+        assert "sig_0" in text
+
+    def test_keyword_collision(self):
+        netlist = Netlist("kw")
+        netlist.add_input("wire")
+        netlist.add_gate("output", GateOp.NOT, ("wire",))
+        netlist.add_output("output")
+        text = dumps_verilog(netlist)
+        # both must have been renamed in the port list
+        header = text.split(";", 1)[0]
+        assert "wire_1" in header or "wire_" in header
+
+    def test_clock_collision_rejected(self):
+        netlist = Netlist("clash")
+        netlist.add_input("clk")
+        netlist.add_gate("y", GateOp.NOT, ("clk",))
+        netlist.add_output("y")
+        with pytest.raises(NetlistError):
+            dumps_verilog(netlist)
+
+    def test_custom_clock_names(self):
+        netlist = load_embedded("s27")
+        text = dumps_verilog(netlist, clock="ck", reset="srst")
+        assert "posedge ck" in text and "if (srst)" in text
+
+
+class TestLockedExport:
+    def test_locked_circuit_exports(self, tmp_path):
+        locked = _locked_tiny()
+        path = tmp_path / "locked.v"
+        dump_verilog(locked.netlist, path, module_name="trilocked")
+        text = path.read_text()
+        assert "module trilocked" in text
+        instances = re.findall(r" g\d+ \(", text)
+        assert len(instances) >= locked.netlist.num_gates() - 2

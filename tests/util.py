@@ -1,0 +1,109 @@
+"""Shared test helpers: reference evaluators and random circuit factories.
+
+The reference evaluator here is deliberately naive (memoised recursion over
+``evaluate_bools``) so it shares no code with the bit-parallel simulator it
+cross-checks.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+from repro.netlist import GateOp, Netlist, evaluate_bools
+
+COMB_OPS = [
+    GateOp.AND,
+    GateOp.NAND,
+    GateOp.OR,
+    GateOp.NOR,
+    GateOp.XOR,
+    GateOp.XNOR,
+    GateOp.NOT,
+    GateOp.BUF,
+]
+
+
+def reference_eval(netlist, assignment):
+    """Evaluate every net with plain recursion; ``assignment`` covers
+    primary inputs and flop Q nets with bools."""
+    cache = dict(assignment)
+
+    def value_of(net):
+        if net in cache:
+            return cache[net]
+        gate = netlist.gate(net)
+        if gate.op is GateOp.CONST0:
+            result = False
+        elif gate.op is GateOp.CONST1:
+            result = True
+        else:
+            result = evaluate_bools(gate.op, [value_of(src) for src in gate.inputs])
+        cache[net] = result
+        return result
+
+    for net in netlist.topo_order():
+        value_of(net)
+    return cache
+
+
+def reference_outputs(netlist, assignment):
+    """Primary-output bools in declaration order."""
+    values = reference_eval(netlist, assignment)
+    return tuple(values[net] for net in netlist.outputs)
+
+
+def reference_sequential_run(netlist, vectors):
+    """Naive cycle-by-cycle run; returns per-cycle PO tuples."""
+    state = {q: flop.init for q, flop in netlist.flops.items()}
+    trace = []
+    for vector in vectors:
+        assignment = dict(zip(netlist.inputs, vector))
+        assignment.update(state)
+        values = reference_eval(netlist, assignment)
+        trace.append(tuple(values[net] for net in netlist.outputs))
+        state = {q: values[flop.d] for q, flop in netlist.flops.items()}
+    return trace
+
+
+def random_comb_netlist(seed, n_inputs=4, n_gates=12, n_outputs=3):
+    """Seeded random combinational netlist (every op can appear)."""
+    rng = random.Random(seed)
+    netlist = Netlist(f"rand_comb_{seed}")
+    pool = [netlist.add_input(f"pi{i}") for i in range(n_inputs)]
+    for index in range(n_gates):
+        op = rng.choice(COMB_OPS)
+        arity = 1 if op in (GateOp.NOT, GateOp.BUF) else rng.randint(2, 3)
+        inputs = [rng.choice(pool) for _ in range(arity)]
+        pool.append(netlist.add_gate(f"g{index}", op, inputs))
+    for index in range(n_outputs):
+        netlist.add_output(rng.choice(pool))
+    return netlist.validate()
+
+
+def random_seq_netlist(seed, n_inputs=3, n_flops=3, n_gates=14, n_outputs=2):
+    """Seeded random sequential netlist with feedback through flops."""
+    rng = random.Random(seed)
+    netlist = Netlist(f"rand_seq_{seed}")
+    inputs = [netlist.add_input(f"pi{i}") for i in range(n_inputs)]
+    flop_qs = [f"q{i}" for i in range(n_flops)]
+    pool = inputs + flop_qs
+    gate_nets = []
+    for index in range(n_gates):
+        op = rng.choice(COMB_OPS)
+        arity = 1 if op in (GateOp.NOT, GateOp.BUF) else rng.randint(2, 3)
+        gate_inputs = [rng.choice(pool) for _ in range(arity)]
+        net = netlist.add_gate(f"g{index}", op, gate_inputs)
+        pool.append(net)
+        gate_nets.append(net)
+    for q in flop_qs:
+        netlist.add_flop(q, rng.choice(gate_nets + inputs))
+    for _ in range(n_outputs):
+        netlist.add_output(rng.choice(gate_nets + flop_qs))
+    return netlist.validate()
+
+
+def all_assignments(nets):
+    """Iterate over every boolean assignment of ``nets``."""
+    for bits in itertools.product([False, True], repeat=len(nets)):
+        yield dict(zip(nets, bits))
