@@ -1,0 +1,22 @@
+# Developer entry points. `make test` is the tier-1 gate.
+
+PY ?= python
+export PYTHONPATH := src
+
+.PHONY: test smoke campaign-demo bench
+
+test:
+	$(PY) -m pytest -x -q
+
+smoke:
+	$(PY) -m pytest -q -m smoke
+
+# Cold campaign (real SAT attack), warm rerun (pure cache hits), then the
+# cache summary — the whole parallel/caching story in three commands.
+campaign-demo:
+	$(PY) -m repro.experiments table1 --jobs 4 --cache-dir .repro-cache
+	$(PY) -m repro.experiments table1 --jobs 4 --cache-dir .repro-cache
+	$(PY) -m repro.experiments status --cache-dir .repro-cache
+
+bench:
+	$(PY) -m pytest benchmarks -q

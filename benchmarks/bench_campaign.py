@@ -1,0 +1,35 @@
+"""Campaign-cache benchmark: a cold Table I campaign pays for the real
+SAT attack; the warm rerun is pure content-addressed cache hits and must
+be at least 5x faster while rendering a byte-identical table."""
+
+import tempfile
+import time
+
+from repro.campaign import Campaign
+from repro.experiments import table1_sat_resilience
+
+from conftest import run_once
+
+
+def test_campaign_warm_cache_speedup(benchmark, artifact_sink):
+    with tempfile.TemporaryDirectory() as cache:
+        start = time.perf_counter()
+        cold = table1_sat_resilience.run(
+            scale=0.08, effort="quick", campaign=Campaign(cache_dir=cache))
+        cold_seconds = time.perf_counter() - start
+
+        warm_campaign = Campaign(jobs=4, cache_dir=cache)
+        start = time.perf_counter()
+        warm = run_once(benchmark, table1_sat_resilience.run, 0.08, "quick",
+                        campaign=warm_campaign)
+        warm_seconds = time.perf_counter() - start
+
+        assert warm.render() == cold.render()
+        assert warm_campaign.store.stats.hits == 1
+        assert warm_campaign.store.stats.misses == 0
+        assert cold_seconds >= 5 * warm_seconds
+        artifact_sink(
+            "campaign_cache",
+            f"cold campaign: {cold_seconds:.2f}s\n"
+            f"warm campaign: {warm_seconds:.3f}s (all cache hits)\n"
+            f"speedup: {cold_seconds / warm_seconds:.0f}x\n")

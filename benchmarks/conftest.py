@@ -12,15 +12,23 @@ import os
 
 import pytest
 
+#: Default when ``REPRO_ARTIFACT_DIR`` is unset (parallel/CI runs point it
+#: somewhere private so concurrent suites don't clobber each other).
 ARTIFACT_DIR = os.path.join(os.path.dirname(__file__), "artifacts")
+
+
+def artifact_dir():
+    """Artifact directory honoring the ``REPRO_ARTIFACT_DIR`` override."""
+    return os.environ.get("REPRO_ARTIFACT_DIR") or ARTIFACT_DIR
 
 
 @pytest.fixture
 def artifact_sink():
     """Write a rendered artifact; returns the path."""
     def write(name, text):
-        os.makedirs(ARTIFACT_DIR, exist_ok=True)
-        path = os.path.join(ARTIFACT_DIR, f"{name}.txt")
+        base = artifact_dir()
+        os.makedirs(base, exist_ok=True)
+        path = os.path.join(base, f"{name}.txt")
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(text)
         return path

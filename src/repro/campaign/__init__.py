@@ -1,0 +1,35 @@
+"""Parallel campaign runner with content-addressed result caching.
+
+Experiments express their work as lists of pure :class:`CellSpec` jobs;
+a :class:`Campaign` executes them inline or over a process pool, reading
+and writing finished values through a :class:`ResultStore` keyed by the
+SHA-256 of each cell's full configuration.
+"""
+
+from repro.campaign.executor import Campaign, CellResult, resolve_cell_fn
+from repro.campaign.model import (
+    CODE_VERSION,
+    CellSpec,
+    canonical_json,
+    canonical_value,
+)
+from repro.campaign.store import (
+    ResultStore,
+    StoreStats,
+    default_cache_dir,
+    render_status,
+)
+
+__all__ = [
+    "CODE_VERSION",
+    "Campaign",
+    "CellResult",
+    "CellSpec",
+    "ResultStore",
+    "StoreStats",
+    "canonical_json",
+    "canonical_value",
+    "default_cache_dir",
+    "render_status",
+    "resolve_cell_fn",
+]

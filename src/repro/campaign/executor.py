@@ -1,0 +1,254 @@
+"""Campaign execution: serial or process-pool, cached, failure-isolated.
+
+:class:`Campaign` turns a list of :class:`~repro.campaign.model.CellSpec`
+into a list of :class:`CellResult` in spec order.  Finished values are
+read from / written to an optional :class:`~repro.campaign.store.ResultStore`,
+so an interrupted campaign resumes from the cells that completed.  Every
+cell failure (exception, unpicklable result, timeout, dead worker) is
+captured in its result instead of raised, so one diverging SAT cell
+cannot sink a 300-cell sweep.
+
+Progress is reported in spec order through an optional callback — cell
+``i`` is always announced before cell ``i+1`` even when a later cell
+finished first on another worker.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import importlib
+import time
+import traceback
+from dataclasses import dataclass
+
+from repro.campaign.model import CODE_VERSION, canonical_value
+from repro.campaign.store import ResultStore
+from repro.errors import CampaignError
+
+
+def resolve_cell_fn(path):
+    """Import and return the function named by ``"module:function"``."""
+    module_name, _, fn_name = path.partition(":")
+    if not module_name or not fn_name:
+        raise CampaignError(f"bad cell fn path {path!r}")
+    module = importlib.import_module(module_name)
+    try:
+        return getattr(module, fn_name)
+    except AttributeError:
+        raise CampaignError(f"{module_name} has no cell function {fn_name!r}")
+
+
+def _execute_cell(fn_path, kwargs):
+    """Worker-side cell execution; never raises (errors are data)."""
+    start = time.perf_counter()
+    try:
+        fn = resolve_cell_fn(fn_path)
+        # Canonicalize through JSON so a fresh value is bit-identical to
+        # the same value read back from the cache on a later run.
+        value = canonical_value(fn(**kwargs))
+    except (KeyboardInterrupt, SystemExit):
+        # Never absorb an interrupt as a cell failure: inline campaigns
+        # must stay interruptible (Ctrl-C aborts, finished cells remain
+        # cached for resume).
+        raise
+    except BaseException as error:  # noqa: BLE001 - failure capture is the point
+        return {
+            "ok": False,
+            "elapsed": time.perf_counter() - start,
+            "error": {
+                "type": type(error).__name__,
+                "message": str(error),
+                "traceback": traceback.format_exc(),
+            },
+        }
+    return {"ok": True, "value": value,
+            "elapsed": time.perf_counter() - start}
+
+
+@dataclass
+class CellResult:
+    """Outcome of one cell: a value, a cache hit, or a captured failure."""
+
+    spec: object
+    key: str
+    value: object = None
+    error: dict = None
+    cached: bool = False
+    elapsed: float = 0.0
+
+    @property
+    def ok(self):
+        return self.error is None
+
+    @property
+    def status(self):
+        if self.error is not None:
+            return "timeout" if self.error.get("type") == "TimeoutError" \
+                else "failed"
+        return "hit" if self.cached else "done"
+
+
+class Campaign:
+    """Execution policy for a batch of cells.
+
+    ``jobs`` — worker processes (1 = inline, no pool);
+    ``cache_dir``/``store`` — result cache (None = always recompute);
+    ``cell_timeout`` — bound on waiting for one cell's result, assessed
+    in spec order (pool mode only; inline cells run to completion).
+    This is a coarse campaign-liveness guard — a diverging cell costs at
+    most ``cell_timeout`` extra wall-clock once collection reaches it,
+    but concurrent runtime absorbed while earlier cells were collected
+    does not count, and a hung cell keeps occupying its worker slot
+    until the campaign ends.  For precise budgets use the attack-level
+    knobs (e.g. Table I's ``time_budget_per_cell``), which cells enforce
+    cooperatively;
+    ``progress`` — callback ``(index, total, CellResult)``.
+    """
+
+    def __init__(self, jobs=1, cache_dir=None, store=None, cell_timeout=None,
+                 progress=None, salt=CODE_VERSION):
+        if jobs < 1:
+            raise CampaignError(f"jobs must be >= 1, got {jobs}")
+        if store is None and cache_dir is not None:
+            store = ResultStore(cache_dir)
+        self.jobs = jobs
+        self.store = store
+        self.cell_timeout = cell_timeout
+        self.progress = progress
+        self.salt = salt
+
+    # ------------------------------------------------------------------
+    def run(self, specs):
+        """Execute every cell; returns :class:`CellResult` in spec order."""
+        specs = list(specs)
+        keys = [spec.key(self.salt) for spec in specs]
+        results = [None] * len(specs)
+        pending = []
+        for index, (spec, key) in enumerate(zip(specs, keys)):
+            value = self.store.get(key) if self.store is not None else None
+            if value is not None:
+                results[index] = CellResult(spec=spec, key=key, value=value,
+                                            cached=True)
+            else:
+                pending.append(index)
+
+        if not pending:
+            self._report_all(results)
+            return results
+        if self.jobs == 1:
+            self._run_inline(specs, keys, pending, results)
+        else:
+            self._run_pool(specs, keys, pending, results)
+        return results
+
+    def values(self, specs, allow_failures=False):
+        """Cell values in spec order; raises on failure unless allowed.
+
+        With ``allow_failures`` a failed cell yields ``None`` in its slot.
+        """
+        results = self.run(specs)
+        failures = [r for r in results if not r.ok]
+        if failures and not allow_failures:
+            first = failures[0]
+            detail = first.error.get("traceback") or first.error.get("message")
+            raise CampaignError(
+                f"{len(failures)} of {len(results)} cells failed; first: "
+                f"{first.spec.describe()}: {first.error['type']}: "
+                f"{first.error['message']}\n{detail}")
+        return [r.value for r in results]
+
+    def stats(self):
+        """Cache traffic of this campaign's store (zeros when uncached)."""
+        if self.store is None:
+            return None
+        return self.store.stats
+
+    # ------------------------------------------------------------------
+    def _run_inline(self, specs, keys, pending, results):
+        for index in range(len(specs)):
+            if results[index] is None:
+                envelope = _execute_cell(specs[index].fn,
+                                         specs[index].kwargs())
+                results[index] = self._absorb(specs[index], keys[index],
+                                              envelope)
+            self._report(index, len(specs), results[index])
+
+    def _run_pool(self, specs, keys, pending, results):
+        # Workers are killed rather than awaited when a cell timed out or
+        # the campaign is aborted (Ctrl-C): a hung cell would otherwise
+        # block shutdown (and interpreter exit) indefinitely.
+        kill_workers = True
+        pool = concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(pending)))
+        try:
+            futures = {
+                index: pool.submit(_execute_cell, specs[index].fn,
+                                   specs[index].kwargs())
+                for index in pending
+            }
+            timed_out = False
+            for index in range(len(specs)):
+                if results[index] is None:
+                    results[index] = self._collect(
+                        specs[index], keys[index], futures[index])
+                    timed_out = timed_out or \
+                        results[index].status == "timeout"
+                self._report(index, len(specs), results[index])
+            kill_workers = timed_out
+        finally:
+            if kill_workers:
+                for process in dict(getattr(pool, "_processes", None)
+                                    or {}).values():
+                    try:
+                        process.terminate()
+                    except OSError:  # pragma: no cover
+                        pass
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def _collect(self, spec, key, future):
+        start = time.perf_counter()
+        try:
+            envelope = future.result(timeout=self.cell_timeout)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except concurrent.futures.TimeoutError:
+            future.cancel()
+            envelope = {
+                "ok": False,
+                "elapsed": time.perf_counter() - start,
+                "error": {
+                    "type": "TimeoutError",
+                    "message": f"cell exceeded {self.cell_timeout}s budget",
+                    "traceback": "",
+                },
+            }
+        except BaseException as error:  # worker died, broken pool, ...
+            envelope = {
+                "ok": False,
+                "elapsed": time.perf_counter() - start,
+                "error": {
+                    "type": type(error).__name__,
+                    "message": str(error),
+                    "traceback": traceback.format_exc(),
+                },
+            }
+        return self._absorb(spec, key, envelope)
+
+    def _absorb(self, spec, key, envelope):
+        if envelope["ok"]:
+            value = envelope["value"]
+            if self.store is not None:
+                self.store.put(key, spec, value,
+                               elapsed=envelope["elapsed"])
+            return CellResult(spec=spec, key=key, value=value,
+                              elapsed=envelope["elapsed"])
+        return CellResult(spec=spec, key=key, error=envelope["error"],
+                          elapsed=envelope["elapsed"])
+
+    def _report(self, index, total, result):
+        if self.progress is not None:
+            self.progress(index, total, result)
+
+    def _report_all(self, results):
+        for index, result in enumerate(results):
+            self._report(index, len(results), result)

@@ -1,0 +1,92 @@
+"""The campaign cell model.
+
+A *cell* is the unit of experimental work: one pure, picklable function
+call ``fn(**params) -> dict`` whose result depends only on ``params``
+(circuit name, scale, seed, lock config, attack name, effort, ...).
+Experiments enumerate their table/figure as a list of :class:`CellSpec`
+and reassemble the rendered artifact from the cell values, which is what
+makes them parallelisable and cacheable without touching the rendering.
+
+The cache key of a cell is the SHA-256 digest of a canonical JSON
+encoding of ``(code-version salt, fn, params)``.  Bump
+:data:`CODE_VERSION` whenever cell semantics change so stale caches
+invalidate themselves.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import CampaignError
+
+#: Code-version salt mixed into every cache key. Bump on any change that
+#: alters what a cell function computes for the same params.
+CODE_VERSION = "trilock-campaign-v1"
+
+
+def canonical_json(value):
+    """Deterministic JSON encoding (sorted keys, no whitespace) — the
+    form that gets hashed into cache keys."""
+    try:
+        return json.dumps(value, sort_keys=True, separators=(",", ":"),
+                          allow_nan=False)
+    except (TypeError, ValueError) as error:
+        raise CampaignError(f"cell params must be JSON-serializable: {error}")
+
+
+def canonical_value(value):
+    """Round-trip a cell value through JSON, keeping dict key order.
+
+    This fixes tuple/list and int/float identities so a freshly computed
+    value is indistinguishable from the same value read back from the
+    cache — the key-order preservation is what keeps rendered table
+    columns stable."""
+    try:
+        return json.loads(json.dumps(value, allow_nan=False))
+    except (TypeError, ValueError) as error:
+        raise CampaignError(f"cell value must be JSON-serializable: {error}")
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One cacheable unit of experiment work.
+
+    ``fn`` is a dotted path ``"package.module:function"`` resolvable in a
+    fresh interpreter (this is what makes specs cheap to pickle into
+    worker processes); ``params`` are the function's keyword arguments.
+    """
+
+    fn: str
+    params: tuple = field(default=())   # canonical (key, value-json) pairs
+    experiment: str = ""
+    label: str = ""
+
+    @staticmethod
+    def make(fn, params, experiment="", label=""):
+        if ":" not in fn:
+            raise CampaignError(
+                f"cell fn {fn!r} must be a dotted 'module:function' path")
+        if not isinstance(params, dict):
+            raise CampaignError("cell params must be a dict")
+        frozen = tuple(sorted(
+            (key, canonical_json(value)) for key, value in params.items()))
+        return CellSpec(fn=fn, params=frozen, experiment=experiment,
+                        label=label or fn.split(":", 1)[1])
+
+    def kwargs(self):
+        """The params as the keyword-argument dict to call ``fn`` with."""
+        return {key: json.loads(raw) for key, raw in self.params}
+
+    def key(self, salt=CODE_VERSION):
+        """Content-address of this cell: hex SHA-256 digest."""
+        payload = canonical_json({
+            "salt": salt,
+            "fn": self.fn,
+            "params": {key: json.loads(raw) for key, raw in self.params},
+        })
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def describe(self):
+        return self.label or self.fn

@@ -1,0 +1,203 @@
+"""Content-addressed JSON result store.
+
+Layout: ``<cache_dir>/<key[:2]>/<key>.json`` where ``key`` is the cell's
+SHA-256 cache key.  Each entry is a self-describing envelope::
+
+    {"format": "trilock-cell-v1", "key": ..., "fn": ..., "params": ...,
+     "experiment": ..., "label": ..., "value": ..., "elapsed": ...}
+
+Writes are atomic (temp file + ``os.replace``) so an interrupted
+campaign never leaves a half-written entry; rerunning the campaign
+resumes from whatever completed.  Reads validate the envelope and the
+embedded key — corrupted or foreign files are evicted and counted as
+invalidations, then treated as misses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+
+ENTRY_FORMAT = "trilock-cell-v1"
+
+#: CLI fallback when neither ``--cache-dir`` nor the env var is given.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def default_cache_dir():
+    """Cache dir resolution shared by every CLI: flag > env > default."""
+    return os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
+
+
+@dataclass
+class StoreStats:
+    """Per-instance cache traffic counters."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    invalidations: int = 0
+
+    def as_dict(self):
+        return {"hits": self.hits, "misses": self.misses,
+                "puts": self.puts, "invalidations": self.invalidations}
+
+    def summary(self):
+        return (f"{self.hits} hits, {self.misses} misses, "
+                f"{self.puts} writes, {self.invalidations} invalidated")
+
+
+@dataclass
+class ResultStore:
+    """Content-addressed store of finished cell values."""
+
+    cache_dir: str
+    stats: StoreStats = field(default_factory=StoreStats)
+
+    def path_of(self, key):
+        return os.path.join(self.cache_dir, key[:2], f"{key}.json")
+
+    def get(self, key):
+        """The stored value for ``key``, or None on miss.
+
+        A value of ``None`` is never stored (cells return dicts), so the
+        None sentinel is unambiguous.
+        """
+        path = self.path_of(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (json.JSONDecodeError, OSError, UnicodeDecodeError):
+            self._evict(path)
+            self.stats.misses += 1
+            return None
+        if (not isinstance(entry, dict)
+                or entry.get("format") != ENTRY_FORMAT
+                or entry.get("key") != key
+                or "value" not in entry):
+            self._evict(path)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return entry["value"]
+
+    def put(self, key, spec, value, elapsed=0.0):
+        """Atomically persist a finished cell value."""
+        path = self.path_of(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        entry = {
+            "format": ENTRY_FORMAT,
+            "key": key,
+            "fn": spec.fn,
+            "params": spec.kwargs(),
+            "experiment": spec.experiment,
+            "label": spec.label,
+            "value": value,
+            "elapsed": elapsed,
+        }
+        handle = tempfile.NamedTemporaryFile(
+            "w", encoding="utf-8", dir=os.path.dirname(path),
+            prefix=f".{key[:8]}.", suffix=".tmp", delete=False)
+        try:
+            with handle:
+                # No key sorting: cell values keep their dict order so a
+                # cache hit replays the exact table-column order.
+                json.dump(entry, handle)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        self.stats.puts += 1
+        return path
+
+    def _evict(self, path):
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        self.stats.invalidations += 1
+
+    # ------------------------------------------------------------------
+    # Inspection (the `campaign status` command)
+    # ------------------------------------------------------------------
+    def _entry_paths(self):
+        """Every ``*.json`` path under the cache dir, readable or not."""
+        if not os.path.isdir(self.cache_dir):
+            return
+        for shard in sorted(os.listdir(self.cache_dir)):
+            shard_dir = os.path.join(self.cache_dir, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".json"):
+                    yield os.path.join(shard_dir, name)
+
+    def entries(self):
+        """Iterate over (path, envelope-or-None) for every entry file.
+
+        The key is the filename (the content address); the envelope is
+        None when the file is unreadable — inspection never trusts the
+        embedded key, only ``get`` validates it.
+        """
+        for path in self._entry_paths():
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    entry = json.load(handle)
+            except (json.JSONDecodeError, OSError, UnicodeDecodeError):
+                entry = None
+            yield path, entry if isinstance(entry, dict) else None
+
+    def status(self):
+        """Summary dict: entry/byte totals plus per-experiment counts."""
+        n_entries = 0
+        n_bytes = 0
+        by_experiment = {}
+        for path, entry in self.entries():
+            n_entries += 1
+            try:
+                n_bytes += os.path.getsize(path)
+            except OSError:
+                pass
+            if entry is None:
+                name = "(unreadable)"
+            else:
+                name = entry.get("experiment") or "(unlabelled)"
+            by_experiment[name] = by_experiment.get(name, 0) + 1
+        return {
+            "cache_dir": os.path.abspath(self.cache_dir),
+            "entries": n_entries,
+            "bytes": n_bytes,
+            "by_experiment": dict(sorted(by_experiment.items())),
+        }
+
+    def clear(self):
+        """Delete every entry file (even unreadable ones); returns how
+        many were removed."""
+        removed = 0
+        for path in list(self._entry_paths()):
+            try:
+                os.unlink(path)
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+def render_status(status):
+    """Human-readable `campaign status` text."""
+    lines = [f"cache dir: {status['cache_dir']}",
+             f"entries:   {status['entries']} "
+             f"({status['bytes'] / 1024:.1f} KiB)"]
+    for name, count in status["by_experiment"].items():
+        lines.append(f"  {name}: {count} cells")
+    if not status["by_experiment"]:
+        lines.append("  (empty)")
+    return "\n".join(lines)

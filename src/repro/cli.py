@@ -16,16 +16,23 @@ Attack a locked design (oracle = the original netlist)::
 Report security/cost metrics::
 
     repro-lock report design.bench locked.bench design.key
+
+Inspect or clear the experiment-campaign result cache::
+
+    repro-lock campaign status
+    repro-lock campaign clear --cache-dir /tmp/cells
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro.attacks import bounded_equivalence, scc_report, sequential_sat_attack
 from repro.attacks.oracle import SimulationOracle
+from repro.campaign import ResultStore, default_cache_dir, render_status
 from repro.core import KeySequence, TriLockConfig, lock
 from repro.core.locker import LockedCircuit
 from repro.errors import ReproError
@@ -77,6 +84,19 @@ def build_parser():
     report_cmd.add_argument("key")
     report_cmd.add_argument("--fc-depth", type=int, default=4)
     report_cmd.add_argument("--fc-samples", type=int, default=800)
+
+    campaign_cmd = commands.add_parser(
+        "campaign", help="inspect the experiment-campaign result cache")
+    campaign_sub = campaign_cmd.add_subparsers(dest="action", required=True)
+    for action in ("status", "clear"):
+        action_cmd = campaign_sub.add_parser(
+            action,
+            help="summarise cached cells" if action == "status"
+            else "delete every cached cell")
+        action_cmd.add_argument(
+            "--cache-dir", default=None,
+            help="cache directory (default $REPRO_CACHE_DIR or "
+                 ".repro-cache)")
     return parser
 
 
@@ -200,11 +220,24 @@ def cmd_report(args, out):
     return 0
 
 
+def cmd_campaign(args, out):
+    store = ResultStore(args.cache_dir if args.cache_dir
+                        else default_cache_dir())
+    if args.action == "clear":
+        removed = store.clear()
+        out.write(f"cleared {removed} cached cells from "
+                  f"{os.path.abspath(store.cache_dir)}\n")
+        return 0
+    out.write(render_status(store.status()) + "\n")
+    return 0
+
+
 _COMMANDS = {
     "lock": cmd_lock,
     "verify": cmd_verify,
     "attack": cmd_attack,
     "report": cmd_report,
+    "campaign": cmd_campaign,
 }
 
 

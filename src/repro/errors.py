@@ -66,3 +66,7 @@ class TechError(ReproError):
 
 class BenchmarkError(ReproError):
     """Benchmark-suite lookup or generation failure."""
+
+
+class CampaignError(ReproError):
+    """Invalid campaign request or a cell failure the caller did not allow."""

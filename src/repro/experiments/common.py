@@ -1,10 +1,8 @@
-"""Shared experiment plumbing: results, table rendering, suite loading."""
+"""Shared experiment plumbing: results and table rendering."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-
-from repro.bench.suite import load_suite_circuit, suite_names
 
 #: Default size scale of the synthetic suite for in-repo experiment runs
 #: (the paper's full-size circuits are pure-Python-hostile; DESIGN.md §4).
@@ -65,15 +63,10 @@ def format_table(rows, float_format="{:.3g}"):
     return "\n".join([header, separator] + body)
 
 
-def suite_circuits(scale=DEFAULT_SCALE, names=None, seed=0):
-    """Load (name, netlist) pairs of the paper suite at ``scale``."""
-    selected = names if names is not None else suite_names()
-    return [(name, load_suite_circuit(name, scale=scale, seed=seed))
-            for name in selected]
-
-
 def engineering(value):
     """Format big numbers like the paper ('3.9e+06', '32768')."""
+    if value != value:  # NaN: every attack cell failed, nothing to scale by
+        return "n/a"
     if value >= 1e5:
         return f"{value:.1e}"
     if isinstance(value, float) and value != int(value):

@@ -13,6 +13,7 @@ and checks they agree cell-for-cell.
 from __future__ import annotations
 
 from repro.bench.synth import generate_circuit
+from repro.campaign import Campaign, CellSpec
 from repro.core import (
     TriLockConfig,
     lock,
@@ -31,48 +32,62 @@ KEY_STAR = 0b100101
 KEY_STAR_STAR = 0b11
 NAIVE_KEY = 0b1001  # E^N key = k* prefix, κ = 2
 
+PANELS = ("(a) E^N", "(b) E^SF")
+
 
 def _host_circuit():
     return generate_circuit("fig3_host", n_inputs=WIDTH, n_outputs=2,
                             n_flops=3, n_gates=14, seed=1)
 
 
-def run(alpha=1.0):
+def panel_cell(panel, alpha):
+    """One Fig. 3 panel: exhaustive spec table vs gate-level table."""
+    host = _host_circuit()
+    if panel == "(a) E^N":
+        locked = lock(host, naive_config(
+            KAPPA_S, key_star=NAIVE_KEY, seed=2))
+        spec = naive_error_table(KAPPA_S, WIDTH, NAIVE_KEY, depth=KAPPA_S)
+    elif panel == "(b) E^SF":
+        locked = lock(host, TriLockConfig(
+            kappa_s=KAPPA_S, kappa_f=KAPPA_F, alpha=alpha,
+            key_star=KEY_STAR, key_star_star=KEY_STAR_STAR, seed=2))
+        spec = spec_error_table(locked.spec, depth=KAPPA_S)
+    else:
+        raise ValueError(f"unknown Fig. 3 panel {panel!r}")
+    measured = measured_error_table(locked, depth=KAPPA_S)
+    return {
+        "row": {
+            "panel": panel,
+            "inputs": spec.n_inputs,
+            "keys": spec.n_keys,
+            "errors": spec.error_count(),
+            "FC": spec.fc(),
+            "gate_level_matches_spec": measured.rows == spec.rows,
+        },
+        "ascii": spec.render(),
+    }
+
+
+def cells(alpha=1.0):
+    """One cell per panel."""
+    return [
+        CellSpec.make(
+            "repro.experiments.fig3_error_tables:panel_cell",
+            {"panel": panel, "alpha": alpha},
+            experiment="fig3", label=f"fig3/{panel}")
+        for panel in PANELS
+    ]
+
+
+def run(alpha=1.0, campaign=None):
     """Regenerate Fig. 3; ``alpha=1`` selects every blue square as the
     paper's drawing does."""
-    host = _host_circuit()
+    campaign = campaign if campaign is not None else Campaign()
+    values = campaign.values(cells(alpha=alpha))
+    return assemble(values, alpha=alpha)
 
-    naive_locked = lock(host, naive_config(
-        KAPPA_S, key_star=NAIVE_KEY, seed=2))
-    naive_spec = naive_error_table(KAPPA_S, WIDTH, NAIVE_KEY, depth=KAPPA_S)
-    naive_measured = measured_error_table(naive_locked, depth=KAPPA_S)
 
-    trilock = lock(host, TriLockConfig(
-        kappa_s=KAPPA_S, kappa_f=KAPPA_F, alpha=alpha,
-        key_star=KEY_STAR, key_star_star=KEY_STAR_STAR, seed=2))
-    trilock_spec = spec_error_table(trilock.spec, depth=KAPPA_S)
-    trilock_measured = measured_error_table(trilock, depth=KAPPA_S)
-
-    rows = [
-        {
-            "panel": "(a) E^N",
-            "inputs": naive_spec.n_inputs,
-            "keys": naive_spec.n_keys,
-            "errors": naive_spec.error_count(),
-            "FC": naive_spec.fc(),
-            "gate_level_matches_spec":
-                naive_measured.rows == naive_spec.rows,
-        },
-        {
-            "panel": "(b) E^SF",
-            "inputs": trilock_spec.n_inputs,
-            "keys": trilock_spec.n_keys,
-            "errors": trilock_spec.error_count(),
-            "FC": trilock_spec.fc(),
-            "gate_level_matches_spec":
-                trilock_measured.rows == trilock_spec.rows,
-        },
-    ]
+def assemble(values, alpha=1.0):
     result = ExperimentResult(
         experiment="fig3",
         title="Error tables of E^N and E^SF (exhaustive, spec vs gate level)",
@@ -80,7 +95,7 @@ def run(alpha=1.0):
             "|I|": WIDTH, "kappa_s": KAPPA_S, "kappa_f": KAPPA_F,
             "k*": bin(KEY_STAR), "k**": bin(KEY_STAR_STAR), "alpha": alpha,
         },
-        rows=rows,
+        rows=[value["row"] for value in values],
         notes=[
             "paper: panel (a) FC ~= 0.06 (Eq. 7); panel (b) FC up to 0.75 "
             "(Eq. 12) when all P entries are selected",
@@ -88,10 +103,8 @@ def run(alpha=1.0):
         ],
     )
     result.tables = {
-        "naive_spec": naive_spec,
-        "trilock_spec": trilock_spec,
-        "naive_measured": naive_measured,
-        "trilock_measured": trilock_measured,
+        panel: value["ascii"]
+        for panel, value in zip(PANELS, values, strict=True)
     }
     return result
 
@@ -99,8 +112,7 @@ def run(alpha=1.0):
 def render_tables(result):
     """ASCII art of both panels (inputs as rows, keys as columns)."""
     parts = []
-    for label, table in (("(a) E^N", result.tables["naive_spec"]),
-                         ("(b) E^SF", result.tables["trilock_spec"])):
+    for label in PANELS:
         parts.append(label)
-        parts.append(table.render())
+        parts.append(result.tables[label])
     return "\n".join(parts)

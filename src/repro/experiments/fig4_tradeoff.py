@@ -13,6 +13,7 @@ at the small-``κ`` end.
 
 from __future__ import annotations
 
+from repro.campaign import Campaign, CellSpec
 from repro.core import (
     ErrorSpec,
     fc_naive_approx,
@@ -30,7 +31,8 @@ WIDTH = 4  # the paper's "4-input circuit"
 ALPHAS = (0.0, 0.3, 0.6, 0.9)
 
 
-def run(max_kappa=10, validate=True):
+def curves_cell(max_kappa, validate):
+    """The analytic Fig. 4 curves plus the exhaustive cross-validation."""
     rows = []
     notes = []
 
@@ -72,6 +74,26 @@ def run(max_kappa=10, validate=True):
             f"gives FC={table_b.fc():.4f} (Eq.15 predicts "
             f"{fc_trilock(0.6, 1, WIDTH):.4f})")
 
+    return {"rows": rows, "notes": notes}
+
+
+def cells(max_kappa=10, validate=True):
+    """The whole figure is one cheap analytic cell."""
+    return [CellSpec.make(
+        "repro.experiments.fig4_tradeoff:curves_cell",
+        {"max_kappa": max_kappa, "validate": validate},
+        experiment="fig4", label="fig4/curves")]
+
+
+def run(max_kappa=10, validate=True, campaign=None):
+    campaign = campaign if campaign is not None else Campaign()
+    values = campaign.values(cells(max_kappa=max_kappa, validate=validate))
+    return assemble(values)
+
+
+def assemble(values):
+    (value,) = values
+    notes = list(value["notes"])
     notes.append(
         "paper shape: (a) FC ~ 1/(ndip+1) anti-correlation; (b) flat FC "
         "levels at alpha*(1-2^-4)=alpha*0.9375 with unchanged exponential "
@@ -80,6 +102,6 @@ def run(max_kappa=10, validate=True):
         experiment="fig4",
         title="ndip vs FC: E^N trade-off (a) and E^SF decoupling (b)",
         parameters={"|I|": WIDTH, "kappa_f": 1, "alphas": ALPHAS},
-        rows=rows,
+        rows=value["rows"],
         notes=notes,
     )

@@ -9,34 +9,72 @@ overhead is the flattest of the three.
 
 from __future__ import annotations
 
+from repro.bench.suite import load_suite_circuit, suite_names
+from repro.campaign import Campaign, CellSpec
 from repro.core import TriLockConfig, lock
 from repro.experiments.common import (
     DEFAULT_SCALE,
     ExperimentResult,
-    suite_circuits,
 )
 from repro.metrics import locking_overhead
 
 KAPPA_S_RANGE = (1, 2, 3, 4, 5)
 
 
+def overhead_cell(circuit, scale, seed, kappa_s, kappa_f, alpha, s_pairs):
+    """One Fig. 6 point: lock + ADP overhead report."""
+    netlist = load_suite_circuit(circuit, scale=scale, seed=seed)
+    locked = lock(netlist, TriLockConfig(
+        kappa_s=kappa_s, kappa_f=kappa_f, alpha=alpha,
+        s_pairs=s_pairs, seed=seed))
+    report = locking_overhead(locked)
+    return {
+        "area_ovh": report.area_overhead,
+        "power_ovh": report.power_overhead,
+        "delay_ovh": report.delay_overhead,
+    }
+
+
+def cells(scale=DEFAULT_SCALE, names=None, kappa_s_values=KAPPA_S_RANGE,
+          kappa_f=1, alpha=0.6, s_pairs=10, seed=0):
+    """One cell per (circuit, kappa_s)."""
+    selected = names if names is not None else suite_names()
+    return [
+        CellSpec.make(
+            "repro.experiments.fig6_overhead:overhead_cell",
+            {"circuit": name, "scale": scale, "seed": seed,
+             "kappa_s": kappa_s, "kappa_f": kappa_f, "alpha": alpha,
+             "s_pairs": s_pairs},
+            experiment="fig6", label=f"fig6/{name}/ks={kappa_s}")
+        for name in selected for kappa_s in kappa_s_values
+    ]
+
+
 def run(scale=DEFAULT_SCALE, names=None, kappa_s_values=KAPPA_S_RANGE,
-        kappa_f=1, alpha=0.6, s_pairs=10, seed=0):
-    circuits = suite_circuits(scale=scale, names=names, seed=seed)
+        kappa_f=1, alpha=0.6, s_pairs=10, seed=0, campaign=None):
+    campaign = campaign if campaign is not None else Campaign()
+    specs = cells(scale=scale, names=names, kappa_s_values=kappa_s_values,
+                  kappa_f=kappa_f, alpha=alpha, s_pairs=s_pairs, seed=seed)
+    values = campaign.values(specs)
+    return assemble(values, scale=scale, names=names,
+                    kappa_s_values=kappa_s_values, kappa_f=kappa_f,
+                    alpha=alpha, s_pairs=s_pairs)
+
+
+def assemble(values, scale=DEFAULT_SCALE, names=None,
+             kappa_s_values=KAPPA_S_RANGE, kappa_f=1, alpha=0.6, s_pairs=10):
+    selected = names if names is not None else suite_names()
     rows = []
-    for name, netlist in circuits:
-        for kappa_s in kappa_s_values:
-            locked = lock(netlist, TriLockConfig(
-                kappa_s=kappa_s, kappa_f=kappa_f, alpha=alpha,
-                s_pairs=s_pairs, seed=seed))
-            report = locking_overhead(locked)
-            rows.append({
-                "circuit": name,
-                "kappa_s": kappa_s,
-                "area_ovh": report.area_overhead,
-                "power_ovh": report.power_overhead,
-                "delay_ovh": report.delay_overhead,
-            })
+    for (name, kappa_s), cell in zip(
+            ((n, k) for n in selected for k in kappa_s_values), values,
+            strict=True):
+        rows.append({
+            "circuit": name,
+            "kappa_s": kappa_s,
+            "area_ovh": cell["area_ovh"],
+            "power_ovh": cell["power_ovh"],
+            "delay_ovh": cell["delay_ovh"],
+        })
 
     by_circuit = {}
     for row in rows:

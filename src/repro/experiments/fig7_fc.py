@@ -7,11 +7,12 @@ simulated FC tracks Eq. (15) within ±0.05.
 
 from __future__ import annotations
 
+from repro.bench.suite import load_suite_circuit, suite_names
+from repro.campaign import Campaign, CellSpec
 from repro.core import TriLockConfig, fc_trilock, lock
 from repro.experiments.common import (
     DEFAULT_SCALE,
     ExperimentResult,
-    suite_circuits,
 )
 from repro.metrics import (
     PAPER_FC_SAMPLES,
@@ -24,32 +25,69 @@ ALPHAS = (0.0, 0.3, 0.6, 0.9)
 KAPPA_FS = (1, 2, 3)
 
 
+def fc_cell(circuit, scale, seed, kappa_s, kappa_f, alpha, n_samples,
+            depth_span):
+    """One Fig. 7 point: lock + simulated FC averaged over the paper's
+    depth window."""
+    netlist = load_suite_circuit(circuit, scale=scale, seed=seed)
+    locked = lock(netlist, TriLockConfig(
+        kappa_s=kappa_s, kappa_f=kappa_f, alpha=alpha, seed=seed))
+    depths = paper_depth_range(kappa_s, span=depth_span)
+    simulated = average_simulated_fc(
+        locked, depths, n_samples=n_samples, seed=seed)
+    return {"FC_sim": simulated, "width": len(netlist.inputs)}
+
+
+def cells(scale=DEFAULT_SCALE, names=None, alphas=ALPHAS, kappa_fs=KAPPA_FS,
+          kappa_s=KAPPA_S, n_samples=PAPER_FC_SAMPLES, depth_span=5, seed=0):
+    """One cell per (circuit, kappa_f, alpha)."""
+    selected = names if names is not None else suite_names()
+    return [
+        CellSpec.make(
+            "repro.experiments.fig7_fc:fc_cell",
+            {"circuit": name, "scale": scale, "seed": seed,
+             "kappa_s": kappa_s, "kappa_f": kappa_f, "alpha": alpha,
+             "n_samples": n_samples, "depth_span": depth_span},
+            experiment="fig7", label=f"fig7/{name}/kf={kappa_f}/a={alpha}")
+        for name in selected for kappa_f in kappa_fs for alpha in alphas
+    ]
+
+
 def run(scale=DEFAULT_SCALE, names=None, alphas=ALPHAS, kappa_fs=KAPPA_FS,
-        kappa_s=KAPPA_S, n_samples=PAPER_FC_SAMPLES, depth_span=5, seed=0):
-    circuits = suite_circuits(scale=scale, names=names, seed=seed)
+        kappa_s=KAPPA_S, n_samples=PAPER_FC_SAMPLES, depth_span=5, seed=0,
+        campaign=None):
+    campaign = campaign if campaign is not None else Campaign()
+    specs = cells(scale=scale, names=names, alphas=alphas, kappa_fs=kappa_fs,
+                  kappa_s=kappa_s, n_samples=n_samples,
+                  depth_span=depth_span, seed=seed)
+    values = campaign.values(specs)
+    return assemble(values, scale=scale, names=names, alphas=alphas,
+                    kappa_fs=kappa_fs, kappa_s=kappa_s, n_samples=n_samples,
+                    depth_span=depth_span)
+
+
+def assemble(values, scale=DEFAULT_SCALE, names=None, alphas=ALPHAS,
+             kappa_fs=KAPPA_FS, kappa_s=KAPPA_S, n_samples=PAPER_FC_SAMPLES,
+             depth_span=5):
+    selected = names if names is not None else suite_names()
     depths = paper_depth_range(kappa_s, span=depth_span)
     rows = []
     worst_gap = 0.0
-    for name, netlist in circuits:
-        for kappa_f in kappa_fs:
-            for alpha in alphas:
-                locked = lock(netlist, TriLockConfig(
-                    kappa_s=kappa_s, kappa_f=kappa_f, alpha=alpha,
-                    seed=seed))
-                simulated = average_simulated_fc(
-                    locked, depths, n_samples=n_samples, seed=seed)
-                predicted = fc_trilock(alpha, kappa_f,
-                                       len(netlist.inputs))
-                gap = abs(simulated - predicted)
-                worst_gap = max(worst_gap, gap)
-                rows.append({
-                    "circuit": name,
-                    "kappa_f": kappa_f,
-                    "alpha": alpha,
-                    "FC_sim": simulated,
-                    "FC_eq15": predicted,
-                    "abs_err": gap,
-                })
+    points = ((name, kappa_f, alpha) for name in selected
+              for kappa_f in kappa_fs for alpha in alphas)
+    for (name, kappa_f, alpha), cell in zip(points, values, strict=True):
+        simulated = cell["FC_sim"]
+        predicted = fc_trilock(alpha, kappa_f, cell["width"])
+        gap = abs(simulated - predicted)
+        worst_gap = max(worst_gap, gap)
+        rows.append({
+            "circuit": name,
+            "kappa_f": kappa_f,
+            "alpha": alpha,
+            "FC_sim": simulated,
+            "FC_eq15": predicted,
+            "abs_err": gap,
+        })
     notes = [
         f"FC averaged over b in {depths} with {n_samples} samples/point",
         f"worst |simulated - Eq.15| = {worst_gap:.3f} "

@@ -19,6 +19,7 @@ Protocol, mirroring the paper's own:
 from __future__ import annotations
 
 from repro.bench.suite import TABLE1_CIRCUITS, load_suite_circuit, suite_names
+from repro.campaign import Campaign, CellSpec
 from repro.core import TriLockConfig, lock, ndip_trilock
 from repro.experiments.common import (
     DEFAULT_SCALE,
@@ -26,6 +27,7 @@ from repro.experiments.common import (
     engineering,
 )
 from repro.metrics import extrapolated_resilience, measure_resilience
+from repro.metrics.resilience import ResilienceMeasurement
 
 #: Paper Table I (κs -> circuit -> (ndip, seconds)); blue extrapolated
 #: entries included — used by EXPERIMENTS.md for shape comparison.
@@ -57,21 +59,58 @@ MEASURED_CELLS = {
 }
 
 
+def resilience_cell(circuit, scale, seed, kappa_s, kappa_f, alpha, s_pairs,
+                    time_budget):
+    """One measured Table I cell: lock + real sequential SAT attack."""
+    netlist = load_suite_circuit(circuit, scale=scale, seed=seed)
+    locked = lock(netlist, TriLockConfig(
+        kappa_s=kappa_s, kappa_f=kappa_f, alpha=alpha, s_pairs=s_pairs,
+        seed=seed))
+    cell = measure_resilience(locked, time_budget=time_budget)
+    return {
+        "circuit": cell.circuit,
+        "kappa_s": cell.kappa_s,
+        "width": cell.width,
+        "ndip": cell.ndip,
+        "seconds": cell.seconds,
+        "measured": cell.measured,
+        "attack_succeeded": cell.attack_succeeded,
+        "key_correct": cell.key_correct,
+    }
+
+
+def cells(scale=DEFAULT_SCALE, effort="quick", kappa_s_values=(1, 2, 3),
+          seed=0, time_budget_per_cell=None):
+    """One cell per attacked (circuit, kappa_s) of the effort level."""
+    return [
+        CellSpec.make(
+            "repro.experiments.table1_sat_resilience:resilience_cell",
+            {"circuit": name, "scale": scale, "seed": seed,
+             "kappa_s": kappa_s, "kappa_f": 1, "alpha": 0.6, "s_pairs": 10,
+             "time_budget": time_budget_per_cell},
+            experiment="table1", label=f"table1/{name}/ks={kappa_s}")
+        for name, kappa_s in MEASURED_CELLS[effort]
+        if kappa_s in kappa_s_values
+    ]
+
+
 def run(scale=DEFAULT_SCALE, effort="quick", kappa_s_values=(1, 2, 3),
-        seed=0, time_budget_per_cell=None):
-    measured_cells = MEASURED_CELLS[effort]
-    measured = []
+        seed=0, time_budget_per_cell=None, campaign=None):
+    campaign = campaign if campaign is not None else Campaign()
+    specs = cells(scale=scale, effort=effort, kappa_s_values=kappa_s_values,
+                  seed=seed, time_budget_per_cell=time_budget_per_cell)
+    results = campaign.run(specs)
+    # A failed or timed-out attack cell degrades to extrapolation (the
+    # paper's own protocol for unfinished cells) instead of aborting.
+    measured = [ResilienceMeasurement(**r.value) for r in results if r.ok]
+    failed = [r.spec.describe() for r in results if not r.ok]
+    return assemble(measured, scale=scale, effort=effort,
+                    kappa_s_values=kappa_s_values, failed_cells=failed)
+
+
+def assemble(measured, scale=DEFAULT_SCALE, effort="quick",
+             kappa_s_values=(1, 2, 3), failed_cells=()):
     rows = []
-
-    for name, kappa_s in measured_cells:
-        if kappa_s not in kappa_s_values:
-            continue
-        netlist = load_suite_circuit(name, scale=scale, seed=seed)
-        locked = lock(netlist, TriLockConfig(
-            kappa_s=kappa_s, kappa_f=1, alpha=0.6, s_pairs=10, seed=seed))
-        cell = measure_resilience(locked, time_budget=time_budget_per_cell)
-        measured.append(cell)
-
     measured_keys = {(m.circuit, m.kappa_s) for m in measured}
     finished = [m for m in measured if m.measured]
 
@@ -110,6 +149,10 @@ def run(scale=DEFAULT_SCALE, effort="quick", kappa_s_values=(1, 2, 3),
         "ndip values are solver-independent and match the paper exactly; "
         "absolute runtimes differ (pure-Python CDCL at reduced scale)",
     ]
+    if failed_cells:
+        notes.append(
+            f"cells failed or timed out and fell back to extrapolation: "
+            f"{sorted(failed_cells)}")
     return ExperimentResult(
         experiment="table1",
         title="SAT-attack resilience of TriLock",

@@ -13,11 +13,12 @@ percentage of registers inside M-SCCs. The paper's qualitative claims:
 from __future__ import annotations
 
 from repro.attacks import scc_report
+from repro.bench.suite import load_suite_circuit, suite_names
+from repro.campaign import Campaign, CellSpec
 from repro.core import TriLockConfig, lock
 from repro.experiments.common import (
     DEFAULT_SCALE,
     ExperimentResult,
-    suite_circuits,
 )
 
 #: Paper Table II: circuit -> S -> (O, E, M, PM).
@@ -39,27 +40,67 @@ PAPER_TABLE2 = {
 S_VALUES = (0, 10, 30)
 
 
+def scc_cell(circuit, scale, seed, kappa_s, kappa_f, alpha, s_pairs,
+             include_trivial):
+    """One Table II cell: lock + SCC clustering statistics."""
+    netlist = load_suite_circuit(circuit, scale=scale, seed=seed)
+    locked = lock(netlist, TriLockConfig(
+        kappa_s=kappa_s, kappa_f=kappa_f, alpha=alpha,
+        s_pairs=s_pairs, seed=seed))
+    report = scc_report(locked, include_trivial=include_trivial)
+    return {
+        "O": report.o_sccs,
+        "E": report.e_sccs,
+        "M": report.m_sccs,
+        "PM": report.pm_percent,
+        "pairs_applied": len(locked.reencoded_pairs),
+    }
+
+
+def cells(scale=DEFAULT_SCALE, names=None, s_values=S_VALUES, kappa_s=3,
+          kappa_f=1, alpha=0.6, seed=0, include_trivial=False):
+    """One cell per (circuit, S)."""
+    selected = names if names is not None else suite_names()
+    return [
+        CellSpec.make(
+            "repro.experiments.table2_removal:scc_cell",
+            {"circuit": name, "scale": scale, "seed": seed,
+             "kappa_s": kappa_s, "kappa_f": kappa_f, "alpha": alpha,
+             "s_pairs": s_pairs, "include_trivial": include_trivial},
+            experiment="table2", label=f"table2/{name}/S={s_pairs}")
+        for name in selected for s_pairs in s_values
+    ]
+
+
 def run(scale=DEFAULT_SCALE, names=None, s_values=S_VALUES, kappa_s=3,
-        kappa_f=1, alpha=0.6, seed=0, include_trivial=False):
-    circuits = suite_circuits(scale=scale, names=names, seed=seed)
+        kappa_f=1, alpha=0.6, seed=0, include_trivial=False, campaign=None):
+    campaign = campaign if campaign is not None else Campaign()
+    specs = cells(scale=scale, names=names, s_values=s_values,
+                  kappa_s=kappa_s, kappa_f=kappa_f, alpha=alpha, seed=seed,
+                  include_trivial=include_trivial)
+    values = campaign.values(specs)
+    return assemble(values, scale=scale, names=names, s_values=s_values,
+                    kappa_s=kappa_s, kappa_f=kappa_f, alpha=alpha)
+
+
+def assemble(values, scale=DEFAULT_SCALE, names=None, s_values=S_VALUES,
+             kappa_s=3, kappa_f=1, alpha=0.6):
+    selected = names if names is not None else suite_names()
     rows = []
-    for name, netlist in circuits:
-        for s_pairs in s_values:
-            locked = lock(netlist, TriLockConfig(
-                kappa_s=kappa_s, kappa_f=kappa_f, alpha=alpha,
-                s_pairs=s_pairs, seed=seed))
-            report = scc_report(locked, include_trivial=include_trivial)
-            paper = PAPER_TABLE2[name][s_pairs]
-            rows.append({
-                "circuit": name,
-                "S": s_pairs,
-                "O": report.o_sccs,
-                "E": report.e_sccs,
-                "M": report.m_sccs,
-                "PM": report.pm_percent,
-                "pairs_applied": len(locked.reencoded_pairs),
-                "paper_O/E/M/PM": "/".join(str(v) for v in paper),
-            })
+    for (name, s_pairs), cell in zip(
+            ((n, s) for n in selected for s in s_values), values,
+            strict=True):
+        paper = PAPER_TABLE2[name][s_pairs]
+        rows.append({
+            "circuit": name,
+            "S": s_pairs,
+            "O": cell["O"],
+            "E": cell["E"],
+            "M": cell["M"],
+            "PM": cell["PM"],
+            "pairs_applied": cell["pairs_applied"],
+            "paper_O/E/M/PM": "/".join(str(v) for v in paper),
+        })
 
     def average_reduction(kind_index, s_pairs):
         base = {row["circuit"]: row for row in rows if row["S"] == 0}

@@ -44,6 +44,13 @@ def _locked_mid(kappa_s=2, kappa_f=1, alpha=0.6, s_pairs=0, seed=5):
         seed=seed))
 
 
+@pytest.fixture(autouse=True)
+def _hermetic_cache_dir(tmp_path, monkeypatch):
+    """Point the campaign result cache at a per-test directory so no test
+    reads stale cells or litters the working tree with .repro-cache."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
 @pytest.fixture
 def tiny_circuit():
     return _tiny_circuit()

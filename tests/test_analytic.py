@@ -17,6 +17,8 @@ from repro.core import (
     spec_error_table,
 )
 
+pytestmark = pytest.mark.smoke
+
 
 def spec(width=2, kappa_s=2, kappa_f=1, alpha=0.6, key_star=0b100101,
          key_star_star=0b11):

@@ -1,0 +1,356 @@
+"""Campaign layer: cell model, content-addressed store, executor, and the
+experiment integration (parallel == serial, cache speedup)."""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.campaign import (
+    CODE_VERSION,
+    Campaign,
+    CellSpec,
+    ResultStore,
+    canonical_value,
+)
+from repro.errors import CampaignError
+from repro.experiments import table1_sat_resilience, table2_removal
+from repro.experiments.runner import main as runner_main
+
+pytestmark = pytest.mark.smoke
+
+
+# ----------------------------------------------------------------------
+# Cell functions executed by campaign workers (must be module-level so a
+# fresh interpreter can resolve them by dotted path).
+# ----------------------------------------------------------------------
+def add_cell(a, b):
+    return {"sum": a + b, "operands": [a, b]}
+
+
+def pid_cell(tag):
+    return {"tag": tag, "pid": os.getpid()}
+
+
+def fail_cell(message):
+    raise ValueError(message)
+
+
+def slow_cell(seconds):
+    time.sleep(seconds)
+    return {"slept": seconds}
+
+
+def unserializable_cell():
+    return {"oops": object()}
+
+
+def _spec(a=1, b=2):
+    return CellSpec.make("tests.test_campaign:add_cell", {"a": a, "b": b},
+                         experiment="unit", label=f"add/{a}+{b}")
+
+
+# ----------------------------------------------------------------------
+# Cell model / cache keys
+# ----------------------------------------------------------------------
+class TestCellSpec:
+    def test_key_is_param_order_independent(self):
+        one = CellSpec.make("m:f", {"a": 1, "b": [2, 3]})
+        two = CellSpec.make("m:f", {"b": [2, 3], "a": 1})
+        assert one.key() == two.key()
+
+    def test_key_depends_on_params_fn_and_salt(self):
+        base = CellSpec.make("m:f", {"a": 1})
+        assert base.key() != CellSpec.make("m:f", {"a": 2}).key()
+        assert base.key() != CellSpec.make("m:g", {"a": 1}).key()
+        assert base.key() != base.key(salt=CODE_VERSION + "-bumped")
+
+    def test_key_stable_across_interpreter_processes(self):
+        """The content address must not depend on interpreter state
+        (PYTHONHASHSEED, import order, ...)."""
+        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        spec = _spec(a=7, b=35)
+        code = (
+            "from repro.campaign import CellSpec;"
+            "print(CellSpec.make('tests.test_campaign:add_cell',"
+            "{'a': 7, 'b': 35}, experiment='unit', label='x').key())"
+        )
+        keys = set()
+        for hashseed in ("0", "4242"):
+            env = dict(os.environ, PYTHONHASHSEED=hashseed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                [os.path.join(repo_root, "src"), repo_root])
+            proc = subprocess.run(
+                [sys.executable, "-c", code], env=env, cwd=repo_root,
+                capture_output=True, text=True, check=True)
+            keys.add(proc.stdout.strip())
+        assert keys == {spec.key()}
+
+    def test_label_does_not_affect_key(self):
+        assert _spec().key() == CellSpec.make(
+            "tests.test_campaign:add_cell", {"a": 1, "b": 2}).key()
+
+    def test_rejects_bad_fn_and_params(self):
+        with pytest.raises(CampaignError):
+            CellSpec.make("no_colon_here", {})
+        with pytest.raises(CampaignError):
+            CellSpec.make("m:f", [("a", 1)])
+        with pytest.raises(CampaignError):
+            CellSpec.make("m:f", {"a": object()})
+
+    def test_kwargs_roundtrip(self):
+        spec = _spec(a=3, b=4)
+        assert spec.kwargs() == {"a": 3, "b": 4}
+
+    def test_canonical_value_preserves_key_order(self):
+        value = {"zebra": 1, "alpha": 2}
+        assert list(canonical_value(value)) == ["zebra", "alpha"]
+
+
+# ----------------------------------------------------------------------
+# Result store
+# ----------------------------------------------------------------------
+class TestResultStore:
+    def test_hit_miss_and_put(self, tmp_path):
+        store = ResultStore(str(tmp_path / "cache"))
+        spec = _spec()
+        key = spec.key()
+        assert store.get(key) is None
+        store.put(key, spec, {"sum": 3})
+        assert store.get(key) == {"sum": 3}
+        assert store.stats.as_dict() == {
+            "hits": 1, "misses": 1, "puts": 1, "invalidations": 0}
+
+    def test_corrupted_entry_is_evicted_and_recomputed(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        campaign = Campaign(cache_dir=cache)
+        (result,) = campaign.run([_spec()])
+        path = campaign.store.path_of(result.key)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{ not json at all")
+
+        fresh = Campaign(cache_dir=cache)
+        (redone,) = fresh.run([_spec()])
+        assert redone.ok and not redone.cached
+        assert redone.value == result.value
+        assert fresh.store.stats.invalidations == 1
+        # The recomputed value was re-persisted: third run is a clean hit.
+        assert Campaign(cache_dir=cache).run([_spec()])[0].cached
+
+    def test_foreign_or_mismatched_entry_is_evicted(self, tmp_path):
+        store = ResultStore(str(tmp_path / "cache"))
+        spec = _spec()
+        key = spec.key()
+        path = store.path_of(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"format": "trilock-cell-v1", "key": "0" * 64,
+                       "value": {"sum": 999}}, handle)
+        assert store.get(key) is None
+        assert store.stats.invalidations == 1
+        assert not os.path.exists(path)
+
+    def test_status_and_clear(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        campaign = Campaign(cache_dir=cache)
+        campaign.run([_spec(a=1), _spec(a=2), _spec(a=3)])
+        store = ResultStore(cache)
+        status = store.status()
+        assert status["entries"] == 3
+        assert status["by_experiment"] == {"unit": 3}
+        assert store.clear() == 3
+        assert store.status()["entries"] == 0
+
+
+# ----------------------------------------------------------------------
+# Executor
+# ----------------------------------------------------------------------
+class TestCampaignExecutor:
+    def test_invalidation_on_config_change(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        first = Campaign(cache_dir=cache)
+        first.run([_spec(a=1)])
+        changed = Campaign(cache_dir=cache)
+        (result,) = changed.run([_spec(a=2)])
+        assert not result.cached  # different config, different key
+        assert changed.store.stats.misses == 1
+        salted = Campaign(cache_dir=cache, salt="other-code-version")
+        (result,) = salted.run([_spec(a=1)])
+        assert not result.cached  # code-version salt invalidates
+
+    def test_resume_after_interrupt(self, tmp_path):
+        """Cells finished before an interrupt are not recomputed."""
+        cache = str(tmp_path / "cache")
+        specs = [_spec(a=index) for index in range(4)]
+        Campaign(cache_dir=cache).run(specs[:2])  # 'interrupted' campaign
+        resumed = Campaign(cache_dir=cache)
+        results = resumed.run(specs)
+        assert [r.cached for r in results] == [True, True, False, False]
+        assert resumed.store.stats.hits == 2
+        assert resumed.store.stats.misses == 2
+
+    def test_two_worker_run_matches_serial(self, tmp_path):
+        specs = [_spec(a=index, b=10) for index in range(6)]
+        serial = Campaign().values(specs)
+        parallel = Campaign(jobs=2).values(specs)
+        assert parallel == serial
+
+    def test_pool_actually_uses_other_processes(self):
+        specs = [
+            CellSpec.make("tests.test_campaign:pid_cell", {"tag": index})
+            for index in range(4)
+        ]
+        values = Campaign(jobs=2).values(specs)
+        assert [v["tag"] for v in values] == [0, 1, 2, 3]
+        assert all(v["pid"] != os.getpid() for v in values)
+
+    def test_failure_is_captured_not_raised(self):
+        specs = [
+            CellSpec.make("tests.test_campaign:fail_cell",
+                          {"message": "boom"}),
+            _spec(),
+        ]
+        results = Campaign(jobs=2).run(specs)
+        assert not results[0].ok
+        assert results[0].error["type"] == "ValueError"
+        assert "boom" in results[0].error["message"]
+        assert results[1].ok and results[1].value["sum"] == 3
+
+    def test_values_raises_unless_failures_allowed(self):
+        specs = [CellSpec.make("tests.test_campaign:fail_cell",
+                               {"message": "boom"})]
+        campaign = Campaign()
+        with pytest.raises(CampaignError, match="boom"):
+            campaign.values(specs)
+        assert campaign.values(specs, allow_failures=True) == [None]
+
+    def test_unserializable_value_is_a_captured_failure(self):
+        specs = [CellSpec.make(
+            "tests.test_campaign:unserializable_cell", {})]
+        (result,) = Campaign().run(specs)
+        assert not result.ok
+        assert result.error["type"] == "CampaignError"
+
+    def test_cell_timeout_fails_cell_not_campaign(self):
+        specs = [
+            CellSpec.make("tests.test_campaign:slow_cell", {"seconds": 30}),
+            _spec(),
+        ]
+        results = Campaign(jobs=2, cell_timeout=0.5).run(specs)
+        assert results[0].status == "timeout"
+        assert results[1].ok
+
+    def test_progress_is_reported_in_spec_order(self):
+        events = []
+        campaign = Campaign(
+            jobs=2,
+            progress=lambda index, total, result: events.append(
+                (index, total, result.status)))
+        campaign.run([_spec(a=index) for index in range(5)])
+        assert [event[0] for event in events] == list(range(5))
+        assert all(total == 5 for _, total, _ in events)
+        assert {status for _, _, status in events} == {"done"}
+
+    def test_failed_cells_are_not_cached(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        specs = [CellSpec.make("tests.test_campaign:fail_cell",
+                               {"message": "boom"})]
+        Campaign(cache_dir=cache).run(specs)
+        assert ResultStore(cache).status()["entries"] == 0
+
+
+# ----------------------------------------------------------------------
+# Experiment integration (the acceptance criteria)
+# ----------------------------------------------------------------------
+class TestExperimentCampaigns:
+    def test_table2_parallel_render_is_byte_identical(self, tmp_path):
+        serial = table2_removal.run(scale=0.05, names=["b12", "s9234"])
+        parallel = table2_removal.run(
+            scale=0.05, names=["b12", "s9234"],
+            campaign=Campaign(jobs=2, cache_dir=str(tmp_path / "cache")))
+        assert parallel.render() == serial.render()
+
+    def test_table1_cached_rerun_is_identical_and_5x_faster(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        cold_campaign = Campaign(jobs=1, cache_dir=cache)
+        start = time.perf_counter()
+        cold = table1_sat_resilience.run(
+            scale=0.05, effort="quick", campaign=cold_campaign)
+        cold_seconds = time.perf_counter() - start
+
+        warm_campaign = Campaign(jobs=4, cache_dir=cache)
+        start = time.perf_counter()
+        warm = table1_sat_resilience.run(
+            scale=0.05, effort="quick", campaign=warm_campaign)
+        warm_seconds = time.perf_counter() - start
+
+        assert warm.render() == cold.render()  # byte-identical table
+        assert warm_campaign.store.stats.hits == 1
+        assert warm_campaign.store.stats.misses == 0
+        assert cold_seconds >= 5 * warm_seconds
+
+    def test_table1_failed_cell_degrades_to_extrapolation(self, monkeypatch):
+        """One diverging attack cell must not sink the campaign."""
+        specs = table1_sat_resilience.cells(scale=0.05, effort="quick")
+        broken = [CellSpec.make(
+            "tests.test_campaign:fail_cell", {"message": "diverged"},
+            experiment=spec.experiment, label=spec.label) for spec in specs]
+        monkeypatch.setattr(table1_sat_resilience, "cells",
+                            lambda **kwargs: broken)
+        result = table1_sat_resilience.run(scale=0.05, effort="quick")
+        assert len(result.rows) == 30
+        assert not any(row["measured"] for row in result.rows)
+        assert any("fell back to extrapolation" in note
+                   for note in result.notes)
+
+    def test_runner_cli_jobs_cache_and_status(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        argv = ["table2", "--scale", "0.05", "--circuits", "b12",
+                "--jobs", "2", "--cache-dir", cache]
+        assert runner_main(argv) == 0
+        first = capsys.readouterr()
+        assert "table2" in first.out
+        assert "[cache: 0 hits, 3 misses" in first.err
+
+        assert runner_main(argv) == 0
+        second = capsys.readouterr()
+        assert "[cache: 3 hits, 0 misses" in second.err
+
+        def table_text(text):
+            # Everything but the wall-clock footer is reproducible.
+            return [line for line in text.splitlines()
+                    if not line.startswith("[table2 regenerated")]
+
+        assert table_text(second.out) == table_text(first.out)
+
+        assert runner_main(["status", "--cache-dir", cache]) == 0
+        status_out = capsys.readouterr().out
+        assert "table2: 3 cells" in status_out
+
+    def test_runner_no_cache_flag(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        argv = ["fig4", "--no-cache", "--cache-dir", cache]
+        assert runner_main(argv) == 0
+        captured = capsys.readouterr()
+        assert "[cache:" not in captured.err
+        assert not os.path.exists(cache)
+
+    def test_lock_cli_campaign_status_and_clear(self, tmp_path):
+        from repro.cli import main as lock_main
+
+        cache = str(tmp_path / "cache")
+        Campaign(cache_dir=cache).run([_spec()])
+        out = io.StringIO()
+        assert lock_main(["campaign", "status", "--cache-dir", cache],
+                         out=out) == 0
+        assert "entries:   1" in out.getvalue()
+        out = io.StringIO()
+        assert lock_main(["campaign", "clear", "--cache-dir", cache],
+                         out=out) == 0
+        assert "cleared 1 cached cells" in out.getvalue()

@@ -16,6 +16,8 @@ from repro.sat import brute_force_models
 
 from tests.util import all_assignments, random_comb_netlist, reference_eval
 
+pytestmark = pytest.mark.smoke
+
 
 class TestCnfContainer:
     def test_var_allocation(self):

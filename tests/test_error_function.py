@@ -7,6 +7,8 @@ from hypothesis import strategies as st
 from repro.core import ErrorSpec, e_n, threshold_for
 from repro.errors import LockingError
 
+pytestmark = pytest.mark.smoke
+
 
 def small_spec(width=2, kappa_s=2, kappa_f=1, alpha=0.6, key_star=0b100101,
                key_star_star=0b11):

@@ -13,6 +13,8 @@ from repro.netlist.gates import (
     evaluate_words,
 )
 
+pytestmark = pytest.mark.smoke
+
 TRUTH = {
     GateOp.AND: lambda vals: all(vals),
     GateOp.NAND: lambda vals: not all(vals),

@@ -8,6 +8,8 @@ from repro.core import KeySequence, random_key, random_suffix_constant
 from repro.errors import LockingError
 from repro.sim import make_rng
 
+pytestmark = pytest.mark.smoke
+
 
 class TestKeySequence:
     def test_int_roundtrip_example(self):

@@ -4,6 +4,8 @@ import pytest
 
 from repro._naming import NameFactory, parse_unrolled_name, unrolled_name
 
+pytestmark = pytest.mark.smoke
+
 
 class TestNameFactory:
     def test_fresh_avoids_taken(self):

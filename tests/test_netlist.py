@@ -5,6 +5,8 @@ import pytest
 from repro.errors import CombinationalCycleError, NetlistError
 from repro.netlist import GateOp, Netlist
 
+pytestmark = pytest.mark.smoke
+
 
 def small_seq_netlist():
     """2-bit toggle/carry counter with an AND output."""

@@ -11,11 +11,14 @@ from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.cnf import encode
+from repro.cnf.formula import Cnf
 from repro.core import KeySequence, TriLockConfig, lock, spec_error_table
 from repro.core.error_tables import measured_error_table
 from repro.netlist import dumps_bench, loads_bench, simplified
 from repro.sat import Solver, count_models
+from repro.sat.dpll import dpll_solve
 from repro.sim import SequentialSimulator, make_rng, random_vectors
+from repro.sim.comb import CombSimulator
 from repro.unroll import unroll
 
 from tests.util import (
@@ -82,6 +85,117 @@ class TestSolverCircuitAgreement:
                 for net in unrolled.outputs_at(cycle)
             )
             assert got == trace[cycle]
+
+
+@st.composite
+def cnf_formulas(draw):
+    """Random small CNF over 4..9 variables with 1..3-literal clauses."""
+    n_vars = draw(st.integers(4, 9))
+    n_clauses = draw(st.integers(2, 30))
+    cnf = Cnf(n_vars)
+    for _ in range(n_clauses):
+        width = draw(st.integers(1, 3))
+        lits = [
+            var if draw(st.booleans()) else -var
+            for var in draw(st.lists(st.integers(1, n_vars),
+                                     min_size=width, max_size=width))
+        ]
+        cnf.add_clause(lits)
+    return cnf
+
+
+@st.composite
+def assumption_lists(draw, cnf, min_lits=1):
+    """Non-trivial assumptions: a signed subset of the formula's vars."""
+    n_lits = draw(st.integers(min_lits, cnf.num_vars))
+    variables = draw(st.lists(st.integers(1, cnf.num_vars),
+                              min_size=n_lits, max_size=n_lits,
+                              unique=True))
+    return [var if draw(st.booleans()) else -var for var in variables]
+
+
+class TestSolverAssumptionOracle:
+    """Randomized cross-check of the CDCL ``Solver`` against the DPLL
+    oracle under non-trivial assumption lists — the exact incremental
+    query pattern of ``comb_sat_attack``'s gated miter."""
+
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_cdcl_matches_dpll_under_assumptions(self, data):
+        cnf = data.draw(cnf_formulas())
+        assumptions = data.draw(assumption_lists(cnf))
+        solver = Solver()
+        loaded = solver.add_cnf(cnf.copy())
+        oracle_model = dpll_solve(cnf, assumptions=assumptions)
+        if not loaded:
+            # Root-level UNSAT: no assumption list can revive it.
+            assert oracle_model is None
+            assert not solver.solve(assumptions=assumptions)
+            return
+        satisfiable = solver.solve(assumptions=assumptions)
+        assert satisfiable == (oracle_model is not None)
+        if satisfiable:
+            model = solver.model()
+            assert cnf.evaluate(model)
+            for lit in assumptions:
+                assert model[abs(lit)] == (lit > 0)
+
+    @given(data=st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_incremental_assumption_queries_stay_consistent(self, data):
+        """One solver instance answering many assumption lists (the DIP
+        loop shape) must agree with a fresh oracle every time, and the
+        assumptions must not leak into later queries."""
+        cnf = data.draw(cnf_formulas())
+        solver = Solver()
+        if not solver.add_cnf(cnf.copy()):
+            assert dpll_solve(cnf) is None
+            return
+        baseline = solver.solve()
+        assert baseline == (dpll_solve(cnf) is not None)
+        for _ in range(data.draw(st.integers(2, 5))):
+            assumptions = data.draw(assumption_lists(cnf))
+            want = dpll_solve(cnf, assumptions=assumptions) is not None
+            assert solver.solve(assumptions=assumptions) == want
+        # Assumptions are temporary: the unconstrained query still agrees.
+        assert solver.solve() == baseline
+
+
+class TestUnrollEquivalence:
+    """``unroll(netlist, d)`` + ``CombSimulator`` must replay ``d`` cycles
+    of ``sim/seq.py`` exactly — the seq-SAT attack's correctness
+    foundation."""
+
+    @given(seed=circuit_seeds, depth=st.integers(1, 4),
+           free_init=st.booleans())
+    @settings(max_examples=25, deadline=None)
+    def test_unrolled_comb_sim_matches_sequential_sim(self, seed, depth,
+                                                      free_init):
+        netlist = random_seq_netlist(seed)
+        unrolled = unroll(netlist, depth, free_initial_state=free_init)
+        rng = make_rng(seed * 13 + depth)
+        vectors = random_vectors(rng, len(netlist.inputs), depth)
+
+        source_words = {}
+        for cycle, vector in enumerate(vectors):
+            for net, bit in zip(netlist.inputs, vector):
+                source_words[unrolled.input_net(net, cycle)] = int(bit)
+        initial_state = None
+        if free_init:
+            initial_state = {q: bool(rng.getrandbits(1))
+                             for q in netlist.flops}
+            for state_net in unrolled.state_inputs:
+                q = state_net[:-len("@init")]
+                source_words[state_net] = int(initial_state[q])
+
+        values = CombSimulator(unrolled.netlist).evaluate(source_words, 1)
+        got = [
+            tuple(bool(values[net] & 1) for net in unrolled.outputs_at(cycle))
+            for cycle in range(depth)
+        ]
+        want = SequentialSimulator(netlist).run_vectors(
+            vectors, initial_state=initial_state)
+        assert got == want
 
 
 @st.composite

@@ -18,6 +18,8 @@ from repro.sat import (
 
 from tests.util import random_comb_netlist
 
+pytestmark = pytest.mark.smoke
+
 
 def random_cnf(rng, num_vars, num_clauses, max_width=4):
     cnf = Cnf(num_vars)

@@ -30,6 +30,8 @@ from tests.util import (
     reference_sequential_run,
 )
 
+pytestmark = pytest.mark.smoke
+
 
 class TestBitvec:
     def test_pack_unpack_roundtrip(self):

@@ -10,6 +10,8 @@ from repro.bench.iscas import load_embedded
 
 from tests.util import random_seq_netlist
 
+pytestmark = pytest.mark.smoke
+
 
 def unrolled_trace(unrolled, vectors):
     """Evaluate an unrolled circuit on per-cycle vectors; per-cycle tuples."""
