@@ -3,13 +3,18 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke campaign-demo bench
+.PHONY: test smoke test-attacks campaign-demo bench
 
 test:
 	$(PY) -m pytest -x -q
 
 smoke:
 	$(PY) -m pytest -q -m smoke
+
+# Attack-engine differential grid (portfolio racing + DIP batching);
+# slow, races real worker processes, excluded from `make smoke`.
+test-attacks:
+	$(PY) -m pytest -q -m portfolio
 
 # Cold campaign (real SAT attack), warm rerun (pure cache hits), then the
 # cache summary — the whole parallel/caching story in three commands.

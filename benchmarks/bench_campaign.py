@@ -1,12 +1,19 @@
 """Campaign-cache benchmark: a cold Table I campaign pays for the real
 SAT attack; the warm rerun is pure content-addressed cache hits and must
-be at least 5x faster while rendering a byte-identical table."""
+be at least 5x faster while rendering a byte-identical table.  A second
+cell compares the cold single-solver attack against a solver portfolio
+in auto mode."""
 
+import multiprocessing
 import tempfile
 import time
 
+from repro.bench.suite import load_suite_circuit
 from repro.campaign import Campaign
+from repro.core import TriLockConfig, lock
 from repro.experiments import table1_sat_resilience
+from repro.metrics import measure_resilience
+from repro.sat import cpu_budget
 
 from conftest import run_once
 
@@ -33,3 +40,44 @@ def test_campaign_warm_cache_speedup(benchmark, artifact_sink):
             f"cold campaign: {cold_seconds:.2f}s\n"
             f"warm campaign: {warm_seconds:.3f}s (all cache hits)\n"
             f"speedup: {cold_seconds / warm_seconds:.0f}x\n")
+
+
+def test_attack_cell_portfolio_vs_single_solver(benchmark, artifact_sink):
+    """Cold attack cell: a 2-config portfolio in auto worker mode must
+    be no slower than the single-solver baseline.  Auto clamps the race
+    to the CPU budget, so a host with idle cores races for the win
+    while a fully-loaded (or single-core) host degrades to the serial
+    reference solver instead of oversubscribing itself."""
+    netlist = load_suite_circuit("b12", scale=0.08, seed=0)
+    locked = lock(netlist, TriLockConfig(
+        kappa_s=1, kappa_f=1, alpha=0.6, s_pairs=10, seed=0))
+
+    def timed(fn, *args, **kwargs):
+        start = time.perf_counter()
+        value = fn(*args, **kwargs)
+        return value, time.perf_counter() - start
+
+    # Best of two per engine: kills one-off timer noise on loaded boxes.
+    single, first = timed(measure_resilience, locked)
+    _, second = timed(measure_resilience, locked)
+    single_seconds = min(first, second)
+
+    portfolio, first = timed(run_once, benchmark, measure_resilience,
+                             locked, portfolio="race2", attack_jobs=None)
+    _, second = timed(measure_resilience, locked, portfolio="race2",
+                      attack_jobs=None)
+    portfolio_seconds = min(first, second)
+
+    assert single.key_correct and portfolio.key_correct
+    assert portfolio.ndip == single.ndip  # resilience is solver-independent
+    # Only forkable hosts make the bound meaningful: spawn platforms pay
+    # an inherent per-engine worker cold-start this small cell cannot
+    # amortize, so there we just record the numbers.
+    if "fork" in multiprocessing.get_all_start_methods():
+        assert portfolio_seconds <= single_seconds * 1.25  # noise margin
+    artifact_sink(
+        "attack_portfolio",
+        f"attack cell: b12 scale=0.08 ks=1 ({single.ndip} DIPs)\n"
+        f"single solver (cdcl): {single_seconds:.2f}s\n"
+        f"portfolio race2, attack_jobs=auto "
+        f"(cpu budget {cpu_budget()}): {portfolio_seconds:.2f}s\n")

@@ -1,0 +1,17 @@
+"""Argparse helpers shared by the repro-lock and repro-experiments CLIs."""
+
+from __future__ import annotations
+
+import argparse
+
+
+def attack_jobs_arg(text):
+    """``--attack-jobs`` value: an int worker count or ``auto`` (clamp a
+    race to the machine's CPU budget — ``repro.sat.cpu_budget``)."""
+    if text == "auto":
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {text!r}")

@@ -1,7 +1,7 @@
 """Attacks on locked circuits: SAT-based key recovery and removal analysis."""
 
 from repro.attacks.bmc import BmcResult, bounded_equivalence
-from repro.attacks.comb_sat import CombSatResult, comb_sat_attack
+from repro.attacks.comb_sat import CombSatResult, DipEngine, comb_sat_attack
 from repro.attacks.oracle import SimulationOracle
 from repro.attacks.removal import (
     RemovalAttempt,
@@ -28,6 +28,7 @@ from repro.attacks.seq_sat import (
 __all__ = [
     "BmcResult",
     "CombSatResult",
+    "DipEngine",
     "KeySpaceTrace",
     "RemovalAttempt",
     "SccReport",

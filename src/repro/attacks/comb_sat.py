@@ -8,16 +8,37 @@ Section II-B). Each iteration finds a distinguishing input pattern (DIP)
 disagree — queries the oracle, and pins both key copies to the observed
 response. When no DIP remains, any satisfying key is functionally
 equivalent on the attacked window.
+
+The attack engine is built from two orthogonal pieces:
+
+* :class:`DipEngine` owns the miter, the constraint store, and the
+  solver — which may be a single registered backend or a racing
+  :class:`~repro.sat.portfolio.PortfolioSolver` (``portfolio`` /
+  ``attack_jobs`` knobs, see :func:`repro.sat.make_attack_solver`);
+* :func:`comb_sat_attack` drives the DIP loop, optionally *batched*:
+  ``dip_batch=k`` extracts up to ``k`` distinct DIPs per miter round by
+  re-solving under blocking clauses gated on the miter activation
+  literal, then pins all ``k`` oracle responses before the next round.
+  Blocking a queried pattern is sound because once its I/O pair is
+  pinned on both key copies no surviving key pair can disagree on it;
+  gating the clause on ``act`` keeps key extraction and the
+  candidate-key feasible set equivalent to pinning the same DIPs one at
+  a time.
+
+``dip_batch=1`` with the default portfolio is byte-identical to the
+historical single-solver loop (same solver, same clauses, same DIP
+sequence).
 """
 
 from __future__ import annotations
 
+import itertools
 import time
 from dataclasses import dataclass, field
 
 from repro.cnf import Cnf, encode
 from repro.errors import AttackError
-from repro.sat import Solver
+from repro.sat import make_attack_solver
 
 
 @dataclass
@@ -31,6 +52,7 @@ class CombSatResult:
     dips: list = field(default_factory=list)
     solver_stats: dict = field(default_factory=dict)
     stop_reason: str = "no_more_dips"
+    n_rounds: int = 0         # miter rounds (== n_dips when dip_batch=1)
 
 
 def _miter_copy_map(netlist, key_set, tag):
@@ -57,8 +79,191 @@ def _constraint_copy_map(netlist, key_set, tag, index):
     return mapping
 
 
+class DipEngine:
+    """Miter plus constraint store of one COMB-SAT attack.
+
+    Builds the two-copy miter over ``locked`` (shared data inputs,
+    per-copy key inputs), then serves the DIP loop: batched DIP
+    extraction, I/O-pair pinning, and final key extraction.  The solver
+    is either injected (``solver=...``) or built from the ``portfolio``
+    and ``attack_jobs`` knobs; an engine that built its own solver also
+    tears it down in :meth:`close`.
+    """
+
+    def __init__(self, locked, key_inputs, solver=None, portfolio=None,
+                 attack_jobs=1):
+        self.locked = locked
+        self.key_inputs = list(key_inputs)
+        self.key_set = set(self.key_inputs)
+        unknown = self.key_set - set(locked.inputs)
+        if unknown:
+            raise AttackError(
+                f"key inputs not in circuit: {sorted(unknown)[:4]}")
+        self.data_inputs = [net for net in locked.inputs
+                            if net not in self.key_set]
+
+        if solver is not None and (portfolio is not None
+                                   or attack_jobs != 1):
+            raise AttackError(
+                "pass either an explicit solver or the portfolio/"
+                "attack_jobs knobs, not both (the injected solver would "
+                "silently win)")
+        self._owns_solver = solver is None
+        self.solver = solver if solver is not None else \
+            make_attack_solver(portfolio=portfolio, attack_jobs=attack_jobs)
+
+        self.map_a = _miter_copy_map(locked, self.key_set, "a")
+        self.map_b = _miter_copy_map(locked, self.key_set, "b")
+        cnf = Cnf()
+        self.var_of = {}
+        encode(locked.renamed(self.map_a, name="miter_a"), cnf=cnf,
+               var_of=self.var_of)
+        encode(locked.renamed(self.map_b, name="miter_b"), cnf=cnf,
+               var_of=self.var_of)
+        self.solver.ensure_vars(cnf.num_vars)
+        if not self.solver.add_cnf(cnf):
+            raise AttackError("locked circuit CNF is unsatisfiable")
+
+        # Gated miter: act -> (some output pair differs).
+        self.act = self.solver.new_var()
+        diff_lits = []
+        for net in locked.outputs:
+            lit_a = self.var_of[self.map_a[net]]
+            lit_b = self.var_of[self.map_b[net]]
+            diff = self.solver.new_var()
+            for clause in _xor_clauses(diff, lit_a, lit_b):
+                self.solver.add_clause(clause)
+            diff_lits.append(diff)
+        self.solver.add_clause([-self.act] + diff_lits)
+        self.n_pinned = 0
+
+    # ------------------------------------------------------------------
+    def _solve(self, assumptions=()):
+        """Solve, refusing to conflate *interrupted* with UNSAT.
+
+        The backend contract allows ``solve`` to return ``None``
+        (unknown) when an interrupt callback fired; treating that as
+        "no DIP remains" would let an interrupted attack report success
+        with an under-constrained key.
+        """
+        result = self.solver.solve(assumptions=assumptions)
+        if result is None:
+            raise AttackError(
+                "miter solve interrupted (unknown result); the attack "
+                "cannot conclude from a cancelled search")
+        return result
+
+    def find_dip_batch(self, limit=1, deadline=None):
+        """Extract up to ``limit`` distinct DIPs from the current store.
+
+        The first DIP comes from a plain gated-miter solve; each further
+        one re-solves under a blocking clause excluding the data patterns
+        already in the batch.  Blocking clauses are permanent but gated
+        on the miter activation literal, so they only narrow the search
+        for *new* DIPs — key extraction and feasibility queries (which
+        leave ``act`` free) never see them, and the constraint store
+        stays equivalent to pinning the same DIPs one at a time.
+        Returns the batch in extraction order; empty means no DIP remains.
+
+        ``deadline`` (a ``time.perf_counter`` instant) stops *re-solves*
+        once passed, so a batch cannot overshoot an attack time budget
+        by more than one miter solve — the first extraction of a round
+        always runs, keeping ``dip_batch=1`` behaviour untouched.
+        """
+        if limit < 1:
+            raise AttackError(f"DIP batch limit must be >= 1, got {limit}")
+        batch = []
+        while len(batch) < limit:
+            if batch and deadline is not None \
+                    and time.perf_counter() > deadline:
+                break
+            if not self._solve(assumptions=[self.act]):
+                break
+            dip = tuple(self.solver.model_value(self.var_of[net])
+                        for net in self.data_inputs)
+            batch.append(dip)
+            if len(batch) >= limit or not self.data_inputs:
+                break
+            self.solver.add_clause([-self.act] + [
+                -var if bit else var
+                for var, bit in zip(
+                    (self.var_of[net] for net in self.data_inputs), dip)
+            ])
+        return batch
+
+    def pin_response(self, dip, response):
+        """Constrain both key copies to produce ``response`` on ``dip``.
+
+        The circuit is first partially evaluated on the (constant) DIP,
+        so each copy encodes only the key-dependent cone — the standard
+        constraint-compaction trick that keeps the clause store linear in
+        key logic rather than circuit size.
+        """
+        from repro.netlist.transform import simplified
+
+        response = tuple(response)
+        if len(response) != len(self.locked.outputs):
+            raise AttackError("oracle response width mismatch")
+        self.n_pinned += 1
+        index = self.n_pinned
+        assignments = {net: (1 if bit else 0)
+                       for net, bit in zip(self.data_inputs, dip)}
+        specialized = simplified(self.locked, constant_inputs=assignments,
+                                 name=f"io_spec{index}")
+        for tag in ("a", "b"):
+            mapping = _constraint_copy_map(specialized, self.key_set, tag,
+                                           index)
+            copy = specialized.renamed(mapping, name=f"io_{tag}{index}")
+            cnf = Cnf(self.solver.num_vars)
+            circuit = encode(copy, cnf=cnf, var_of=self.var_of)
+            self.solver.ensure_vars(cnf.num_vars)
+            for clause in cnf.clauses:
+                self.solver.add_clause(clause)
+            for position, bit in enumerate(response):
+                net = copy.outputs[position]
+                self.solver.add_clause([circuit.lit(net, bool(bit))])
+
+    def solve_key(self):
+        """A key consistent with every pinned I/O pair (raises if none)."""
+        if not self._solve():
+            raise AttackError(
+                "constraint store unsatisfiable: oracle inconsistent")
+        return {net: self.solver.model_value(self.var_of[self.map_a[net]])
+                for net in self.key_inputs}
+
+    def feasible_keys(self):
+        """Every key assignment consistent with the pinned I/O pairs.
+
+        Exhaustive over ``2^|key_inputs|`` — a diagnostic for tests on
+        toy circuits (this is the candidate-key feasible set that batched
+        and sequential pinning must agree on).
+        """
+        feasible = set()
+        key_vars = [self.var_of[self.map_a[net]] for net in self.key_inputs]
+        for bits in itertools.product((False, True),
+                                      repeat=len(key_vars)):
+            assumptions = [var if bit else -var
+                           for var, bit in zip(key_vars, bits)]
+            if self._solve(assumptions=assumptions):
+                feasible.add(bits)
+        return feasible
+
+    def close(self):
+        """Tear down a solver this engine created (no-op otherwise)."""
+        if self._owns_solver and hasattr(self.solver, "close"):
+            self.solver.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+
 def comb_sat_attack(locked, key_inputs, oracle_fn, max_dips=None,
-                    collect_dips=False, time_budget=None):
+                    collect_dips=False, time_budget=None, dip_batch=1,
+                    portfolio=None, attack_jobs=1, solver=None):
     """Run the DIP loop; returns a :class:`CombSatResult`.
 
     ``locked``
@@ -71,77 +276,65 @@ def comb_sat_attack(locked, key_inputs, oracle_fn, max_dips=None,
     ``max_dips`` / ``time_budget``
         Optional effort caps; exceeding one returns ``success=False`` with
         ``stop_reason`` set accordingly.
+    ``dip_batch``
+        DIPs extracted (and oracle responses pinned) per miter round;
+        1 reproduces the classic one-DIP-per-iteration loop exactly.
+    ``portfolio`` / ``attack_jobs`` / ``solver``
+        Solver selection, forwarded to :class:`DipEngine`.
     """
     start = time.perf_counter()
-    key_inputs = list(key_inputs)
-    key_set = set(key_inputs)
-    unknown = key_set - set(locked.inputs)
-    if unknown:
-        raise AttackError(f"key inputs not in circuit: {sorted(unknown)[:4]}")
-    data_inputs = [net for net in locked.inputs if net not in key_set]
+    if dip_batch < 1:
+        raise AttackError(f"dip_batch must be >= 1, got {dip_batch}")
+    deadline = None if time_budget is None else start + time_budget
+    with DipEngine(locked, key_inputs, solver=solver,
+                   portfolio=portfolio, attack_jobs=attack_jobs) as engine:
+        n_dips = 0
+        n_rounds = 0
+        dips = []
+        stop_reason = "no_more_dips"
+        while True:
+            if max_dips is not None and n_dips >= max_dips:
+                stop_reason = "max_dips"
+                break
+            if deadline is not None and time.perf_counter() > deadline:
+                stop_reason = "time_budget"
+                break
+            limit = dip_batch
+            if max_dips is not None:
+                limit = min(limit, max_dips - n_dips)
+            batch = engine.find_dip_batch(limit, deadline=deadline)
+            if not batch:
+                break  # no distinguishing pattern remains
+            n_rounds += 1
+            for position, dip in enumerate(batch):
+                # Mid-batch budget check: the first pin of a round always
+                # lands (dip_batch=1 behaviour is untouched); later pins
+                # stop once the budget is spent — the attack is failing
+                # with stop_reason="time_budget" anyway, so the skipped
+                # patterns' gated blocking clauses are harmless.
+                if position and deadline is not None \
+                        and time.perf_counter() > deadline:
+                    stop_reason = "time_budget"
+                    break
+                n_dips += 1
+                if collect_dips:
+                    dips.append(dip)
+                engine.pin_response(dip, tuple(oracle_fn(dip)))
+            if stop_reason == "time_budget":
+                break
 
-    map_a = _miter_copy_map(locked, key_set, "a")
-    map_b = _miter_copy_map(locked, key_set, "b")
-    cnf = Cnf()
-    var_of = {}
-    encode(locked.renamed(map_a, name="miter_a"), cnf=cnf, var_of=var_of)
-    encode(locked.renamed(map_b, name="miter_b"), cnf=cnf, var_of=var_of)
+        if stop_reason != "no_more_dips":
+            return CombSatResult(
+                success=False, key=None, n_dips=n_dips,
+                seconds=time.perf_counter() - start, dips=dips,
+                solver_stats=engine.solver.stats(), stop_reason=stop_reason,
+                n_rounds=n_rounds)
 
-    solver = Solver()
-    solver.ensure_vars(cnf.num_vars)
-    if not solver.add_cnf(cnf):
-        raise AttackError("locked circuit CNF is unsatisfiable")
-
-    # Gated miter: act -> (some output pair differs).
-    act = solver.new_var()
-    diff_lits = []
-    for net in locked.outputs:
-        lit_a = var_of[map_a[net]]
-        lit_b = var_of[map_b[net]]
-        diff = solver.new_var()
-        for clause in _xor_clauses(diff, lit_a, lit_b):
-            solver.add_clause(clause)
-        diff_lits.append(diff)
-    solver.add_clause([-act] + diff_lits)
-
-    n_dips = 0
-    dips = []
-    stop_reason = "no_more_dips"
-    while True:
-        if max_dips is not None and n_dips >= max_dips:
-            stop_reason = "max_dips"
-            break
-        if time_budget is not None and \
-                time.perf_counter() - start > time_budget:
-            stop_reason = "time_budget"
-            break
-        if not solver.solve(assumptions=[act]):
-            break  # no distinguishing pattern remains
-        dip = tuple(
-            solver.model_value(var_of[net]) for net in data_inputs
-        )
-        n_dips += 1
-        if collect_dips:
-            dips.append(dip)
-        response = tuple(oracle_fn(dip))
-        if len(response) != len(locked.outputs):
-            raise AttackError("oracle response width mismatch")
-        _pin_io_pair(solver, locked, key_set, var_of, dip, response,
-                     data_inputs, n_dips)
-
-    if stop_reason != "no_more_dips":
+        key = engine.solve_key()
         return CombSatResult(
-            success=False, key=None, n_dips=n_dips,
+            success=True, key=key, n_dips=n_dips,
             seconds=time.perf_counter() - start, dips=dips,
-            solver_stats=solver.stats(), stop_reason=stop_reason)
-
-    if not solver.solve():
-        raise AttackError("constraint store unsatisfiable: oracle inconsistent")
-    key = {net: solver.model_value(var_of[map_a[net]]) for net in key_inputs}
-    return CombSatResult(
-        success=True, key=key, n_dips=n_dips,
-        seconds=time.perf_counter() - start, dips=dips,
-        solver_stats=solver.stats())
+            solver_stats=engine.solver.stats(), n_rounds=n_rounds)
 
 
 def _xor_clauses(out_var, lit_a, lit_b):
@@ -151,36 +344,3 @@ def _xor_clauses(out_var, lit_a, lit_b):
         [out_var, -lit_a, lit_b],
         [out_var, lit_a, -lit_b],
     ]
-
-
-def _pin_io_pair(solver, locked, key_set, var_of, dip, response,
-                 data_inputs, index):
-    """Add two constraint copies: C(dip, kA) = y and C(dip, kB) = y.
-
-    The circuit is first partially evaluated on the (constant) DIP, so
-    each copy encodes only the key-dependent cone — the standard
-    constraint-compaction trick that keeps the clause store linear in key
-    logic rather than circuit size.
-    """
-    from repro.netlist.transform import simplified
-
-    assignments = {net: (1 if bit else 0)
-                   for net, bit in zip(data_inputs, dip)}
-    specialized = simplified(locked, constant_inputs=assignments,
-                             name=f"io_spec{index}")
-    for tag in ("a", "b"):
-        mapping = {}
-        for net in specialized.nets():
-            if net in key_set:
-                mapping[net] = f"key_{tag}::{net}"
-            else:
-                mapping[net] = f"io_{tag}{index}::{net}"
-        copy = specialized.renamed(mapping, name=f"io_{tag}{index}")
-        cnf = Cnf(solver.num_vars)
-        circuit = encode(copy, cnf=cnf, var_of=var_of)
-        solver.ensure_vars(cnf.num_vars)
-        for clause in cnf.clauses:
-            solver.add_clause(clause)
-        for position, bit in enumerate(response):
-            net = copy.outputs[position]
-            solver.add_clause([circuit.lit(net, bool(bit))])

@@ -96,7 +96,8 @@ def estimate_min_unroll_depth(locked_netlist, kappa, max_depth=16,
 
 def sequential_sat_attack(locked_netlist, kappa, oracle, known_depth=None,
                           max_depth=12, max_dips=None, time_budget=None,
-                          reference=None, check_rounds=24, seed=0):
+                          reference=None, check_rounds=24, seed=0,
+                          dip_batch=1, portfolio=None, attack_jobs=1):
     """Oracle-guided sequential SAT attack; returns :class:`SeqAttackResult`.
 
     ``oracle``
@@ -108,6 +109,11 @@ def sequential_sat_attack(locked_netlist, kappa, oracle, known_depth=None,
         When the harness provides the original netlist, candidate keys are
         verified by BMC; otherwise by ``check_rounds`` random oracle
         sequences (pure black-box mode).
+    ``dip_batch`` / ``portfolio`` / ``attack_jobs``
+        Attack-engine knobs forwarded to the COMB-SAT core of each
+        unrolling depth: DIPs extracted per miter round, solver-portfolio
+        spec, and worker-process budget for racing the portfolio (the
+        defaults reproduce the classic single-solver loop exactly).
     """
     start = time.perf_counter()
     rng = make_rng(("seqsat", seed))
@@ -142,7 +148,8 @@ def sequential_sat_attack(locked_netlist, kappa, oracle, known_depth=None,
         result = comb_sat_attack(
             view, key_inputs, oracle_fn,
             max_dips=None if max_dips is None else max_dips - total_dips,
-            time_budget=budget_left)
+            time_budget=budget_left, dip_batch=dip_batch,
+            portfolio=portfolio, attack_jobs=attack_jobs)
         total_dips += result.n_dips
         dips_per_depth[depth] = result.n_dips
         if not result.success:

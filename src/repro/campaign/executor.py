@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import concurrent.futures
 import importlib
+import os
 import time
 import traceback
 from dataclasses import dataclass
@@ -36,6 +37,14 @@ def resolve_cell_fn(path):
         return getattr(module, fn_name)
     except AttributeError:
         raise CampaignError(f"{module_name} has no cell function {fn_name!r}")
+
+
+def _set_cpu_share(share):
+    """Pool-worker initializer: publish how many sibling cell workers
+    share this machine, so in-cell auto solver races
+    (``repro.sat.cpu_budget``) divide the CPUs instead of each claiming
+    all of them."""
+    os.environ["REPRO_CPU_SHARE"] = str(share)
 
 
 def _execute_cell(fn_path, kwargs):
@@ -178,8 +187,10 @@ class Campaign:
         # the campaign is aborted (Ctrl-C): a hung cell would otherwise
         # block shutdown (and interpreter exit) indefinitely.
         kill_workers = True
+        workers = min(self.jobs, len(pending))
         pool = concurrent.futures.ProcessPoolExecutor(
-            max_workers=min(self.jobs, len(pending)))
+            max_workers=workers,
+            initializer=_set_cpu_share, initargs=(workers,))
         try:
             futures = {
                 index: pool.submit(_execute_cell, specs[index].fn,

@@ -23,7 +23,7 @@ from repro.errors import CampaignError
 
 #: Code-version salt mixed into every cache key. Bump on any change that
 #: alters what a cell function computes for the same params.
-CODE_VERSION = "trilock-campaign-v1"
+CODE_VERSION = "trilock-campaign-v2"
 
 
 def canonical_json(value):

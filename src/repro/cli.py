@@ -30,6 +30,7 @@ import json
 import os
 import sys
 
+from repro._cliutils import attack_jobs_arg
 from repro.attacks import bounded_equivalence, scc_report, sequential_sat_attack
 from repro.attacks.oracle import SimulationOracle
 from repro.campaign import ResultStore, default_cache_dir, render_status
@@ -76,6 +77,19 @@ def build_parser():
                             help="unrolling depth b* (omit to deepen)")
     attack_cmd.add_argument("--max-dips", type=int, default=None)
     attack_cmd.add_argument("--time-budget", type=float, default=None)
+    attack_cmd.add_argument("--dip-batch", type=int, default=1,
+                            help="DIPs extracted and pinned per miter "
+                                 "round (default 1 = classic loop)")
+    attack_cmd.add_argument("--attack-jobs", type=attack_jobs_arg,
+                            default=1,
+                            help="worker processes racing solver configs: "
+                                 "an int (default 1 = serial single "
+                                 "solver) or 'auto' (one per config, "
+                                 "clamped to the CPU budget)")
+    attack_cmd.add_argument("--portfolio", default=None,
+                            help="solver portfolio: 'default', 'race', "
+                                 "'race2', 'all', or comma-separated "
+                                 "backend names")
 
     report_cmd = commands.add_parser(
         "report", help="security and cost report of a locked design")
@@ -173,7 +187,8 @@ def cmd_attack(args, out):
     result = sequential_sat_attack(
         locked, args.kappa, oracle, known_depth=args.depth,
         max_dips=args.max_dips, time_budget=args.time_budget,
-        reference=original)
+        reference=original, dip_batch=args.dip_batch,
+        portfolio=args.portfolio, attack_jobs=args.attack_jobs)
     if result.success:
         out.write(f"key recovered in {result.n_dips} DIPs "
                   f"({result.seconds:.2f}s, depth {result.depth}): "

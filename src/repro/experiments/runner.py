@@ -24,6 +24,7 @@ import os
 import sys
 import time
 
+from repro._cliutils import attack_jobs_arg
 from repro.campaign import Campaign, ResultStore, default_cache_dir, \
     render_status
 from repro.errors import ReproError
@@ -44,7 +45,8 @@ EXPERIMENTS = {
         campaign=campaign),
     "table1": lambda args, campaign: table1_sat_resilience.run(
         scale=args.scale, effort=args.effort, seed=args.seed,
-        campaign=campaign),
+        campaign=campaign, dip_batch=args.dip_batch,
+        portfolio=args.portfolio, attack_jobs=args.attack_jobs),
     "fig7": lambda args, campaign: fig7_fc.run(
         scale=args.scale, names=args.circuits, seed=args.seed,
         n_samples=args.samples, campaign=campaign),
@@ -90,6 +92,21 @@ def build_parser():
     parser.add_argument("--cell-timeout", type=float, default=None,
                         help="seconds one cell may run before it is "
                              "recorded as failed (needs --jobs >= 2)")
+    parser.add_argument("--attack-jobs", type=attack_jobs_arg, default=1,
+                        help="worker processes racing solver "
+                             "configurations inside one attack cell: "
+                             "an int (default 1 = serial single solver) "
+                             "or 'auto' (one per portfolio config, "
+                             "clamped to the CPU budget)")
+    parser.add_argument("--dip-batch", type=int, default=1,
+                        help="distinguishing input patterns extracted "
+                             "and pinned per miter round (default "
+                             "%(default)s = classic SAT-attack loop)")
+    parser.add_argument("--portfolio", default=None,
+                        help="solver portfolio spec for attack cells: "
+                             "'default', 'race', 'race2', 'all', or a "
+                             "comma-separated backend list (see "
+                             "repro.sat.backend_names)")
     return parser
 
 
@@ -122,6 +139,11 @@ def run_experiment(name, args, campaign=None):
     return text
 
 
+#: Experiments that actually run a SAT attack and consume the
+#: attack-engine knobs (--attack-jobs / --dip-batch / --portfolio).
+ATTACK_EXPERIMENTS = frozenset(["table1"])
+
+
 def main(argv=None):
     args = build_parser().parse_args(argv)
     if args.experiment == "status":
@@ -130,6 +152,13 @@ def main(argv=None):
         return 0
     names = sorted(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]
+    engine_flags_set = (args.dip_batch != 1 or args.portfolio is not None
+                        or args.attack_jobs != 1)
+    if engine_flags_set and not ATTACK_EXPERIMENTS.intersection(names):
+        sys.stderr.write(
+            "warning: --attack-jobs/--dip-batch/--portfolio only affect "
+            f"SAT-attack experiments ({', '.join(sorted(ATTACK_EXPERIMENTS))})"
+            f"; {', '.join(names)} ignores them\n")
     try:
         campaign = make_campaign(args)
     except ReproError as error:

@@ -28,6 +28,7 @@ from repro.experiments.common import (
 )
 from repro.metrics import extrapolated_resilience, measure_resilience
 from repro.metrics.resilience import ResilienceMeasurement
+from repro.sat import make_attack_solver, parse_portfolio
 
 #: Paper Table I (κs -> circuit -> (ndip, seconds)); blue extrapolated
 #: entries included — used by EXPERIMENTS.md for shape comparison.
@@ -60,13 +61,20 @@ MEASURED_CELLS = {
 
 
 def resilience_cell(circuit, scale, seed, kappa_s, kappa_f, alpha, s_pairs,
-                    time_budget):
-    """One measured Table I cell: lock + real sequential SAT attack."""
+                    time_budget, dip_batch=1, portfolio=None, attack_jobs=1):
+    """One measured Table I cell: lock + real sequential SAT attack.
+
+    The attack-engine knobs (``dip_batch``, ``portfolio``,
+    ``attack_jobs``) are part of the cell's parameter set, hence of its
+    campaign cache key — changing how a cell is attacked invalidates its
+    cached value even though ``ndip`` itself is solver-independent."""
     netlist = load_suite_circuit(circuit, scale=scale, seed=seed)
     locked = lock(netlist, TriLockConfig(
         kappa_s=kappa_s, kappa_f=kappa_f, alpha=alpha, s_pairs=s_pairs,
         seed=seed))
-    cell = measure_resilience(locked, time_budget=time_budget)
+    cell = measure_resilience(locked, time_budget=time_budget,
+                              dip_batch=dip_batch, portfolio=portfolio,
+                              attack_jobs=attack_jobs)
     return {
         "circuit": cell.circuit,
         "kappa_s": cell.kappa_s,
@@ -80,14 +88,29 @@ def resilience_cell(circuit, scale, seed, kappa_s, kappa_f, alpha, s_pairs,
 
 
 def cells(scale=DEFAULT_SCALE, effort="quick", kappa_s_values=(1, 2, 3),
-          seed=0, time_budget_per_cell=None):
-    """One cell per attacked (circuit, kappa_s) of the effort level."""
+          seed=0, time_budget_per_cell=None, dip_batch=1, portfolio=None,
+          attack_jobs=1):
+    """One cell per attacked (circuit, kappa_s) of the effort level.
+
+    The attack-engine knobs are normalized through
+    :func:`repro.sat.parse_portfolio` before entering the params, so
+    equivalent spellings of the same portfolio (``None`` vs
+    ``"default"`` vs ``"cdcl"``) address the same cached cell."""
+    portfolio_names = list(parse_portfolio(portfolio))
+    # Validate the engine combination eagerly (workers spawn lazily, so
+    # this is cheap) — a misconfigured portfolio/jobs pair should fail
+    # the experiment up front, not every cell one by one.
+    probe = make_attack_solver(portfolio=portfolio, attack_jobs=attack_jobs)
+    if hasattr(probe, "close"):
+        probe.close()
     return [
         CellSpec.make(
             "repro.experiments.table1_sat_resilience:resilience_cell",
             {"circuit": name, "scale": scale, "seed": seed,
              "kappa_s": kappa_s, "kappa_f": 1, "alpha": 0.6, "s_pairs": 10,
-             "time_budget": time_budget_per_cell},
+             "time_budget": time_budget_per_cell,
+             "dip_batch": dip_batch, "portfolio": portfolio_names,
+             "attack_jobs": attack_jobs},
             experiment="table1", label=f"table1/{name}/ks={kappa_s}")
         for name, kappa_s in MEASURED_CELLS[effort]
         if kappa_s in kappa_s_values
@@ -95,10 +118,13 @@ def cells(scale=DEFAULT_SCALE, effort="quick", kappa_s_values=(1, 2, 3),
 
 
 def run(scale=DEFAULT_SCALE, effort="quick", kappa_s_values=(1, 2, 3),
-        seed=0, time_budget_per_cell=None, campaign=None):
+        seed=0, time_budget_per_cell=None, campaign=None, dip_batch=1,
+        portfolio=None, attack_jobs=1):
     campaign = campaign if campaign is not None else Campaign()
     specs = cells(scale=scale, effort=effort, kappa_s_values=kappa_s_values,
-                  seed=seed, time_budget_per_cell=time_budget_per_cell)
+                  seed=seed, time_budget_per_cell=time_budget_per_cell,
+                  dip_batch=dip_batch, portfolio=portfolio,
+                  attack_jobs=attack_jobs)
     results = campaign.run(specs)
     # A failed or timed-out attack cell degrades to extrapolation (the
     # paper's own protocol for unfinished cells) instead of aborting.

@@ -34,11 +34,18 @@ class ResilienceMeasurement:
         }
 
 
-def measure_resilience(locked, max_dips=None, time_budget=None):
-    """Attack a locked circuit at ``b* = κs`` and record the cost."""
+def measure_resilience(locked, max_dips=None, time_budget=None,
+                       dip_batch=1, portfolio=None, attack_jobs=1):
+    """Attack a locked circuit at ``b* = κs`` and record the cost.
+
+    ``dip_batch``/``portfolio``/``attack_jobs`` select the attack engine
+    (DIPs pinned per miter round, solver-portfolio spec, worker budget);
+    the defaults are the classic serial single-solver attack.
+    """
     start = time.perf_counter()
     result = attack_locked_circuit(
-        locked, max_dips=max_dips, time_budget=time_budget)
+        locked, max_dips=max_dips, time_budget=time_budget,
+        dip_batch=dip_batch, portfolio=portfolio, attack_jobs=attack_jobs)
     elapsed = time.perf_counter() - start
     key_correct = bool(
         result.success and result.key is not None

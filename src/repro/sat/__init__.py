@@ -1,13 +1,40 @@
-"""SAT solving: CDCL engine, DPLL reference, model enumeration."""
+"""SAT solving: CDCL engine, DPLL reference, pluggable backends,
+racing portfolios, model enumeration."""
 
+from repro.sat.backend import (
+    BUILTIN_CONFIGS,
+    CdclConfig,
+    DEFAULT_BACKEND,
+    DpllBackend,
+    SolverBackend,
+    backend_names,
+    cpu_budget,
+    make_attack_solver,
+    make_backend,
+    parse_portfolio,
+    register_backend,
+)
 from repro.sat.dpll import brute_force_models, dpll_solve
 from repro.sat.models import count_models, enumerate_models
+from repro.sat.portfolio import PortfolioSolver
 from repro.sat.solver import Solver
 
 __all__ = [
+    "BUILTIN_CONFIGS",
+    "CdclConfig",
+    "DEFAULT_BACKEND",
+    "DpllBackend",
+    "PortfolioSolver",
     "Solver",
+    "SolverBackend",
+    "backend_names",
     "brute_force_models",
     "count_models",
+    "cpu_budget",
     "dpll_solve",
     "enumerate_models",
+    "make_attack_solver",
+    "make_backend",
+    "parse_portfolio",
+    "register_backend",
 ]

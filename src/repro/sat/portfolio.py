@@ -1,0 +1,470 @@
+"""Racing solver portfolio: N backend configurations, one answer.
+
+A :class:`PortfolioSolver` presents the same incremental surface as a
+single :class:`~repro.sat.solver.Solver` but executes each ``solve`` as a
+race between worker processes, one per backend configuration.  All
+workers hold the same clause store (the parent streams clause deltas to
+them before each solve); the first complete answer wins and the losers
+are *cancelled cooperatively* — the parent sets a shared event which the
+CDCL engine polls between conflicts, so a losing worker abandons its
+search but keeps its process, its clause store, and everything it learnt
+for the next round.  That is what makes the portfolio viable inside the
+DIP loop, where hundreds of incremental solve calls share one miter.
+
+``solve`` returns the moment the winner answers; losers' replies are
+drained lazily at the start of the *next* round, so their wind-down
+overlaps whatever the caller does between solves (oracle queries,
+constraint pinning).  A round therefore costs the *fastest*
+configuration's search time plus IPC, not the slowest's.
+
+Because every backend is a complete solver, the *result* of a race is
+deterministic — sat/unsat never depends on which worker wins; only the
+model (when SAT) and the wall-clock do.
+
+Degradation is always available and always safe: if worker processes
+cannot be spawned (or all of them die), the portfolio replays its clause
+log into an inline backend of the first configuration and continues
+serially.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+
+from repro.errors import SolverError
+
+#: Seconds between liveness checks while waiting on worker replies.  A
+#: slow reply is NOT a failure — hard miter solves legitimately run for
+#: hours — so the parent waits indefinitely, merely confirming at this
+#: cadence that the worker *processes* are still alive.
+_LIVENESS_POLL = 10.0
+
+
+def _portfolio_worker(config_name, conn, cancel):
+    """Worker loop: mirror clause deltas, answer solve requests.
+
+    Runs one backend for the whole portfolio lifetime.  Exactly one reply
+    is sent per ``solve`` request: ``("sat", name, model, stats)``,
+    ``("unsat", name, None, stats)``, ``("cancelled", name)``, or
+    ``("error", name, repr)`` — the parent relies on this invariant to
+    keep the pipes in lockstep.
+    """
+    from repro.sat.backend import make_backend
+
+    try:
+        try:
+            backend = make_backend(config_name)
+            backend.interrupt = cancel.is_set
+        except Exception as error:  # noqa: BLE001 - reported to parent
+            # Construction can fail for a custom backend whose factory is
+            # absent or broken in this child (e.g. spawn start method).
+            # The early error reply is consumed as the first solve's
+            # answer, so the parent sees a diagnostic, not a silent EOF.
+            conn.send(("error", config_name, repr(error)))
+            return
+        broken = None  # deferred 'load' failure, reported at next solve
+        while True:
+            message = conn.recv()
+            kind = message[0]
+            if kind == "load":
+                _, num_vars, clauses = message
+                try:
+                    backend.ensure_vars(num_vars)
+                    for clause in clauses:
+                        backend.add_clause(clause)
+                except Exception as error:  # noqa: BLE001
+                    broken = repr(error)
+            elif kind == "solve":
+                _, assumptions = message
+                if broken is not None:
+                    conn.send(("error", config_name, broken))
+                    return
+                try:
+                    sat = backend.solve(assumptions=assumptions)
+                except Exception as error:  # noqa: BLE001 - reported to parent
+                    conn.send(("error", config_name, repr(error)))
+                    return
+                if sat is None:
+                    conn.send(("cancelled", config_name))
+                elif sat:
+                    # Bit-packed: a solve reply is O(num_vars/8) bytes,
+                    # not a num_vars-element pickled list (num_vars
+                    # grows with every pinned DIP, so this is the
+                    # dominant IPC term of a long attack).
+                    num_vars = backend.num_vars
+                    packed = bytearray((num_vars + 7) // 8)
+                    for var in range(1, num_vars + 1):
+                        if backend.model_value(var):
+                            packed[(var - 1) >> 3] |= 1 << ((var - 1) & 7)
+                    conn.send(("sat", config_name,
+                               (bytes(packed), num_vars), backend.stats()))
+                else:
+                    conn.send(("unsat", config_name, None, backend.stats()))
+            elif kind == "quit":
+                return
+    except (EOFError, OSError, KeyboardInterrupt):
+        return
+    finally:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+class _Worker:
+    __slots__ = ("name", "process", "conn", "cancel", "alive", "pending")
+
+    def __init__(self, name, process, conn, cancel):
+        self.name = name
+        self.process = process
+        self.conn = conn
+        self.cancel = cancel
+        self.alive = True
+        self.pending = False  # a solve reply is still owed to the parent
+
+
+class PortfolioSolver:
+    """Incremental solver that races backend configurations per solve."""
+
+    def __init__(self, configs, start_method=None):
+        configs = tuple(configs)
+        if not configs:
+            raise SolverError("portfolio needs at least one configuration")
+        if len(set(configs)) != len(configs):
+            raise SolverError("portfolio repeats a configuration")
+        from repro.sat.backend import backend_names
+
+        known = set(backend_names())
+        for name in configs:
+            if name not in known:
+                raise SolverError(f"unknown solver backend {name!r}")
+        self.configs = configs
+        self._num_vars = 0
+        self._clauses = []       # full clause log (worker respawn/fallback)
+        self._sent_vars = 0
+        self._sent_clauses = 0
+        self._root_unsat = False
+        self._unit_signs = {}    # var -> sign of a root-level unit clause
+        self._model = None       # (packed bitmap, num_vars) of the winner
+        self._workers = None     # started lazily on first racing solve
+        self._inline = None      # serial fallback backend
+        self._inline_sent = 0
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._ctx = multiprocessing.get_context(start_method)
+        self.num_solve_calls = 0
+        self.wins = {name: 0 for name in configs}
+        self.last_winner = None
+        self._winner_stats = {}
+        #: Part of the SolverBackend surface: a zero-arg callable polled
+        #: while a race is in flight; when it turns true every worker is
+        #: cancelled and ``solve`` returns ``None`` (unknown) — unless a
+        #: complete answer arrives first, which always wins.
+        self.interrupt = None
+
+    # ------------------------------------------------------------------
+    # Problem construction (mirrors Solver's surface)
+    # ------------------------------------------------------------------
+    def new_var(self):
+        self._num_vars += 1
+        return self._num_vars
+
+    def ensure_vars(self, up_to):
+        if up_to > self._num_vars:
+            self._num_vars = int(up_to)
+
+    @property
+    def num_vars(self):
+        return self._num_vars
+
+    def add_clause(self, literals):
+        if self._root_unsat:
+            return False
+        clause = []
+        seen = set()
+        for lit in literals:
+            lit = int(lit)
+            if lit == 0 or abs(lit) > self._num_vars:
+                raise SolverError(
+                    f"bad literal {lit} (allocate variables first)")
+            if -lit in seen:
+                return True  # tautology
+            if lit not in seen:
+                seen.add(lit)
+                clause.append(lit)
+        if not clause:
+            self._root_unsat = True
+            return False
+        self._clauses.append(clause)
+        if len(clause) == 1:
+            # Honor the backend contract's root-UNSAT signal at least
+            # for directly contradictory unit clauses (the CDCL engine
+            # detects more via propagation).
+            lit = clause[0]
+            var, sign = abs(lit), lit > 0
+            prior = self._unit_signs.setdefault(var, sign)
+            if prior != sign:
+                self._root_unsat = True
+                return False
+        return True
+
+    def add_cnf(self, cnf):
+        self.ensure_vars(cnf.num_vars)
+        for clause in cnf.clauses:
+            if not self.add_clause(clause):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    def solve(self, assumptions=()):
+        self.num_solve_calls += 1
+        if self._root_unsat:
+            return False
+        if self.interrupt is not None and self.interrupt():
+            self._model = None  # a prior round's model must not leak
+            return None
+        assumptions = [int(lit) for lit in assumptions]
+        for lit in assumptions:
+            if lit == 0 or abs(lit) > self._num_vars:
+                raise SolverError(f"bad assumption literal {lit}")
+        if self._inline is not None:
+            return self._solve_inline(assumptions)
+        try:
+            self._ensure_workers()
+        except OSError:
+            return self._solve_inline(assumptions)
+        return self._race(assumptions)
+
+    def model_value(self, var):
+        if self._inline is not None:
+            return self._inline.model_value(var)
+        if self._model is None:
+            raise SolverError("no model available (last solve was not SAT)")
+        packed, num_vars = self._model
+        if not 1 <= var <= num_vars:
+            return False  # allocated after the winning model was taken
+        return bool(packed[(var - 1) >> 3] & (1 << ((var - 1) & 7)))
+
+    def model(self):
+        if self._inline is not None:
+            return self._inline.model()
+        if self._model is None:
+            raise SolverError("no model available (last solve was not SAT)")
+        return {var: self.model_value(var)
+                for var in range(1, self._num_vars + 1)}
+
+    def stats(self):
+        stats = {
+            "backend": "portfolio",
+            "portfolio": list(self.configs),
+            "vars": self._num_vars,
+            "clauses": len(self._clauses),
+            "solve_calls": self.num_solve_calls,
+            "wins": dict(self.wins),
+            "winner": self.last_winner,
+            "inline_fallback": self._inline is not None,
+        }
+        if self._winner_stats:
+            stats["winner_stats"] = dict(self._winner_stats)
+        return stats
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self):
+        """Shut the worker processes down (idempotent)."""
+        workers, self._workers = self._workers, None
+        if not workers:
+            return
+        for worker in workers:
+            if not worker.alive:
+                continue
+            try:
+                worker.cancel.set()
+                # Drain the reply a cancelled worker may still owe so its
+                # (possibly pipe-buffer-sized) send cannot wedge the quit.
+                if worker.pending and worker.conn.poll(2.0):
+                    worker.conn.recv()
+                worker.conn.send(("quit",))
+            except (OSError, ValueError, EOFError):
+                pass
+        for worker in workers:
+            try:
+                worker.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+            worker.process.join(timeout=2.0)
+            if worker.process.is_alive():  # pragma: no cover - hung worker
+                worker.process.terminate()
+                worker.process.join(timeout=2.0)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _ensure_workers(self):
+        if self._workers is not None:
+            return
+        # Fresh workers hold an empty clause store: rewind the stream
+        # high-water marks so the next race replays the full log (this
+        # is what makes solve() after close() respawn correctly).
+        self._sent_clauses = 0
+        self._sent_vars = 0
+        workers = []
+        try:
+            for name in self.configs:
+                parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+                cancel = self._ctx.Event()
+                process = self._ctx.Process(
+                    target=_portfolio_worker,
+                    args=(name, child_conn, cancel),
+                    name=f"portfolio-{name}", daemon=True)
+                process.start()
+                child_conn.close()
+                workers.append(_Worker(name, process, parent_conn, cancel))
+        except OSError:
+            # Reap the subset that did start before propagating (the
+            # caller falls back to inline solving) — half a portfolio
+            # must not linger blocked on its pipe.
+            self._workers = workers
+            self.close()
+            raise
+        self._workers = workers
+
+    def _live_workers(self):
+        return [w for w in (self._workers or ()) if w.alive]
+
+    def _drain(self, worker):
+        """Collect (and discard) the reply a cancelled worker still owes.
+
+        The cancel event stays set until the stale reply is in hand, so a
+        loser that never reached a poll point keeps being asked to stop.
+        Returns True iff the worker is still usable.
+        """
+        if not worker.pending:
+            return worker.alive
+        while not worker.conn.poll(_LIVENESS_POLL):
+            if not worker.process.is_alive():  # pragma: no cover - crash
+                worker.alive = False
+                return False
+        try:
+            message = worker.conn.recv()
+        except (EOFError, OSError):
+            worker.alive = False
+            return False
+        worker.pending = False
+        if message[0] == "error":
+            worker.alive = False
+        return worker.alive
+
+    def _race(self, assumptions):
+        workers = [w for w in self._live_workers() if self._drain(w)]
+        if not workers:
+            return self._solve_inline(assumptions)
+
+        # Stream the clause delta accumulated since the last solve.
+        delta = self._clauses[self._sent_clauses:]
+        need_load = bool(delta) or self._num_vars > self._sent_vars
+        for worker in workers:
+            worker.cancel.clear()
+            try:
+                if need_load:
+                    worker.conn.send(("load", self._num_vars, delta))
+                worker.conn.send(("solve", assumptions))
+                worker.pending = True
+            except (OSError, ValueError):
+                worker.alive = False
+        self._sent_clauses = len(self._clauses)
+        self._sent_vars = self._num_vars
+        outstanding = [w for w in workers if w.alive]
+        if not outstanding:
+            return self._solve_inline(assumptions)
+
+        winner = None
+        interrupted = False
+        while winner is None and outstanding:
+            if not interrupted and self.interrupt is not None \
+                    and self.interrupt():
+                interrupted = True
+                for worker in outstanding:
+                    worker.cancel.set()
+            ready = multiprocessing.connection.wait(
+                [w.conn for w in outstanding],
+                timeout=0.25 if (self.interrupt is not None
+                                 and not interrupted) else _LIVENESS_POLL)
+            if not ready:
+                # No reply yet — a hard instance, not a failure.  Cull
+                # only workers whose process actually died and keep
+                # waiting for the rest.
+                for worker in list(outstanding):
+                    if not worker.process.is_alive():  # pragma: no cover
+                        worker.alive = False
+                        worker.pending = False
+                        outstanding.remove(worker)
+                continue
+            ready = set(ready)
+            # Iterate in configuration order so simultaneous finishers
+            # resolve to a deterministic winner.
+            for worker in [w for w in outstanding if w.conn in ready]:
+                try:
+                    message = worker.conn.recv()
+                except (EOFError, OSError):
+                    worker.alive = False
+                    outstanding.remove(worker)
+                    continue
+                worker.pending = False
+                kind = message[0]
+                if kind in ("sat", "unsat"):
+                    winner = message
+                    for other in self._live_workers():
+                        if other is not worker and other.pending:
+                            other.cancel.set()
+                    break
+                if kind == "error":
+                    worker.alive = False
+                outstanding.remove(worker)
+
+        if winner is None:
+            if interrupted:
+                self._model = None
+                return None  # cancelled before any complete answer
+            # Every worker died or errored; fall back to inline solving.
+            return self._solve_inline(assumptions)
+        kind, name, model, stats = winner
+        self.wins[name] += 1
+        self.last_winner = name
+        self._winner_stats = stats
+        if kind == "sat":
+            self._model = model  # (packed bitmap, num_vars)
+            return True
+        self._model = None
+        return False
+
+    def _solve_inline(self, assumptions):
+        if self._inline is None:
+            self.close()
+            from repro.sat.backend import make_backend
+
+            self._inline = make_backend(self.configs[0])
+        self._inline.ensure_vars(self._num_vars)
+        for clause in self._clauses[self._inline_sent:]:
+            self._inline.add_clause(clause)
+        self._inline_sent = len(self._clauses)
+        self._inline.interrupt = self.interrupt
+        return self._inline.solve(assumptions=assumptions)

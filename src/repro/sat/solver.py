@@ -12,7 +12,12 @@ package is available offline). Features:
 * learnt-clause database reduction,
 * incremental use: clauses may be added between ``solve`` calls, and
   ``solve(assumptions=...)`` checks satisfiability under temporary
-  literal assumptions (the workhorse of the DIP loop).
+  literal assumptions (the workhorse of the DIP loop),
+* tunable search heuristics (restart pacing, activity decays, default
+  phase) — the knobs the portfolio layer races against each other,
+* cooperative interruption: set :attr:`Solver.interrupt` to a cheap
+  callable and ``solve`` returns ``None`` (unknown) soon after it turns
+  true, with the solver state intact for the next call.
 
 Literals are non-zero signed ints over variables ``1..n`` (DIMACS style).
 """
@@ -24,6 +29,13 @@ import heapq
 from repro.errors import SolverError
 
 _TRUE, _FALSE, _UNASSIGNED = 1, 0, -1
+
+#: How many conflicts pass between interrupt-callback polls.
+_INTERRUPT_GRANULARITY = 64
+
+
+class _Interrupted(Exception):
+    """Internal signal: the interrupt callback asked the search to stop."""
 
 
 class _Clause:
@@ -38,9 +50,31 @@ class _Clause:
 
 
 class Solver:
-    """Incremental CDCL solver."""
+    """Incremental CDCL solver.
 
-    def __init__(self):
+    The keyword arguments are the tunable search heuristics exposed to
+    the portfolio layer; the defaults reproduce the original fixed
+    behaviour exactly.
+
+    ``var_decay`` / ``clause_decay``
+        EVSIDS decay factors in ``(0, 1]`` (activities are bumped by a
+        increment that grows by ``1/decay`` per conflict).
+    ``restart_base``
+        Conflict budget multiplier of the Luby restart sequence.
+    ``phase_default``
+        Initial saved phase of fresh variables (phase saving overwrites
+        it as the search runs).
+    ``learnt_cap``
+        Base size of the learnt-clause database before reduction kicks
+        in (the cap grows with the problem clause count).
+    """
+
+    def __init__(self, var_decay=0.95, clause_decay=0.999, restart_base=64,
+                 phase_default=False, learnt_cap=4000):
+        if not 0.0 < var_decay <= 1.0 or not 0.0 < clause_decay <= 1.0:
+            raise SolverError("activity decays must be in (0, 1]")
+        if restart_base < 1:
+            raise SolverError("restart_base must be >= 1")
         self._num_vars = 0
         self._clauses = []        # problem clauses
         self._learnts = []        # learnt clauses
@@ -49,7 +83,7 @@ class Solver:
         self._assign = [ _UNASSIGNED ]  # var-indexed (index 0 unused)
         self._level = [0]
         self._reason = [None]
-        self._phase = [False]
+        self._phase = [bool(phase_default)]
         self._activity = [0.0]
         self._order = []          # lazy max-heap of (-activity, var)
         self._trail = []
@@ -58,9 +92,15 @@ class Solver:
         self._unsat = False
         self._model = None
         self._var_inc = 1.0
-        self._var_decay = 1.0 / 0.95
+        self._var_decay = 1.0 / var_decay
         self._cla_inc = 1.0
-        self._cla_decay = 1.0 / 0.999
+        self._cla_decay = 1.0 / clause_decay
+        self._restart_base = int(restart_base)
+        self._phase_default = bool(phase_default)
+        self._learnt_cap = int(learnt_cap)
+        #: Optional zero-argument callable polled during search; when it
+        #: returns true, ``solve`` stops and returns ``None`` (unknown).
+        self.interrupt = None
         # statistics
         self.num_conflicts = 0
         self.num_decisions = 0
@@ -78,7 +118,7 @@ class Solver:
         self._assign.append(_UNASSIGNED)
         self._level.append(0)
         self._reason.append(None)
-        self._phase.append(False)
+        self._phase.append(self._phase_default)
         self._activity.append(0.0)
         heapq.heappush(self._order, (0.0, var))
         return var
@@ -143,7 +183,12 @@ class Solver:
     # Solving
     # ------------------------------------------------------------------
     def solve(self, assumptions=()):
-        """True iff satisfiable under ``assumptions`` (list of literals)."""
+        """True iff satisfiable under ``assumptions`` (list of literals).
+
+        Returns ``None`` — *unknown*, not falsy-UNSAT — when the
+        :attr:`interrupt` callback fired mid-search; the solver keeps its
+        clause store (and learnt clauses) and may be solved again.
+        """
         self.num_solve_calls += 1
         if self._unsat:
             return False
@@ -158,8 +203,17 @@ class Solver:
 
         restart = 0
         while True:
-            threshold = 64 * _luby(restart)
-            status = self._search(threshold, assumptions)
+            if self.interrupt is not None and self.interrupt():
+                self._cancel_until(0)
+                self._model = None  # a prior solve's model must not leak
+                return None
+            threshold = self._restart_base * _luby(restart)
+            try:
+                status = self._search(threshold, assumptions)
+            except _Interrupted:
+                self._cancel_until(0)
+                self._model = None
+                return None
             restart += 1
             if status is None:
                 self.num_restarts += 1
@@ -191,6 +245,9 @@ class Solver:
 
     def stats(self):
         return {
+            # Uniform across backends: CdclConfig.build() stamps the
+            # registered name; a bare Solver() is the reference config.
+            "backend": getattr(self, "backend_name", "cdcl"),
             "vars": self._num_vars,
             "clauses": len(self._clauses),
             "learnts": len(self._learnts),
@@ -212,6 +269,10 @@ class Solver:
             if conflict is not None:
                 self.num_conflicts += 1
                 conflicts_here += 1
+                if (self.interrupt is not None
+                        and self.num_conflicts % _INTERRUPT_GRANULARITY == 0
+                        and self.interrupt()):
+                    raise _Interrupted
                 if self._decision_level() == 0:
                     self._unsat = True
                     return False
@@ -224,7 +285,7 @@ class Solver:
             if conflicts_here >= conflict_budget:
                 self._cancel_until(0)
                 return None  # restart
-            if (len(self._learnts) >= 4000 + len(self._clauses) // 2
+            if (len(self._learnts) >= self._learnt_cap + len(self._clauses) // 2
                     and self._decision_level() >= len(assumptions)):
                 self._reduce_learnts()
 

@@ -1,0 +1,369 @@
+"""Differential and regression suite for the portfolio attack engine.
+
+Three claims are established here:
+
+* *Differential*: for a grid of small locked benches (κs ∈ {1, 2}),
+  batched-DIP and portfolio attacks recover a key in the same
+  equivalence class as the single-solver baseline — verified by a miter
+  UNSAT check, not by comparing key bits (TriLock keys need not be
+  unique on the attacked window).
+* *Regression*: batched DIP extraction leaves the solver in a state
+  equivalent to pinning the same DIPs one at a time (identical
+  candidate-key feasible set), even when the batch limit exceeds the
+  data-pattern space; and the attack-engine knobs are part of the
+  campaign cache key (no stale hits), while equivalent portfolio
+  spellings share one key.
+* *Serial identity*: ``dip_batch=1`` with the default portfolio walks
+  the exact DIP sequence of the historical single-solver loop.
+
+The full differential grid races real worker processes per variant, so
+it is tagged with the ``portfolio`` marker (run via ``make test-attacks``
+or ``pytest -m portfolio``) and deselected from ``make smoke``.
+"""
+
+import pytest
+
+from repro.attacks import (
+    DipEngine,
+    attack_locked_circuit,
+    comb_sat_attack,
+    unrolled_attack_view,
+)
+from repro.core import ndip_trilock
+from repro.errors import AttackError
+from repro.experiments import table1_sat_resilience
+from repro.netlist import GateOp, Netlist
+from repro.sat import PortfolioSolver
+
+from tests.conftest import locked_factory
+from tests.util import reference_outputs
+
+#: (portfolio spec, attack_jobs) grid: 1, 2, and 3 racing configurations.
+#: Worker counts are explicit so real racing happens even on a one-core
+#: CI box (auto mode would sensibly clamp the race away there).
+PORTFOLIOS = [
+    pytest.param("default", 1, id="serial"),
+    pytest.param("cdcl,cdcl-agile", 2, id="race2"),
+    pytest.param("race", 3, id="race3"),
+]
+
+
+def and_pair_locked(width=2):
+    """Comb lock with non-unique keys: ``y_i = x_i XOR (k_2i AND k_2i+1)``.
+
+    Key pairs with equal AND values are functionally interchangeable, so
+    the recovered key legitimately varies with the solver — exactly the
+    situation the equivalence-class check must handle.
+    """
+    netlist = Netlist("andlock")
+    xs = [netlist.add_input(f"x{i}") for i in range(width)]
+    ks = [netlist.add_input(f"k{i}") for i in range(2 * width)]
+    for i in range(width):
+        netlist.add_gate(f"m{i}", GateOp.AND, (ks[2 * i], ks[2 * i + 1]))
+        netlist.add_gate(f"y{i}", GateOp.XOR, (xs[i], f"m{i}"))
+        netlist.add_output(f"y{i}")
+    return netlist.validate(), xs, ks
+
+
+def and_pair_oracle(netlist, xs, ks, secret):
+    def oracle(data_bits):
+        assignment = dict(zip(xs, data_bits))
+        assignment.update(dict(zip(ks, secret)))
+        return reference_outputs(netlist, assignment)
+
+    return oracle
+
+
+def assert_comb_keys_equivalent(netlist, key_inputs, key_a, key_b):
+    """Miter-UNSAT proof that two comb keys are interchangeable.
+
+    Pins ``key_a`` into miter copy *a* and ``key_b`` into copy *b*; a
+    remaining SAT assignment of the activated miter would be a data
+    pattern on which the keys disagree.
+    """
+    engine = DipEngine(netlist, key_inputs)
+    try:
+        assumptions = [engine.act]
+        for mapping, key in ((engine.map_a, key_a), (engine.map_b, key_b)):
+            for net, bit in key.items():
+                var = engine.var_of[mapping[net]]
+                assumptions.append(var if bit else -var)
+        assert engine.solver.solve(assumptions=assumptions) is False, \
+            "recovered keys are distinguishable (different equivalence class)"
+    finally:
+        engine.close()
+
+
+def assert_seq_keys_equivalent(locked, key_a, key_b, depth):
+    """Same proof over the unrolled attack window of a sequential lock."""
+    view, key_inputs, _ = unrolled_attack_view(
+        locked.netlist, locked.config.kappa, depth=depth)
+
+    def as_dict(key):
+        bits = [bit for vector in key.vectors for bit in vector]
+        return dict(zip(key_inputs, bits))
+
+    assert_comb_keys_equivalent(view, key_inputs,
+                                as_dict(key_a), as_dict(key_b))
+
+
+# ----------------------------------------------------------------------
+# Differential grid: combinational locks with non-unique keys
+# ----------------------------------------------------------------------
+@pytest.mark.portfolio
+class TestCombDifferential:
+    SECRET = (True, False, False, True)  # AND values: (False, False)
+
+    def baseline(self):
+        netlist, xs, ks = and_pair_locked()
+        oracle = and_pair_oracle(netlist, xs, ks, self.SECRET)
+        return netlist, ks, oracle, comb_sat_attack(netlist, ks, oracle)
+
+    @pytest.mark.parametrize("dip_batch", [1, 2, 4])
+    @pytest.mark.parametrize("portfolio,jobs", PORTFOLIOS)
+    def test_same_equivalence_class_as_baseline(self, dip_batch, portfolio,
+                                                jobs):
+        netlist, ks, oracle, base = self.baseline()
+        assert base.success
+        result = comb_sat_attack(netlist, ks, oracle, dip_batch=dip_batch,
+                                 portfolio=portfolio, attack_jobs=jobs)
+        assert result.success
+        assert_comb_keys_equivalent(netlist, ks, base.key, result.key)
+        # Batching may pin extra patterns (it extracts before it learns)
+        # but never loops more rounds than it pins DIPs.
+        assert result.n_dips >= base.n_dips
+        assert result.n_rounds <= result.n_dips
+
+    def test_injected_portfolio_solver(self):
+        """Explicit PortfolioSolver injection (bypassing the knobs)."""
+        netlist, ks, oracle, base = self.baseline()
+        solver = PortfolioSolver(("cdcl", "cdcl-agile"))
+        with solver:
+            result = comb_sat_attack(netlist, ks, oracle, dip_batch=2,
+                                     solver=solver)
+        assert result.success
+        assert result.solver_stats["backend"] == "portfolio"
+        assert sum(result.solver_stats["wins"].values()) == \
+            result.solver_stats["solve_calls"]
+        assert_comb_keys_equivalent(netlist, ks, base.key, result.key)
+
+
+# ----------------------------------------------------------------------
+# Differential grid: sequential TriLock benches (the paper's setting)
+# ----------------------------------------------------------------------
+@pytest.mark.portfolio
+class TestSequentialDifferential:
+    @pytest.mark.parametrize("kappa_s", [1, 2])
+    @pytest.mark.parametrize("dip_batch", [1, 2, 4])
+    @pytest.mark.parametrize("portfolio,jobs", PORTFOLIOS)
+    def test_grid_matches_single_solver_baseline(self, kappa_s, dip_batch,
+                                                 portfolio, jobs):
+        locked = locked_factory(kappa_s=kappa_s, kappa_f=1, alpha=0.6,
+                                seed=3)
+        base = attack_locked_circuit(locked)
+        result = attack_locked_circuit(locked, dip_batch=dip_batch,
+                                       portfolio=portfolio,
+                                       attack_jobs=jobs)
+        assert base.success and result.success
+        assert result.verified
+        # Theorem 1 makes every data pattern of the window a DIP, so the
+        # engine variants must pin exactly the same number of them.
+        assert result.n_dips == base.n_dips == ndip_trilock(
+            kappa_s, locked.width)
+        assert_seq_keys_equivalent(locked, base.key, result.key,
+                                   depth=kappa_s)
+
+    def test_defaults_leave_the_sequential_attack_exact(self):
+        """Spelling the engine defaults explicitly changes nothing."""
+        locked = locked_factory(kappa_s=1, kappa_f=1, alpha=0.6, seed=3)
+        base = attack_locked_circuit(locked)
+        again = attack_locked_circuit(locked, dip_batch=1,
+                                      portfolio="default", attack_jobs=1)
+        assert base.key.as_int == again.key.as_int
+        assert base.n_dips == again.n_dips
+        assert base.dips_per_depth == again.dips_per_depth
+
+
+@pytest.mark.smoke
+class TestSerialIdentity:
+    """``dip_batch=1`` + default portfolio retraces the historical DIP
+    walk exactly, not merely an equivalent one."""
+
+    def test_serial_dip_sequence_is_identical(self):
+        netlist, xs, ks = and_pair_locked()
+        oracle = and_pair_oracle(netlist, xs, ks,
+                                 TestCombDifferential.SECRET)
+        base = comb_sat_attack(netlist, ks, oracle, collect_dips=True)
+        again = comb_sat_attack(netlist, ks, oracle, collect_dips=True,
+                                dip_batch=1, portfolio="default",
+                                attack_jobs=1)
+        assert base.dips == again.dips
+        assert base.key == again.key
+        assert base.n_rounds == again.n_rounds == base.n_dips
+
+
+# ----------------------------------------------------------------------
+# Regression: batched pinning == one-at-a-time pinning
+# ----------------------------------------------------------------------
+@pytest.mark.smoke
+class TestBatchedPinningEquivalence:
+    def engines(self):
+        netlist, xs, ks = and_pair_locked()
+        oracle = and_pair_oracle(netlist, xs, ks,
+                                 TestCombDifferential.SECRET)
+        return netlist, ks, oracle
+
+    def test_feasible_set_matches_sequential_pinning(self):
+        netlist, ks, oracle = self.engines()
+        batched = DipEngine(netlist, ks)
+        try:
+            batch = batched.find_dip_batch(3)
+            assert 1 <= len(batch) <= 3
+            for dip in batch:
+                batched.pin_response(dip, oracle(dip))
+            serial = DipEngine(netlist, ks)
+            try:
+                for dip in batch:  # same DIPs, no blocking clauses
+                    serial.pin_response(dip, oracle(dip))
+                assert batched.feasible_keys() == serial.feasible_keys()
+            finally:
+                serial.close()
+        finally:
+            batched.close()
+
+    def test_batch_limit_beyond_pattern_space(self):
+        """A batch limit larger than the data space must not wedge key
+        extraction (act-gated blocking keeps the store satisfiable)."""
+        netlist = Netlist("andlock1")
+        netlist.add_input("x0")
+        netlist.add_input("k0")
+        netlist.add_input("k1")
+        netlist.add_gate("m", GateOp.AND, ("k0", "k1"))
+        netlist.add_gate("y", GateOp.XOR, ("x0", "m"))
+        netlist.add_output("y")
+        netlist = netlist.validate()
+
+        def oracle(data):
+            return reference_outputs(
+                netlist, {"x0": data[0], "k0": True, "k1": False})
+
+        result = comb_sat_attack(netlist, ["k0", "k1"], oracle, dip_batch=8)
+        assert result.success
+        assert result.n_dips == 2 and result.n_rounds == 1
+        # Recovered key must be in the secret's equivalence class.
+        assert (result.key["k0"] and result.key["k1"]) is False
+
+    def test_batched_rounds_shrink(self):
+        """On a point-function lock (one wrong key eliminated per DIP)
+        batching compresses many serial miter rounds into one."""
+        netlist = Netlist("pointlock")
+        width = 2
+        xs = [netlist.add_input(f"x{i}") for i in range(width)]
+        ks = [netlist.add_input(f"k{i}") for i in range(width)]
+        for i in range(width):
+            netlist.add_gate(f"eq{i}", GateOp.XNOR, (xs[i], ks[i]))
+        netlist.add_gate("y", GateOp.AND, tuple(f"eq{i}"
+                                                for i in range(width)))
+        netlist.add_output("y")
+        netlist = netlist.validate()
+        secret = (True, False)
+
+        def oracle(data_bits):
+            assignment = dict(zip(xs, data_bits))
+            assignment.update(dict(zip(ks, secret)))
+            return reference_outputs(netlist, assignment)
+
+        serial = comb_sat_attack(netlist, ks, oracle, dip_batch=1)
+        batched = comb_sat_attack(netlist, ks, oracle, dip_batch=4)
+        assert serial.success and batched.success
+        assert serial.n_rounds == serial.n_dips > 1
+        assert batched.n_rounds < serial.n_rounds
+        assert batched.n_dips >= serial.n_dips
+        assert_comb_keys_equivalent(netlist, ks, serial.key, batched.key)
+
+    def test_interrupted_solve_is_an_error_not_unsat(self):
+        """A cancelled (unknown) miter solve must not read as 'no DIP
+        remains' — that would report success with a wrong key."""
+        from repro.sat import make_backend
+
+        netlist, ks, oracle = self.engines()
+        solver = make_backend("cdcl")
+        engine = DipEngine(netlist, ks, solver=solver)
+        try:
+            solver.interrupt = lambda: True
+            with pytest.raises(AttackError):
+                engine.find_dip_batch()
+            with pytest.raises(AttackError):
+                engine.solve_key()
+        finally:
+            engine.close()
+
+    def test_injected_solver_excludes_engine_knobs(self):
+        """solver= and portfolio/attack_jobs are mutually exclusive —
+        silently dropping the knobs would fake a race."""
+        netlist, ks, oracle = self.engines()
+        with PortfolioSolver(("cdcl", "cdcl-agile")) as solver:
+            with pytest.raises(AttackError):
+                comb_sat_attack(netlist, ks, oracle, solver=solver,
+                                portfolio="race2")
+            with pytest.raises(AttackError):
+                comb_sat_attack(netlist, ks, oracle, solver=solver,
+                                attack_jobs=2)
+
+    def test_bad_batch_limit_rejected(self):
+        netlist, ks, oracle = self.engines()
+        with pytest.raises(AttackError):
+            comb_sat_attack(netlist, ks, oracle, dip_batch=0)
+        engine = DipEngine(netlist, ks)
+        try:
+            with pytest.raises(AttackError):
+                engine.find_dip_batch(0)
+        finally:
+            engine.close()
+
+
+# ----------------------------------------------------------------------
+# Regression: attack-engine knobs are part of the campaign cache key
+# ----------------------------------------------------------------------
+@pytest.mark.smoke
+class TestCacheKeyKnobs:
+    def first_key(self, **kwargs):
+        specs = table1_sat_resilience.cells(scale=0.05, effort="quick",
+                                            kappa_s_values=(1,), **kwargs)
+        assert specs
+        return specs[0].key()
+
+    def test_each_knob_changes_the_key(self):
+        base = self.first_key()
+        assert self.first_key(dip_batch=4) != base
+        assert self.first_key(attack_jobs=None) != base
+        # Portfolio alone, with the worker budget held fixed:
+        assert self.first_key(portfolio="cdcl,cdcl-agile", attack_jobs=2) \
+            != self.first_key(portfolio="cdcl,cdcl-flip", attack_jobs=2)
+
+    def test_equivalent_portfolio_spellings_share_a_key(self):
+        """No spurious cache misses: None / 'default' / 'cdcl' are the
+        same engine and must address the same cached cell."""
+        assert self.first_key(portfolio=None) \
+            == self.first_key(portfolio="default") \
+            == self.first_key(portfolio="cdcl")
+
+    def test_knob_cells_do_not_collide_pairwise(self):
+        keys = {
+            self.first_key(),
+            self.first_key(dip_batch=2),
+            self.first_key(dip_batch=4),
+            self.first_key(portfolio="race2", attack_jobs=2),
+            self.first_key(portfolio="race", attack_jobs=3),
+            self.first_key(attack_jobs=None),
+        }
+        assert len(keys) == 6
+
+    def test_incoherent_engine_combination_fails_eagerly(self):
+        """A named portfolio that the serial default would silently
+        truncate is rejected when the cells are enumerated, before any
+        attack runs."""
+        from repro.errors import SolverError
+
+        with pytest.raises(SolverError):
+            self.first_key(portfolio="race")

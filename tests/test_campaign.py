@@ -42,6 +42,10 @@ def fail_cell(message):
     raise ValueError(message)
 
 
+def cpu_share_cell(tag):
+    return {"tag": tag, "share": os.environ.get("REPRO_CPU_SHARE")}
+
+
 def slow_cell(seconds):
     time.sleep(seconds)
     return {"slept": seconds}
@@ -210,6 +214,17 @@ class TestCampaignExecutor:
         assert [v["tag"] for v in values] == [0, 1, 2, 3]
         assert all(v["pid"] != os.getpid() for v in values)
 
+    def test_pool_workers_learn_their_cpu_share(self):
+        """Cell workers see the sibling count, so in-cell auto solver
+        races divide the machine instead of each claiming all of it."""
+        specs = [
+            CellSpec.make("tests.test_campaign:cpu_share_cell",
+                          {"tag": index})
+            for index in range(4)
+        ]
+        values = Campaign(jobs=2).values(specs)
+        assert all(v["share"] == "2" for v in values)
+
     def test_failure_is_captured_not_raised(self):
         specs = [
             CellSpec.make("tests.test_campaign:fail_cell",
@@ -354,3 +369,62 @@ class TestExperimentCampaigns:
         assert lock_main(["campaign", "clear", "--cache-dir", cache],
                          out=out) == 0
         assert "cleared 1 cached cells" in out.getvalue()
+
+
+class TestAttackEngineFlags:
+    """Runner flags for the in-cell attack engine (PR 3): the serial
+    defaults stay byte-identical to the pre-portfolio runner, explicit
+    serial spellings hit the same cached cells, and engine knobs mint
+    fresh cells without changing the resilience numbers."""
+
+    def run_table1(self, capsys, extra=()):
+        assert runner_main(["table1", "--scale", "0.08", *extra]) == 0
+        captured = capsys.readouterr()
+        table = [line for line in captured.out.splitlines()
+                 if not line.startswith("[table1 regenerated")]
+        return table, captured.err
+
+    def test_explicit_serial_flags_are_byte_identical(self, capsys):
+        base, first_err = self.run_table1(capsys)
+        assert "[cache: 0 hits, 1 misses" in first_err
+        explicit, err = self.run_table1(
+            capsys, ["--attack-jobs", "1", "--dip-batch", "1",
+                     "--portfolio", "default"])
+        # Same cells (equivalent spellings normalize to one cache key),
+        # hence the exact bytes of the default run — seconds included.
+        assert explicit == base
+        assert "[cache: 1 hits, 0 misses" in err
+
+    def test_engine_knobs_mint_fresh_cells(self, capsys):
+        self.run_table1(capsys)
+        _, err = self.run_table1(
+            capsys, ["--dip-batch", "2", "--portfolio", "race2",
+                     "--attack-jobs", "auto"])
+        # Knobs are part of the cache key: nothing stale is replayed.
+        assert "[cache: 0 hits, 1 misses" in err
+
+    def test_engine_knobs_do_not_change_resilience(self):
+        base = table1_sat_resilience.run(scale=0.08)
+        tuned = table1_sat_resilience.run(scale=0.08, dip_batch=2,
+                                          portfolio="race2",
+                                          attack_jobs=None)
+        assert [row["ndip"] for row in base.rows] \
+            == [row["ndip"] for row in tuned.rows]
+        assert [row["key_ok"] for row in base.rows] \
+            == [row["key_ok"] for row in tuned.rows]
+
+    def test_engine_flags_warn_on_non_attack_experiments(self, capsys):
+        assert runner_main(["fig4", "--no-cache", "--dip-batch", "2"]) == 0
+        captured = capsys.readouterr()
+        assert "ignores them" in captured.err
+        # No warning when the flags reach an attack experiment.
+        assert runner_main(["table1", "--scale", "0.08", "--no-cache",
+                            "--dip-batch", "2"]) == 0
+        assert "ignores them" not in capsys.readouterr().err
+
+    def test_bad_portfolio_spec_fails_the_experiment(self, capsys):
+        assert runner_main(["table1", "--scale", "0.08",
+                            "--portfolio", "minisat-classic"]) == 1
+        captured = capsys.readouterr()
+        assert "FAILED" in captured.out
+        assert "unknown backend" in captured.out

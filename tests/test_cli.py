@@ -107,6 +107,46 @@ class TestAttackCommand:
         assert code == 1
         assert "max_dips" in text
 
+    def test_attack_engine_flags(self, workspace):
+        """--dip-batch/--portfolio/--attack-jobs reach the attack and
+        still recover the key."""
+        run_cli(["lock", workspace["design"], "--kappa-s", "1",
+                 "--seed", "3", "--out", workspace["locked"],
+                 "--key-out", workspace["key"]])
+        code, text = run_cli([
+            "attack", workspace["design"], workspace["locked"],
+            "--kappa", "2", "--depth", "1", "--dip-batch", "2",
+            "--portfolio", "race2", "--attack-jobs", "2"])
+        assert code == 0
+        assert "key recovered" in text
+
+    def test_attack_jobs_auto(self, workspace):
+        run_cli(["lock", workspace["design"], "--kappa-s", "1",
+                 "--seed", "3", "--out", workspace["locked"],
+                 "--key-out", workspace["key"]])
+        code, text = run_cli([
+            "attack", workspace["design"], workspace["locked"],
+            "--kappa", "2", "--depth", "1", "--portfolio", "race",
+            "--attack-jobs", "auto"])
+        assert code == 0
+        assert "key recovered" in text
+
+    def test_bad_portfolio_spec(self, workspace):
+        run_cli(["lock", workspace["design"], "--kappa-s", "1",
+                 "--out", workspace["locked"], "--key-out",
+                 workspace["key"]])
+        code, text = run_cli([
+            "attack", workspace["design"], workspace["locked"],
+            "--kappa", "2", "--depth", "1",
+            "--portfolio", "minisat-classic"])
+        assert code == 2
+        assert "error" in text and "unknown backend" in text
+
+    def test_bad_attack_jobs_value(self, workspace):
+        with pytest.raises(SystemExit):
+            run_cli(["attack", workspace["design"], workspace["design"],
+                     "--kappa", "2", "--attack-jobs", "several"])
+
 
 class TestReportCommand:
     def test_report_contains_all_sections(self, workspace):
