@@ -3,7 +3,7 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke test-attacks campaign-demo bench
+.PHONY: test smoke test-attacks campaign-demo matrix-demo bench
 
 test:
 	$(PY) -m pytest -x -q
@@ -22,6 +22,19 @@ campaign-demo:
 	$(PY) -m repro.experiments table1 --jobs 4 --cache-dir .repro-cache
 	$(PY) -m repro.experiments table1 --jobs 4 --cache-dir .repro-cache
 	$(PY) -m repro.experiments status --cache-dir .repro-cache
+
+# A 2-scheme x 2-attack grid through the campaign executor, cold then
+# warm (the rerun is pure cache hits) — the plugin-matrix story end to
+# end on the embedded s27 bench circuit.
+matrix-demo:
+	$(PY) -m repro.cli matrix --circuit s27 \
+	    --scheme "trilock?kappa_s=1..2" --scheme "harpoon?kappa=2" \
+	    --attack seq-sat --attack removal \
+	    --max-dips 512 --jobs 2 --cache-dir .repro-cache
+	$(PY) -m repro.cli matrix --circuit s27 \
+	    --scheme "trilock?kappa_s=1..2" --scheme "harpoon?kappa=2" \
+	    --attack seq-sat --attack removal \
+	    --max-dips 512 --jobs 2 --cache-dir .repro-cache
 
 bench:
 	$(PY) -m pytest benchmarks -q

@@ -1,7 +1,9 @@
 #!/usr/bin/env python3
-"""Attack study: the adversary's view of TriLock.
+"""Attack study: the adversary's view of TriLock, through the matrix API.
 
-Reproduces, on one small circuit, the two security stories of the paper:
+Reproduces, on one small circuit, the two security stories of the paper
+— entirely with registry objects and spec strings, the same machinery
+``repro-lock matrix`` drives from the shell:
 
 * **SAT attack** — measured DIP counts grow exactly as ``2^{κs·|I|}``
   (Theorem 1 / Eq. 10) while the tunable corruption α has no effect on
@@ -11,53 +13,63 @@ Reproduces, on one small circuit, the two security stories of the paper:
   handful of DIPs; with ``S>0`` the clustering finds nothing to strip.
 """
 
-from repro.attacks import attempt_removal, attack_locked_circuit, scc_report
+from repro.api import ATTACKS, SCHEMES, expand_grid, resolve_scheme_spec
 from repro.bench import generate_circuit
-from repro.core import TriLockConfig, lock, ndip_trilock
+from repro.core import ndip_trilock
+
+SEQ_SAT = ATTACKS.get("seq-sat")
+REMOVAL = ATTACKS.get("removal")
+
+
+def locked_from_spec(circuit, spec, seed):
+    scheme, params = resolve_scheme_spec(spec)
+    return scheme.lock(circuit, seed=seed, **params)
 
 
 def sat_attack_sweep(circuit):
     print("=== SAT attack: DIP growth vs kappa_s (alpha fixed) ===")
     width = len(circuit.inputs)
-    for kappa_s in (1, 2):
-        locked = lock(circuit, TriLockConfig(
-            kappa_s=kappa_s, kappa_f=1, alpha=0.6, seed=10))
-        result = attack_locked_circuit(locked)
-        print(f"  kappa_s={kappa_s}: ndip={result.n_dips:5d} "
+    for spec in expand_grid("trilock?kappa_s=1..2&kappa_f=1&alpha=0.6"):
+        locked = locked_from_spec(circuit, spec, seed=10)
+        outcome = SEQ_SAT.run(locked)
+        kappa_s = locked.config.kappa_s
+        print(f"  kappa_s={kappa_s}: ndip={outcome.metrics['n_dips']:5d} "
               f"(theory {ndip_trilock(kappa_s, width):5d})  "
-              f"time={result.seconds:6.2f}s  "
-              f"key recovered={result.key.as_int == locked.key.as_int}")
+              f"time={outcome.seconds:6.2f}s  "
+              f"key recovered={outcome.metrics['key_ok']}")
 
     print("=== SAT attack: alpha does not buy the attacker anything ===")
-    for alpha in (0.0, 0.5, 1.0):
-        locked = lock(circuit, TriLockConfig(
-            kappa_s=2, kappa_f=1, alpha=alpha, seed=11))
-        result = attack_locked_circuit(locked)
-        print(f"  alpha={alpha:3.1f}: ndip={result.n_dips:5d}  "
+    for spec in expand_grid("trilock?kappa_s=2&kappa_f=1&alpha=0.0|0.5|1.0"):
+        locked = locked_from_spec(circuit, spec, seed=11)
+        outcome = SEQ_SAT.run(locked)
+        print(f"  alpha={locked.config.alpha:3.1f}: "
+              f"ndip={outcome.metrics['n_dips']:5d}  "
               f"(corruption changes, attack effort does not)")
 
 
 def removal_attack_story(circuit):
     print("=== Removal attack: S=0 vs S=10 ===")
-    for s_pairs in (0, 10):
-        locked = lock(circuit, TriLockConfig(
-            kappa_s=2, kappa_f=1, alpha=0.6, s_pairs=s_pairs, seed=12))
-        clusters = scc_report(locked)
-        attempt = attempt_removal(locked)
-        outcome = "UNLOCKED WITHOUT KEY" if attempt.success \
-            else f"failed ({attempt.reason})"
-        print(f"  S={s_pairs:2d}: O/E/M-SCCs = {clusters.o_sccs}/"
-              f"{clusters.e_sccs}/{clusters.m_sccs}, "
-              f"PM={clusters.pm_percent:5.1f}% -> "
-              f"stripped {len(attempt.stripped_registers):2d} registers, "
-              f"{attempt.n_dips} tie-solving DIPs: {outcome}")
+    for spec in expand_grid("trilock?kappa_s=2&kappa_f=1&alpha=0.6"
+                            "&s_pairs=0|10"):
+        locked = locked_from_spec(circuit, spec, seed=12)
+        outcome = REMOVAL.run(locked)
+        metrics = outcome.metrics
+        result = "UNLOCKED WITHOUT KEY" if outcome.success \
+            else f"failed ({outcome.details['reason']})"
+        print(f"  S={locked.config.s_pairs:2d}: O/E/M-SCCs = "
+              f"{metrics['O']}/{metrics['E']}/{metrics['M']}, "
+              f"PM={metrics['PM']:5.1f}% -> "
+              f"stripped {metrics['stripped']:2d} registers, "
+              f"{metrics['n_dips']} tie-solving DIPs: {result}")
 
 
 def main():
     circuit = generate_circuit(
         "attack_target", n_inputs=3, n_outputs=3, n_flops=12, n_gates=80,
         seed=5)
-    print(f"target circuit: {circuit!r}\n")
+    print(f"target circuit: {circuit!r}")
+    print(f"registered schemes: {SCHEMES.names()}")
+    print(f"registered attacks: {ATTACKS.names()}\n")
     sat_attack_sweep(circuit)
     print()
     removal_attack_story(circuit)

@@ -4,16 +4,17 @@
 Walks the whole API surface in under a minute:
 
 1. load the (real, embedded) ISCAS'89 s27 benchmark,
-2. lock it with ``κs=2, κf=1, α=0.6``,
+2. lock it through the scheme registry from a spec string
+   (``κs=2, κf=1, α=0.6``),
 3. show that the correct key sequence restores the original behaviour
    while a wrong key corrupts it,
 4. measure functional corruptibility,
-5. run the actual sequential SAT attack and recover the key.
+5. recover the key with the registered sequential SAT attack.
 """
 
+from repro.api import ATTACKS, SCHEMES, resolve_scheme_spec
 from repro.bench import load_benchmark
-from repro.core import KeySequence, TriLockConfig, lock
-from repro.attacks import attack_locked_circuit
+from repro.core import KeySequence
 from repro.metrics import simulate_fc
 from repro.sim import SequentialSimulator, make_rng, random_vectors
 
@@ -22,10 +23,13 @@ def main():
     original = load_benchmark("s27")
     print(f"original circuit: {original!r}")
 
-    config = TriLockConfig(kappa_s=2, kappa_f=1, alpha=0.6, s_pairs=4, seed=7)
-    locked = lock(original, config)
+    scheme, params = resolve_scheme_spec(
+        "trilock?kappa_s=2&kappa_f=1&alpha=0.6&s_pairs=4")
+    locked = scheme.lock(original, seed=7, **params)
+    kappa = locked.config.kappa
     print(f"locked circuit:   {locked.netlist!r}")
-    print(f"key sequence k* (apply on the inputs for {config.kappa} cycles "
+    print(f"  (canonical spec: {scheme.spec(**params)})")
+    print(f"key sequence k* (apply on the inputs for {kappa} cycles "
           f"after reset): {locked.key}")
 
     # --- the correct key restores the original trace -------------------
@@ -33,15 +37,14 @@ def main():
     data = random_vectors(rng, len(original.inputs), 6)
     golden = SequentialSimulator(original).run_vectors(data)
     unlocked = SequentialSimulator(locked.netlist).run_vectors(
-        locked.stimulus_with_key(locked.key, data))[config.kappa:]
+        locked.stimulus_with_key(locked.key, data))[kappa:]
     print(f"correct key replays the original trace: {unlocked == golden}")
 
     # --- a wrong key corrupts it ---------------------------------------
     wrong = KeySequence.from_int(
-        (locked.key.as_int + 1) % (1 << (config.kappa * 4)),
-        config.kappa, 4)
+        (locked.key.as_int + 1) % (1 << (kappa * 4)), kappa, 4)
     corrupted = SequentialSimulator(locked.netlist).run_vectors(
-        locked.stimulus_with_key(wrong, data))[config.kappa:]
+        locked.stimulus_with_key(wrong, data))[kappa:]
     print(f"wrong key corrupts the trace:            {corrupted != golden}")
 
     # --- functional corruptibility -------------------------------------
@@ -49,12 +52,14 @@ def main():
     print(f"simulated FC_4 over 800 random (input, key) samples: {fc:.3f} "
           f"(Eq. 15 predicts ~{0.6 * (1 - 2**-4):.3f})")
 
-    # --- and now break it with the SAT attack --------------------------
-    result = attack_locked_circuit(locked)
-    print(f"SAT attack: recovered key {result.key} with {result.n_dips} "
-          f"DIPs in {result.seconds:.2f}s "
+    # --- and now break it with the registered SAT attack ---------------
+    outcome = ATTACKS.get("seq-sat").run(locked)
+    print(f"SAT attack: recovered key {outcome.details['key']} with "
+          f"{outcome.metrics['n_dips']} DIPs in {outcome.seconds:.2f}s "
           f"(theory: 2^(kappa_s*|I|) = {2 ** (2 * 4)})")
-    print(f"recovered key is correct: {result.key.as_int == locked.key.as_int}")
+    print(f"recovered key is correct: {outcome.metrics['key_ok']}")
+    print(f"every registered scheme: {SCHEMES.names()}")
+    print(f"every registered attack: {ATTACKS.names()}")
 
 
 if __name__ == "__main__":

@@ -9,6 +9,10 @@ Public API highlights:
 * :mod:`repro.unroll` — sequential-to-combinational unrolling
 * :mod:`repro.core` — the TriLock locking flow and its theory helpers
 * :mod:`repro.attacks` — SAT-based and removal attacks
+* :mod:`repro.api` — first-class scheme/attack plugins: registries,
+  spec strings, and the scheme x attack campaign matrix (the canonical
+  door for new defenses and adversaries; the modules above stay as the
+  implementations the built-in plugins wrap)
 * :mod:`repro.metrics` — corruptibility, resilience, overhead metrics
 * :mod:`repro.bench` — benchmark circuits (embedded + synthetic suite)
 * :mod:`repro.experiments` — regeneration of every paper table/figure

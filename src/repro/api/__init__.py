@@ -1,0 +1,102 @@
+"""First-class schemes and attacks: registries, spec strings, matrices.
+
+The plugin layer that makes the paper's evaluation matrix programmable:
+
+* :data:`SCHEMES` / :data:`ATTACKS` — registries of named defenses and
+  adversaries with declared parameter schemas;
+* :func:`register_scheme` / :func:`register_attack` — the decorator
+  door third-party code uses to join the same matrix;
+* spec strings (``"trilock?kappa_s=3&alpha=0.5"``) — the canonical,
+  shell-safe, cache-key-stable wire format for a configured plugin,
+  with ``lo..hi`` / ``a|b`` grid expansion;
+* :func:`matrix_cells` — a scheme x attack grid as campaign cells,
+  executed through :class:`repro.campaign.Campaign` like any other
+  experiment (``repro-lock matrix`` is the CLI front-end).
+"""
+
+import importlib
+import os
+import sys
+
+from repro.api.attacks import (
+    ATTACKS,
+    Attack,
+    AttackBudget,
+    AttackOutcome,
+    register_attack,
+)
+from repro.api.cells import (
+    canonical_attack_spec,
+    canonical_scheme_spec,
+    matrix_cell,
+    matrix_cells,
+    resolve_attack_spec,
+    resolve_scheme_spec,
+)
+from repro.api.registry import Param, Plugin, Registry
+from repro.api.schemes import SCHEMES, Scheme, register_scheme
+from repro.api.spec import expand_grid, format_spec, parse_spec
+
+def load_plugin_modules(spec=None, on_error="raise"):
+    """Import third-party plugin modules so their ``register_*`` calls run.
+
+    ``spec`` is a comma-separated module list, defaulting to the
+    ``REPRO_PLUGINS`` environment variable.  Because registries live per
+    process, this hook is how plugins reach *every* process that touches
+    the matrix: the CLI and campaign pool workers import
+    :mod:`repro.api` (hence re-run this) with the environment inherited
+    from the parent, so ``REPRO_PLUGINS=xorlock repro-lock matrix ...``
+    works under ``--jobs N`` and spawn start methods alike.  Returns the
+    list of modules imported.
+
+    ``on_error="warn"`` (used by the import-time call below) reports a
+    broken module on stderr and keeps going instead of raising — a
+    typo'd ``REPRO_PLUGINS`` must degrade to an "unknown scheme" error
+    at lookup time, not crash every command at import with a traceback.
+    """
+    from repro.errors import SpecError
+
+    if spec is None:
+        spec = os.environ.get("REPRO_PLUGINS", "")
+    loaded = []
+    for name in (part.strip() for part in spec.split(",")):
+        if not name:
+            continue
+        try:
+            importlib.import_module(name)
+        except ImportError as error:
+            message = (f"cannot import REPRO_PLUGINS module {name!r}: "
+                       f"{error}")
+            if on_error == "warn":
+                print(f"warning: {message}", file=sys.stderr)
+                continue
+            raise SpecError(message)
+        loaded.append(name)
+    return loaded
+
+
+load_plugin_modules(on_error="warn")
+
+__all__ = [
+    "ATTACKS",
+    "Attack",
+    "AttackBudget",
+    "AttackOutcome",
+    "Param",
+    "Plugin",
+    "Registry",
+    "SCHEMES",
+    "Scheme",
+    "canonical_attack_spec",
+    "canonical_scheme_spec",
+    "expand_grid",
+    "format_spec",
+    "load_plugin_modules",
+    "matrix_cell",
+    "matrix_cells",
+    "parse_spec",
+    "register_attack",
+    "register_scheme",
+    "resolve_attack_spec",
+    "resolve_scheme_spec",
+]

@@ -1,0 +1,124 @@
+"""The Scheme protocol and the built-in locking schemes.
+
+A *scheme* is a first-class defense: a name, a :class:`Param` schema,
+and ``lock(netlist, seed, **params) -> LockedCircuit``.  The built-ins
+wrap the existing locking flows one-to-one — ``trilock`` is
+:func:`repro.core.lock` under a :class:`TriLockConfig`, the three
+baselines are the Section II families from
+:mod:`repro.core.baselines` — so locking through the registry is
+bit-identical to calling the legacy functions directly (the experiment
+cells rely on this to keep their rendered tables and campaign cache
+keys stable).
+
+Register your own with :func:`register_scheme`::
+
+    @register_scheme("xor-lock", description="toy XOR locking",
+                     params={"n_keys": Param("int", 8, "key gate count")})
+    def lock_xor(netlist, seed, n_keys):
+        ...
+        return LockedCircuit(...)
+"""
+
+from __future__ import annotations
+
+from repro.api.registry import Param, Plugin, Registry
+from repro.core.baselines import lock_harpoon_like, lock_naive, \
+    lock_sink_cluster
+from repro.core.config import TriLockConfig
+from repro.core.locker import lock
+
+#: The global scheme registry.
+SCHEMES = Registry("scheme")
+
+
+class Scheme(Plugin):
+    """A registered defense: ``lock(netlist, seed, **params)``."""
+
+    kind = "scheme"
+
+    def lock(self, netlist, seed=0, **params):
+        """Lock ``netlist``; returns a
+        :class:`~repro.core.locker.LockedCircuit`."""
+        return self._fn(netlist, seed, **self.resolve_params(params))
+
+
+def register_scheme(name, description="", params=None, replace=False):
+    """Decorator: publish ``fn(netlist, seed, **params)`` as a scheme."""
+    def decorate(fn):
+        SCHEMES.add(Scheme(name, fn, params=params,
+                           description=description), replace=replace)
+        return fn
+    return decorate
+
+
+@register_scheme(
+    "trilock",
+    description="TriLock: tunable E^SF locking + state re-encoding "
+                "(the paper's scheme)",
+    params={
+        "kappa_s": Param("int", 2, "prefix point-function cycles "
+                                   "(ndip = 2^(kappa_s*|I|))"),
+        "kappa_f": Param("int", 1, "FC-boosting suffix cycles"),
+        "alpha": Param("float", 0.6, "target corruptibility (Eq. 14/15)"),
+        "s_pairs": Param("int", 0, "register pairs re-encoded by Alg. 1"),
+        "n_output_flips": Param("int", None, "outputs the error handler "
+                                             "inverts (null = half)"),
+        "n_state_flips": Param("int", None, "original registers the error "
+                                            "handler corrupts"),
+        "keystore_coupling": Param("bool", True, "fold the error signal "
+                                                 "back into the key store"),
+        "key_star": Param("int", None, "explicit k* (null = from seed)"),
+        "key_star_star": Param("int", None, "explicit k** "
+                                            "(null = from seed)"),
+    })
+def _lock_trilock(netlist, seed, **params):
+    return lock(netlist, TriLockConfig(seed=seed, **params))
+
+
+@register_scheme(
+    "naive",
+    description="E^N point-function baseline (Eq. 3): TriLock with "
+                "kappa_f = 0",
+    params={
+        "kappa": Param("int", 2, "key cycle length"),
+        "s_pairs": Param("int", 0, "register pairs re-encoded by Alg. 1"),
+        "n_output_flips": Param("int", None, "outputs the error handler "
+                                             "inverts (null = half)"),
+        "n_state_flips": Param("int", None, "original registers the error "
+                                            "handler corrupts"),
+        "key_star": Param("int", None, "explicit k* (null = from seed)"),
+    })
+def _lock_naive(netlist, seed, kappa, **overrides):
+    overrides = {key: value for key, value in overrides.items()
+                 if value is not None}
+    return lock_naive(netlist, kappa, seed=seed, **overrides)
+
+
+@register_scheme(
+    "harpoon",
+    description="HARPOON-style entry-FSM obfuscation: outputs scrambled "
+                "until the key is seen",
+    params={
+        "kappa": Param("int", 3, "key cycle length"),
+        "n_output_flips": Param("int", None, "outputs scrambled in "
+                                             "obfuscation mode "
+                                             "(null = half)"),
+    })
+def _lock_harpoon(netlist, seed, kappa, n_output_flips):
+    return lock_harpoon_like(netlist, kappa=kappa,
+                             n_output_flips=n_output_flips, seed=seed)
+
+
+@register_scheme(
+    "sink",
+    description="State-Deflection-style sink cluster: wrong keys trap in "
+                "a free-running E-SCC ring",
+    params={
+        "kappa": Param("int", 3, "key cycle length"),
+        "sink_size": Param("int", 6, "registers in the sink ring"),
+        "n_output_flips": Param("int", None, "outputs the ring scrambles "
+                                             "(null = half)"),
+    })
+def _lock_sink(netlist, seed, kappa, sink_size, n_output_flips):
+    return lock_sink_cluster(netlist, kappa=kappa, sink_size=sink_size,
+                             n_output_flips=n_output_flips, seed=seed)

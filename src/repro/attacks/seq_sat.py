@@ -23,6 +23,7 @@ from repro.attacks.oracle import SimulationOracle
 from repro.core.keys import KeySequence
 from repro.errors import AttackError
 from repro.netlist.transform import simplified
+from repro.sat import make_attack_solver
 from repro.sim.random_vectors import make_rng, random_vectors
 from repro.sim.seq import SequentialSimulator
 from repro.unroll import unroll
@@ -114,6 +115,10 @@ def sequential_sat_attack(locked_netlist, kappa, oracle, known_depth=None,
         unrolling depth: DIPs extracted per miter round, solver-portfolio
         spec, and worker-process budget for racing the portfolio (the
         defaults reproduce the classic single-solver loop exactly).
+        A racing portfolio spawns its worker fleet *once* and resets it
+        between depths (the workers' clause stores are rebuilt in place)
+        instead of respawning per depth — cheap under ``fork``, a real
+        saving on ``spawn`` platforms.
     """
     start = time.perf_counter()
     rng = make_rng(("seqsat", seed))
@@ -123,60 +128,90 @@ def sequential_sat_attack(locked_netlist, kappa, oracle, known_depth=None,
     dips_per_depth = {}
     total_dips = 0
 
-    while depth <= max_depth:
-        depths_tried.append(depth)
-        view, key_inputs, data_inputs = unrolled_attack_view(
-            locked_netlist, kappa, depth)
-        view = _with_folded_constants(view)
+    # One solver for the whole attack when the engine supports cross-
+    # phase reuse (the portfolio's `reset`); otherwise each depth builds
+    # its own engine exactly as before, keeping the serial single-solver
+    # path byte-identical to the historical behaviour.  The default
+    # knobs can only yield a plain backend, so the probe (and the eager
+    # misconfiguration check it performs) is skipped entirely there.
+    shared_solver = None
+    if attack_jobs != 1 or portfolio not in (None, "default"):
+        candidate = make_attack_solver(portfolio=portfolio,
+                                       attack_jobs=attack_jobs)
+        if hasattr(candidate, "reset"):
+            shared_solver = candidate
+        elif hasattr(candidate, "close"):
+            candidate.close()
 
-        def oracle_fn(flat_data, _depth=depth):
-            vectors = _unflatten(flat_data, width, _depth)
-            trace = oracle.query(vectors)
-            return tuple(bit for cycle in trace for bit in cycle)
+    try:
+        while depth <= max_depth:
+            depths_tried.append(depth)
+            view, key_inputs, data_inputs = unrolled_attack_view(
+                locked_netlist, kappa, depth)
+            view = _with_folded_constants(view)
 
-        budget_left = None
-        if time_budget is not None:
-            budget_left = time_budget - (time.perf_counter() - start)
-            if budget_left <= 0:
+            def oracle_fn(flat_data, _depth=depth):
+                vectors = _unflatten(flat_data, width, _depth)
+                trace = oracle.query(vectors)
+                return tuple(bit for cycle in trace for bit in cycle)
+
+            budget_left = None
+            if time_budget is not None:
+                budget_left = time_budget - (time.perf_counter() - start)
+                if budget_left <= 0:
+                    return SeqAttackResult(
+                        success=False, key=None, n_dips=total_dips,
+                        seconds=time.perf_counter() - start, depth=depth,
+                        depths_tried=depths_tried,
+                        dips_per_depth=dips_per_depth,
+                        stop_reason="time_budget",
+                        oracle_queries=oracle.query_count)
+
+            if shared_solver is not None:
+                if len(depths_tried) > 1:  # same fleet, fresh formula
+                    shared_solver.reset()
+                engine = {"solver": shared_solver}
+            else:
+                engine = {"portfolio": portfolio,
+                          "attack_jobs": attack_jobs}
+            result = comb_sat_attack(
+                view, key_inputs, oracle_fn,
+                max_dips=None if max_dips is None
+                else max_dips - total_dips,
+                time_budget=budget_left, dip_batch=dip_batch, **engine)
+            total_dips += result.n_dips
+            dips_per_depth[depth] = result.n_dips
+            if not result.success:
                 return SeqAttackResult(
                     success=False, key=None, n_dips=total_dips,
                     seconds=time.perf_counter() - start, depth=depth,
-                    depths_tried=depths_tried, dips_per_depth=dips_per_depth,
-                    stop_reason="time_budget",
+                    depths_tried=depths_tried,
+                    dips_per_depth=dips_per_depth,
+                    stop_reason=result.stop_reason,
                     oracle_queries=oracle.query_count)
 
-        result = comb_sat_attack(
-            view, key_inputs, oracle_fn,
-            max_dips=None if max_dips is None else max_dips - total_dips,
-            time_budget=budget_left, dip_batch=dip_batch,
-            portfolio=portfolio, attack_jobs=attack_jobs)
-        total_dips += result.n_dips
-        dips_per_depth[depth] = result.n_dips
-        if not result.success:
-            return SeqAttackResult(
-                success=False, key=None, n_dips=total_dips,
-                seconds=time.perf_counter() - start, depth=depth,
-                depths_tried=depths_tried, dips_per_depth=dips_per_depth,
-                stop_reason=result.stop_reason,
-                oracle_queries=oracle.query_count)
+            candidate = _key_from_model(result.key, locked_netlist.inputs,
+                                        kappa)
+            ok, counterexample_depth = _verify_candidate(
+                locked_netlist, kappa, candidate, oracle, reference,
+                rng, check_rounds, depth)
+            if ok:
+                return SeqAttackResult(
+                    success=True, key=candidate, n_dips=total_dips,
+                    seconds=time.perf_counter() - start, depth=depth,
+                    depths_tried=depths_tried,
+                    dips_per_depth=dips_per_depth,
+                    verified=True, oracle_queries=oracle.query_count)
+            depth = max(depth + 1, counterexample_depth)
 
-        candidate = _key_from_model(result.key, locked_netlist.inputs, kappa)
-        ok, counterexample_depth = _verify_candidate(
-            locked_netlist, kappa, candidate, oracle, reference,
-            rng, check_rounds, depth)
-        if ok:
-            return SeqAttackResult(
-                success=True, key=candidate, n_dips=total_dips,
-                seconds=time.perf_counter() - start, depth=depth,
-                depths_tried=depths_tried, dips_per_depth=dips_per_depth,
-                verified=True, oracle_queries=oracle.query_count)
-        depth = max(depth + 1, counterexample_depth)
-
-    return SeqAttackResult(
-        success=False, key=None, n_dips=total_dips,
-        seconds=time.perf_counter() - start, depth=depth - 1,
-        depths_tried=depths_tried, dips_per_depth=dips_per_depth,
-        stop_reason="max_depth", oracle_queries=oracle.query_count)
+        return SeqAttackResult(
+            success=False, key=None, n_dips=total_dips,
+            seconds=time.perf_counter() - start, depth=depth - 1,
+            depths_tried=depths_tried, dips_per_depth=dips_per_depth,
+            stop_reason="max_depth", oracle_queries=oracle.query_count)
+    finally:
+        if shared_solver is not None:
+            shared_solver.close()
 
 
 def attack_locked_circuit(locked, known_depth="paper", **kwargs):

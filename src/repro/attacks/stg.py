@@ -111,6 +111,7 @@ class StgReport:
     wrong_key_only_states: int   # states never visited under k*
     terminal_clusters: int       # sink SCCs in the locked STG
     largest_terminal_fraction: float
+    original_terminal_clusters: int = 0  # sink SCCs before locking
 
     def expansion_factor(self):
         """How much locking inflated the reachable state space."""
@@ -180,4 +181,5 @@ def stg_report(locked, max_states=_DEFAULT_MAX_STATES):
         wrong_key_only_states=total - len(correct & set(locked_stg.nodes)),
         terminal_clusters=len(sinks),
         largest_terminal_fraction=largest_sink / total if total else 0.0,
+        original_terminal_clusters=len(terminal_sccs(original_stg)),
     )

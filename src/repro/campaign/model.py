@@ -75,6 +75,27 @@ class CellSpec:
         return CellSpec(fn=fn, params=frozen, experiment=experiment,
                         label=label or fn.split(":", 1)[1])
 
+    @staticmethod
+    def matrix(circuit, scheme, attack, scale=1.0, seed=0, max_dips=None,
+               time_budget=None):
+        """One generic ``(circuit, scheme_spec, attack_spec)`` cell.
+
+        ``scheme``/``attack`` are :mod:`repro.api` spec strings; they are
+        canonicalised (defaults filled, keys sorted) before entering the
+        params so equivalent spellings address the same cache entry.
+        """
+        from repro.api.cells import matrix_cells
+
+        specs = matrix_cells([circuit], [scheme], [attack], scale=scale,
+                             seed=seed, max_dips=max_dips,
+                             time_budget=time_budget)
+        if len(specs) != 1:
+            raise CampaignError(
+                f"CellSpec.matrix wants concrete specs, got a "
+                f"{len(specs)}-cell grid; expand grids via "
+                "repro.api.matrix_cells")
+        return specs[0]
+
     def kwargs(self):
         """The params as the keyword-argument dict to call ``fn`` with."""
         return {key: json.loads(raw) for key, raw in self.params}

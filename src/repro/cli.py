@@ -1,21 +1,33 @@
-"""``repro-lock`` — command-line TriLock flow over ``.bench`` files.
+"""``repro-lock`` — command-line locking flow over ``.bench`` files.
 
-Lock::
+Lock (flags or a scheme spec string — any registered scheme works)::
 
     repro-lock lock design.bench --kappa-s 3 --alpha 0.6 --s-pairs 10 \
+        --out locked.bench --key-out design.key
+    repro-lock lock design.bench --scheme "harpoon?kappa=3" \
         --out locked.bench --key-out design.key
 
 Verify a locked design against the original under its key::
 
-    repro-lock verify design.bench locked.bench design.key --depth 8
+    repro-lock verify design.bench locked.bench design.key
 
-Attack a locked design (oracle = the original netlist)::
+Attack a locked design (oracle = the original netlist; ``--key`` recovers
+``kappa`` and the starting depth from the key file so they need not be
+re-typed)::
 
+    repro-lock attack design.bench locked.bench --key design.key
     repro-lock attack design.bench locked.bench --kappa 4
 
 Report security/cost metrics::
 
     repro-lock report design.bench locked.bench design.key
+
+Discover the plugin registries and run a scheme x attack matrix::
+
+    repro-lock schemes
+    repro-lock attacks
+    repro-lock matrix --circuit s27 --scheme "trilock?kappa_s=1..2" \
+        --attack seq-sat --attack removal --jobs 4
 
 Inspect or clear the experiment-campaign result cache::
 
@@ -31,29 +43,41 @@ import os
 import sys
 
 from repro._cliutils import attack_jobs_arg
+from repro.api import ATTACKS, SCHEMES, matrix_cells, parse_spec
+from repro.api.spec import format_spec
 from repro.attacks import bounded_equivalence, scc_report, sequential_sat_attack
 from repro.attacks.oracle import SimulationOracle
-from repro.campaign import ResultStore, default_cache_dir, render_status
-from repro.core import KeySequence, TriLockConfig, lock
+from repro.campaign import Campaign, ResultStore, default_cache_dir, \
+    render_status
+from repro.core import KeySequence, TriLockConfig
 from repro.core.locker import LockedCircuit
 from repro.errors import ReproError
+from repro.experiments.common import format_table
 from repro.metrics import simulate_fc
 from repro.netlist import dump_bench, load_bench
 from repro.tech import overhead
+
+#: Key-file formats this CLI reads; v2 added the scheme spec string.
+_KEY_FORMATS = ("trilock-key-v1", "trilock-key-v2")
 
 
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro-lock",
-        description="TriLock sequential logic locking over .bench files.")
+        description="Sequential logic locking over .bench files "
+                    "(TriLock and the registered baseline schemes).")
     commands = parser.add_subparsers(dest="command", required=True)
 
     lock_cmd = commands.add_parser("lock", help="lock a .bench netlist")
     lock_cmd.add_argument("design", help="original .bench file")
-    lock_cmd.add_argument("--kappa-s", type=int, default=2)
-    lock_cmd.add_argument("--kappa-f", type=int, default=1)
-    lock_cmd.add_argument("--alpha", type=float, default=0.6)
-    lock_cmd.add_argument("--s-pairs", type=int, default=10)
+    lock_cmd.add_argument("--scheme", default=None,
+                          help="scheme spec string (e.g. "
+                               "\"trilock?kappa_s=3&alpha=0.5\"); "
+                               "excludes the individual TriLock flags")
+    lock_cmd.add_argument("--kappa-s", type=int, default=None)
+    lock_cmd.add_argument("--kappa-f", type=int, default=None)
+    lock_cmd.add_argument("--alpha", type=float, default=None)
+    lock_cmd.add_argument("--s-pairs", type=int, default=None)
     lock_cmd.add_argument("--seed", type=int, default=0)
     lock_cmd.add_argument("--out", required=True,
                           help="locked .bench output path")
@@ -65,16 +89,24 @@ def build_parser():
     verify_cmd.add_argument("design")
     verify_cmd.add_argument("locked")
     verify_cmd.add_argument("key", help="key file written by 'lock'")
-    verify_cmd.add_argument("--depth", type=int, default=8)
+    verify_cmd.add_argument("--depth", type=int, default=None,
+                            help="compared window (default: recovered "
+                                 "from the key file's scheme spec, "
+                                 "else 8)")
 
     attack_cmd = commands.add_parser(
         "attack", help="run the sequential SAT attack")
     attack_cmd.add_argument("design", help="oracle netlist (.bench)")
     attack_cmd.add_argument("locked")
-    attack_cmd.add_argument("--kappa", type=int, required=True,
-                            help="key cycle length")
+    attack_cmd.add_argument("--kappa", type=int, default=None,
+                            help="key cycle length (or pass --key)")
+    attack_cmd.add_argument("--key", default=None,
+                            help="key file written by 'lock': recovers "
+                                 "kappa and the starting depth from its "
+                                 "scheme spec")
     attack_cmd.add_argument("--depth", type=int, default=None,
-                            help="unrolling depth b* (omit to deepen)")
+                            help="unrolling depth b* (omit to deepen, "
+                                 "or recover b* = kappa_s via --key)")
     attack_cmd.add_argument("--max-dips", type=int, default=None)
     attack_cmd.add_argument("--time-budget", type=float, default=None)
     attack_cmd.add_argument("--dip-batch", type=int, default=1,
@@ -99,6 +131,41 @@ def build_parser():
     report_cmd.add_argument("--fc-depth", type=int, default=4)
     report_cmd.add_argument("--fc-samples", type=int, default=800)
 
+    commands.add_parser("schemes",
+                        help="list the registered locking schemes")
+    commands.add_parser("attacks", help="list the registered attacks")
+
+    matrix_cmd = commands.add_parser(
+        "matrix", help="run a scheme x attack grid through the campaign "
+                       "executor")
+    matrix_cmd.add_argument("--circuit", action="append", default=None,
+                            help="benchmark name (repeatable; embedded "
+                                 "or suite circuit; default s27)")
+    matrix_cmd.add_argument("--scheme", action="append", required=True,
+                            help="scheme spec, may be gridded "
+                                 "(kappa_s=1..3, alpha=0.3|0.6); "
+                                 "repeatable")
+    matrix_cmd.add_argument("--attack", action="append", required=True,
+                            help="attack spec, may be gridded; repeatable")
+    matrix_cmd.add_argument("--scale", type=float, default=1.0,
+                            help="suite circuit size scale (embedded "
+                                 "circuits ignore it)")
+    matrix_cmd.add_argument("--seed", type=int, default=0)
+    matrix_cmd.add_argument("--max-dips", type=int, default=None,
+                            help="per-cell DIP budget")
+    matrix_cmd.add_argument("--time-budget", type=float, default=None,
+                            help="per-cell attack time budget (seconds)")
+    matrix_cmd.add_argument("--jobs", type=int, default=1,
+                            help="worker processes for independent cells")
+    matrix_cmd.add_argument("--cache-dir", default=None,
+                            help="campaign result cache (default "
+                                 "$REPRO_CACHE_DIR or .repro-cache)")
+    matrix_cmd.add_argument("--no-cache", action="store_true",
+                            help="recompute every cell")
+    matrix_cmd.add_argument("--cell-timeout", type=float, default=None,
+                            help="seconds one cell may run (needs "
+                                 "--jobs >= 2)")
+
     campaign_cmd = commands.add_parser(
         "campaign", help="inspect the experiment-campaign result cache")
     campaign_sub = campaign_cmd.add_subparsers(dest="action", required=True)
@@ -114,9 +181,10 @@ def build_parser():
     return parser
 
 
-def _write_key_file(path, locked):
+def _write_key_file(path, locked, scheme_spec):
     payload = {
-        "format": "trilock-key-v1",
+        "format": "trilock-key-v2",
+        "scheme": scheme_spec,
         "width": locked.key.width,
         "cycles": locked.key.cycles,
         "key": str(locked.key),
@@ -135,7 +203,7 @@ def _write_key_file(path, locked):
 def _read_key_file(path):
     with open(path, "r", encoding="utf-8") as handle:
         payload = json.load(handle)
-    if payload.get("format") != "trilock-key-v1":
+    if payload.get("format") not in _KEY_FORMATS:
         raise ReproError(f"{path} is not a trilock key file")
     return payload
 
@@ -145,18 +213,51 @@ def _key_from_payload(payload):
         payload["key_int"], payload["cycles"], payload["width"])
 
 
+def _payload_kappa_s(payload):
+    """``kappa_s`` recovered from the key file (scheme spec preferred)."""
+    scheme = payload.get("scheme")
+    if scheme:
+        _, params = parse_spec(scheme)
+        if "kappa_s" in params:
+            return params["kappa_s"]
+        if "kappa" in params:
+            return params["kappa"]
+    return payload.get("kappa_s")
+
+
+def _scheme_spec_from_args(args):
+    """The lock command's scheme spec: explicit, or built from flags."""
+    flags = {"kappa_s": args.kappa_s, "kappa_f": args.kappa_f,
+             "alpha": args.alpha, "s_pairs": args.s_pairs}
+    if args.scheme is not None:
+        given = [f"--{name.replace('_', '-')}"
+                 for name, value in flags.items() if value is not None]
+        if given:
+            raise ReproError(
+                f"--scheme excludes the TriLock flags ({', '.join(given)}); "
+                "fold them into the spec string instead")
+        return args.scheme
+    defaults = {"kappa_s": 2, "kappa_f": 1, "alpha": 0.6, "s_pairs": 10}
+    params = {name: value if value is not None else defaults[name]
+              for name, value in flags.items()}
+    return format_spec("trilock", params)
+
+
 def cmd_lock(args, out):
     original = load_bench(args.design)
-    config = TriLockConfig(
-        kappa_s=args.kappa_s, kappa_f=args.kappa_f, alpha=args.alpha,
-        s_pairs=args.s_pairs, seed=args.seed)
-    locked = lock(original, config)
+    spec_text = _scheme_spec_from_args(args)
+    name, params = parse_spec(spec_text)
+    scheme = SCHEMES.get(name)
+    resolved = scheme.resolve_params(params)
+    locked = scheme.lock(original, seed=args.seed, **resolved)
+    canonical = scheme.spec(**resolved)
     dump_bench(locked.netlist, args.out)
-    _write_key_file(args.key_out, locked)
+    _write_key_file(args.key_out, locked, canonical)
     stats = locked.netlist.stats()
-    out.write(f"locked {args.design}: {stats['flops']} FFs, "
+    out.write(f"locked {args.design} "
+              f"[{scheme.short_spec(**resolved)}]: {stats['flops']} FFs, "
               f"{stats['gates']} gates -> {args.out}\n")
-    out.write(f"key ({config.kappa} cycles x {locked.width} bits) "
+    out.write(f"key ({locked.key.cycles} cycles x {locked.width} bits) "
               f"-> {args.key_out}\n")
     out.write(f"re-encoded pairs: {len(locked.reencoded_pairs)}\n")
     return 0
@@ -167,11 +268,15 @@ def cmd_verify(args, out):
     locked = load_bench(args.locked)
     payload = _read_key_file(args.key)
     key = _key_from_payload(payload)
+    depth = args.depth
+    if depth is None:
+        kappa_s = _payload_kappa_s(payload)
+        depth = payload["cycles"] + kappa_s + 4 if kappa_s else 8
     result = bounded_equivalence(
-        original, locked, depth=args.depth,
+        original, locked, depth=depth,
         prefix_vectors=list(key.vectors))
     if result.equivalent:
-        out.write(f"PASS: locked(key) == original for {args.depth} cycles\n")
+        out.write(f"PASS: locked(key) == original for {depth} cycles\n")
         return 0
     out.write("FAIL: counterexample input sequence:\n")
     for cycle, vector in enumerate(result.counterexample):
@@ -183,9 +288,24 @@ def cmd_verify(args, out):
 def cmd_attack(args, out):
     original = load_bench(args.design)
     locked = load_bench(args.locked)
+    kappa, depth = args.kappa, args.depth
+    if args.key is not None:
+        payload = _read_key_file(args.key)
+        if kappa is not None and kappa != payload["cycles"]:
+            raise ReproError(
+                f"--kappa {kappa} contradicts the key file "
+                f"({payload['cycles']} cycles); drop one of the two — a "
+                "mismatched kappa silently attacks the wrong window")
+        kappa = payload["cycles"]
+        if depth is None:
+            depth = _payload_kappa_s(payload)  # the paper's b* = kappa_s
+    if kappa is None:
+        raise ReproError(
+            "attack needs the key cycle length: pass --kappa N or "
+            "--key design.key to recover it")
     oracle = SimulationOracle(original)
     result = sequential_sat_attack(
-        locked, args.kappa, oracle, known_depth=args.depth,
+        locked, kappa, oracle, known_depth=depth,
         max_dips=args.max_dips, time_budget=args.time_budget,
         reference=original, dip_batch=args.dip_batch,
         portfolio=args.portfolio, attack_jobs=args.attack_jobs)
@@ -219,6 +339,8 @@ def cmd_report(args, out):
         extra_registers=tuple(payload["extra_registers"]),
         encoded_registers=tuple(payload.get("encoded_registers", ())),
     )
+    if payload.get("scheme"):
+        out.write(f"scheme: {payload['scheme']}\n")
     fc = simulate_fc(locked, depth=args.fc_depth,
                      n_samples=args.fc_samples)
     sccs = scc_report(locked)
@@ -233,6 +355,80 @@ def cmd_report(args, out):
               f"power {adp.power_overhead:+.1%}, "
               f"delay {adp.delay_overhead:+.1%}\n")
     return 0
+
+
+def cmd_schemes(args, out):
+    return _list_registry(SCHEMES, out)
+
+
+def cmd_attacks(args, out):
+    return _list_registry(ATTACKS, out)
+
+
+def _list_registry(registry, out):
+    rows = [
+        {"name": name, "description": description, "parameters": schema}
+        for name, description, schema in
+        (plugin.describe_row() for plugin in registry)
+    ]
+    out.write(format_table(rows) + "\n")
+    return 0
+
+
+def _short_spec(registry, text):
+    """Display form of a canonical spec: parameters at defaults omitted."""
+    name, params = parse_spec(text)
+    plugin = registry.get(name)
+    return plugin.short_spec(**plugin.resolve_params(params))
+
+
+def _summarise_metrics(value):
+    """Compact ``k=v`` rendering of a matrix cell's headline metrics."""
+    metrics = value.get("metrics", {})
+    parts = []
+    for key in sorted(metrics):
+        number = metrics[key]
+        if isinstance(number, float):
+            number = f"{number:.3g}"
+        parts.append(f"{key}={number}")
+    return " ".join(parts)
+
+
+def cmd_matrix(args, out):
+    circuits = args.circuit if args.circuit else ["s27"]
+    specs = matrix_cells(circuits, args.scheme, args.attack,
+                         scale=args.scale, seed=args.seed,
+                         max_dips=args.max_dips,
+                         time_budget=args.time_budget)
+    store = None if args.no_cache else ResultStore(
+        args.cache_dir if args.cache_dir else default_cache_dir())
+    campaign = Campaign(jobs=args.jobs, store=store,
+                        cell_timeout=args.cell_timeout)
+    results = campaign.run(specs)
+    rows = []
+    for result in results:
+        params = result.spec.kwargs()
+        row = {
+            "circuit": params["circuit"],
+            "scheme": _short_spec(SCHEMES, params["scheme"]),
+            "attack": _short_spec(ATTACKS, params["attack"]),
+            "status": result.status,
+        }
+        if result.ok:
+            row["success"] = result.value["success"]
+            row["T(s)"] = result.value["seconds"]
+            row["metrics"] = _summarise_metrics(result.value)
+        else:
+            row["success"] = ""
+            row["T(s)"] = result.elapsed
+            row["metrics"] = (f"{result.error['type']}: "
+                              f"{result.error['message']}")
+        rows.append(row)
+    out.write(format_table(rows) + "\n")
+    stats = campaign.stats()
+    if stats is not None:
+        out.write(f"[cache: {stats.summary()}]\n")
+    return 0 if all(result.ok for result in results) else 1
 
 
 def cmd_campaign(args, out):
@@ -252,6 +448,9 @@ _COMMANDS = {
     "verify": cmd_verify,
     "attack": cmd_attack,
     "report": cmd_report,
+    "schemes": cmd_schemes,
+    "attacks": cmd_attacks,
+    "matrix": cmd_matrix,
     "campaign": cmd_campaign,
 }
 

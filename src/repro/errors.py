@@ -70,3 +70,7 @@ class BenchmarkError(ReproError):
 
 class CampaignError(ReproError):
     """Invalid campaign request or a cell failure the caller did not allow."""
+
+
+class SpecError(ReproError):
+    """Malformed scheme/attack spec string or registry lookup failure."""

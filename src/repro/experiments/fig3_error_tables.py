@@ -12,13 +12,11 @@ and checks they agree cell-for-cell.
 
 from __future__ import annotations
 
+from repro.api import SCHEMES
 from repro.bench.synth import generate_circuit
 from repro.campaign import Campaign, CellSpec
 from repro.core import (
-    TriLockConfig,
-    lock,
     measured_error_table,
-    naive_config,
     naive_error_table,
     spec_error_table,
 )
@@ -41,16 +39,20 @@ def _host_circuit():
 
 
 def panel_cell(panel, alpha):
-    """One Fig. 3 panel: exhaustive spec table vs gate-level table."""
+    """One Fig. 3 panel: exhaustive spec table vs gate-level table.
+
+    Both panels lock through the :mod:`repro.api` scheme registry
+    (``naive`` / ``trilock``), which wraps the legacy config-based flow
+    one-to-one."""
     host = _host_circuit()
     if panel == "(a) E^N":
-        locked = lock(host, naive_config(
-            KAPPA_S, key_star=NAIVE_KEY, seed=2))
+        locked = SCHEMES.get("naive").lock(
+            host, seed=2, kappa=KAPPA_S, key_star=NAIVE_KEY)
         spec = naive_error_table(KAPPA_S, WIDTH, NAIVE_KEY, depth=KAPPA_S)
     elif panel == "(b) E^SF":
-        locked = lock(host, TriLockConfig(
-            kappa_s=KAPPA_S, kappa_f=KAPPA_F, alpha=alpha,
-            key_star=KEY_STAR, key_star_star=KEY_STAR_STAR, seed=2))
+        locked = SCHEMES.get("trilock").lock(
+            host, seed=2, kappa_s=KAPPA_S, kappa_f=KAPPA_F, alpha=alpha,
+            key_star=KEY_STAR, key_star_star=KEY_STAR_STAR)
         spec = spec_error_table(locked.spec, depth=KAPPA_S)
     else:
         raise ValueError(f"unknown Fig. 3 panel {panel!r}")

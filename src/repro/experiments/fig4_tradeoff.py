@@ -8,7 +8,9 @@ exponential while ``FC`` is pinned near ``α(1 − 2^{−κf|I|})`` (Eq. 15)
 independently of ``κs`` — the trade-off is broken.
 
 The analytic curves are cross-validated against exhaustive error tables
-at the small-``κ`` end.
+at the small-``κ`` end.  (This is the one experiment with no gate-level
+locking step, so it has nothing to route through the
+:mod:`repro.api` scheme registry.)
 """
 
 from __future__ import annotations

@@ -9,9 +9,9 @@ overhead is the flattest of the three.
 
 from __future__ import annotations
 
+from repro.api import SCHEMES
 from repro.bench.suite import load_suite_circuit, suite_names
 from repro.campaign import Campaign, CellSpec
-from repro.core import TriLockConfig, lock
 from repro.experiments.common import (
     DEFAULT_SCALE,
     ExperimentResult,
@@ -22,11 +22,12 @@ KAPPA_S_RANGE = (1, 2, 3, 4, 5)
 
 
 def overhead_cell(circuit, scale, seed, kappa_s, kappa_f, alpha, s_pairs):
-    """One Fig. 6 point: lock + ADP overhead report."""
+    """One Fig. 6 point: lock (via the scheme registry) + ADP overhead
+    report."""
     netlist = load_suite_circuit(circuit, scale=scale, seed=seed)
-    locked = lock(netlist, TriLockConfig(
-        kappa_s=kappa_s, kappa_f=kappa_f, alpha=alpha,
-        s_pairs=s_pairs, seed=seed))
+    locked = SCHEMES.get("trilock").lock(
+        netlist, seed=seed, kappa_s=kappa_s, kappa_f=kappa_f, alpha=alpha,
+        s_pairs=s_pairs)
     report = locking_overhead(locked)
     return {
         "area_ovh": report.area_overhead,

@@ -7,9 +7,10 @@ simulated FC tracks Eq. (15) within ±0.05.
 
 from __future__ import annotations
 
+from repro.api import SCHEMES
 from repro.bench.suite import load_suite_circuit, suite_names
 from repro.campaign import Campaign, CellSpec
-from repro.core import TriLockConfig, fc_trilock, lock
+from repro.core import fc_trilock
 from repro.experiments.common import (
     DEFAULT_SCALE,
     ExperimentResult,
@@ -27,11 +28,11 @@ KAPPA_FS = (1, 2, 3)
 
 def fc_cell(circuit, scale, seed, kappa_s, kappa_f, alpha, n_samples,
             depth_span):
-    """One Fig. 7 point: lock + simulated FC averaged over the paper's
-    depth window."""
+    """One Fig. 7 point: lock (via the scheme registry) + simulated FC
+    averaged over the paper's depth window."""
     netlist = load_suite_circuit(circuit, scale=scale, seed=seed)
-    locked = lock(netlist, TriLockConfig(
-        kappa_s=kappa_s, kappa_f=kappa_f, alpha=alpha, seed=seed))
+    locked = SCHEMES.get("trilock").lock(
+        netlist, seed=seed, kappa_s=kappa_s, kappa_f=kappa_f, alpha=alpha)
     depths = paper_depth_range(kappa_s, span=depth_span)
     simulated = average_simulated_fc(
         locked, depths, n_samples=n_samples, seed=seed)

@@ -18,9 +18,10 @@ Protocol, mirroring the paper's own:
 
 from __future__ import annotations
 
+from repro.api import SCHEMES
 from repro.bench.suite import TABLE1_CIRCUITS, load_suite_circuit, suite_names
 from repro.campaign import Campaign, CellSpec
-from repro.core import TriLockConfig, lock, ndip_trilock
+from repro.core import ndip_trilock
 from repro.experiments.common import (
     DEFAULT_SCALE,
     ExperimentResult,
@@ -67,11 +68,16 @@ def resilience_cell(circuit, scale, seed, kappa_s, kappa_f, alpha, s_pairs,
     The attack-engine knobs (``dip_batch``, ``portfolio``,
     ``attack_jobs``) are part of the cell's parameter set, hence of its
     campaign cache key — changing how a cell is attacked invalidates its
-    cached value even though ``ndip`` itself is solver-independent."""
+    cached value even though ``ndip`` itself is solver-independent.
+
+    Locking goes through the :mod:`repro.api` scheme registry (the
+    ``trilock`` plugin wraps :func:`repro.core.lock` one-to-one, so the
+    cell value — and with it the cache key and rendered table — is
+    unchanged from the pre-registry code)."""
     netlist = load_suite_circuit(circuit, scale=scale, seed=seed)
-    locked = lock(netlist, TriLockConfig(
-        kappa_s=kappa_s, kappa_f=kappa_f, alpha=alpha, s_pairs=s_pairs,
-        seed=seed))
+    locked = SCHEMES.get("trilock").lock(
+        netlist, seed=seed, kappa_s=kappa_s, kappa_f=kappa_f, alpha=alpha,
+        s_pairs=s_pairs)
     cell = measure_resilience(locked, time_budget=time_budget,
                               dip_batch=dip_batch, portfolio=portfolio,
                               attack_jobs=attack_jobs)

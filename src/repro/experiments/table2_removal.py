@@ -12,10 +12,10 @@ percentage of registers inside M-SCCs. The paper's qualitative claims:
 
 from __future__ import annotations
 
+from repro.api import SCHEMES
 from repro.attacks import scc_report
 from repro.bench.suite import load_suite_circuit, suite_names
 from repro.campaign import Campaign, CellSpec
-from repro.core import TriLockConfig, lock
 from repro.experiments.common import (
     DEFAULT_SCALE,
     ExperimentResult,
@@ -42,11 +42,12 @@ S_VALUES = (0, 10, 30)
 
 def scc_cell(circuit, scale, seed, kappa_s, kappa_f, alpha, s_pairs,
              include_trivial):
-    """One Table II cell: lock + SCC clustering statistics."""
+    """One Table II cell: lock (via the scheme registry) + SCC
+    clustering statistics."""
     netlist = load_suite_circuit(circuit, scale=scale, seed=seed)
-    locked = lock(netlist, TriLockConfig(
-        kappa_s=kappa_s, kappa_f=kappa_f, alpha=alpha,
-        s_pairs=s_pairs, seed=seed))
+    locked = SCHEMES.get("trilock").lock(
+        netlist, seed=seed, kappa_s=kappa_s, kappa_f=kappa_f, alpha=alpha,
+        s_pairs=s_pairs)
     report = scc_report(locked, include_trivial=include_trivial)
     return {
         "O": report.o_sccs,

@@ -48,7 +48,11 @@ def _portfolio_worker(config_name, conn, cancel):
     is sent per ``solve`` request: ``("sat", name, model, stats)``,
     ``("unsat", name, None, stats)``, ``("cancelled", name)``, or
     ``("error", name, repr)`` — the parent relies on this invariant to
-    keep the pipes in lockstep.
+    keep the pipes in lockstep.  A ``reset`` request rebuilds the backend
+    in place (fresh clause store, same process), which is what lets one
+    worker fleet serve several attack phases — e.g. every unrolling
+    depth of a sequential SAT attack — without paying the spawn cost
+    again.
     """
     from repro.sat.backend import make_backend
 
@@ -101,6 +105,15 @@ def _portfolio_worker(config_name, conn, cancel):
                                (bytes(packed), num_vars), backend.stats()))
                 else:
                     conn.send(("unsat", config_name, None, backend.stats()))
+            elif kind == "reset":
+                # Fresh backend, same process: the clause store and all
+                # learnt state vanish, the spawn cost does not recur.
+                try:
+                    backend = make_backend(config_name)
+                    backend.interrupt = cancel.is_set
+                    broken = None
+                except Exception as error:  # noqa: BLE001
+                    broken = repr(error)
             elif kind == "quit":
                 return
     except (EOFError, OSError, KeyboardInterrupt):
@@ -155,6 +168,8 @@ class PortfolioSolver:
             start_method = "fork" if "fork" in methods else "spawn"
         self._ctx = multiprocessing.get_context(start_method)
         self.num_solve_calls = 0
+        self.num_resets = 0
+        self.num_spawns = 0      # worker-fleet generations started
         self.wins = {name: 0 for name in configs}
         self.last_winner = None
         self._winner_stats = {}
@@ -267,6 +282,8 @@ class PortfolioSolver:
             "wins": dict(self.wins),
             "winner": self.last_winner,
             "inline_fallback": self._inline is not None,
+            "resets": self.num_resets,
+            "spawns": self.num_spawns,
         }
         if self._winner_stats:
             stats["winner_stats"] = dict(self._winner_stats)
@@ -275,6 +292,41 @@ class PortfolioSolver:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    def reset(self):
+        """Empty the problem while keeping the worker fleet alive.
+
+        The parent's clause log, variable count, and model are cleared;
+        every live worker is told to rebuild its backend in place (after
+        draining any reply a cancelled solve still owes), so subsequent
+        ``solve`` calls race the *same processes* on a fresh formula.
+        This is what lets a sequential attack reuse one fleet across its
+        unrolling depths instead of respawning per depth — cheap under
+        ``fork``, substantial on ``spawn`` platforms.  If the portfolio
+        had degraded to inline solving, reset also clears the fallback
+        so the next solve re-attempts worker spawning.
+        """
+        self.num_resets += 1
+        self._num_vars = 0
+        self._clauses = []
+        self._sent_vars = 0
+        self._sent_clauses = 0
+        self._root_unsat = False
+        self._unit_signs = {}
+        self._model = None
+        self.last_winner = None
+        self._winner_stats = {}
+        if self._inline is not None:
+            self._inline = None
+            self._inline_sent = 0
+            return
+        for worker in self._live_workers():
+            if not self._drain(worker):
+                continue
+            try:
+                worker.conn.send(("reset",))
+            except (OSError, ValueError):
+                worker.alive = False
+
     def close(self):
         """Shut the worker processes down (idempotent)."""
         workers, self._workers = self._workers, None
@@ -346,6 +398,7 @@ class PortfolioSolver:
             self.close()
             raise
         self._workers = workers
+        self.num_spawns += 1
 
     def _live_workers(self):
         return [w for w in (self._workers or ()) if w.alive]

@@ -1,0 +1,128 @@
+"""The scheme x attack campaign matrix, end to end."""
+
+import pytest
+
+from repro.api import ATTACKS, SCHEMES, matrix_cell, matrix_cells
+from repro.bench import load_benchmark
+from repro.campaign import Campaign, ResultStore
+
+
+class TestMatrixCells:
+    def test_grid_enumeration_order_and_labels(self):
+        specs = matrix_cells(
+            ["s27"], ["trilock?kappa_s=1..2", "harpoon?kappa=2"],
+            ["seq-sat", "removal"], max_dips=40)
+        assert len(specs) == 6  # (2 + 1 schemes) x 2 attacks
+        assert specs[0].experiment == "matrix"
+        assert specs[0].label == "matrix/s27/trilock/seq-sat"
+        schemes = [dict(spec.kwargs())["scheme"] for spec in specs]
+        assert schemes == sorted(schemes, key=schemes.index)  # stable order
+
+    def test_overlapping_grids_deduplicate(self):
+        specs = matrix_cells(
+            ["s27", "s27"],
+            ["trilock?kappa_s=1..2", "trilock?kappa_s=2..3"],
+            ["removal"])
+        assert len(specs) == 3  # kappa_s in {1, 2, 3}, once each
+        assert len({spec.key() for spec in specs}) == 3
+
+    def test_specs_are_canonical_in_params(self):
+        (spec,) = matrix_cells(["s27"], ["trilock?kappa_s=2&alpha=0.6"],
+                               ["seq-sat"])
+        params = spec.kwargs()
+        assert params["scheme"] == SCHEMES.get("trilock").spec(kappa_s=2)
+        assert params["attack"] == ATTACKS.get("seq-sat").spec()
+
+    @pytest.mark.parametrize("scheme,attack", [
+        ("trilock?kappa_s=1", "comb-sat"),
+        ("trilock?kappa_s=1&kappa_f=1", "key-space"),
+        ("trilock?kappa_s=1", "bmc"),
+        ("naive?kappa=2", "seq-sat"),
+        ("sink?kappa=2&sink_size=3", "stg?max_states=3000"),
+        ("harpoon?kappa=2", "removal"),
+    ])
+    def test_every_attack_produces_a_uniform_outcome(self, scheme, attack):
+        value = matrix_cell("s27", 1.0, 0, scheme, attack, max_dips=64)
+        assert set(value) == {"attack", "success", "seconds", "metrics",
+                              "details", "scheme", "circuit"}
+        assert isinstance(value["success"], bool)
+        assert value["seconds"] >= 0
+        assert value["metrics"]
+
+    def test_paper_story(self):
+        """The matrix reproduces the qualitative Table II story: removal
+        only beats designs whose lock is separable (S = 0), and the sink
+        scheme carries the STG signature TriLock does not introduce by
+        construction."""
+        removal_s0 = matrix_cell("b12", 0.05, 0, "trilock?kappa_s=1",
+                                 "removal")
+        removal_s10 = matrix_cell("b12", 0.05, 0,
+                                  "trilock?kappa_s=1&s_pairs=10",
+                                  "removal")
+        assert removal_s0["success"] and not removal_s10["success"]
+        assert removal_s10["metrics"]["M"] >= 1
+        assert removal_s10["metrics"]["stripped"] == 0
+        sink_stg = matrix_cell("s27", 1.0, 0, "sink?kappa=2&sink_size=3",
+                               "stg?max_states=3000")
+        assert sink_stg["success"]
+        assert sink_stg["metrics"]["terminal_clusters"] > \
+            sink_stg["metrics"]["original_terminal_clusters"]
+
+
+class TestMatrixThroughCampaign:
+    def test_2x2_grid_with_cache_hits_on_rerun(self, tmp_path):
+        """The acceptance scenario: a >= 2-scheme x >= 2-attack grid on a
+        small bench circuit through the campaign executor, cache hits on
+        rerun."""
+        specs = matrix_cells(
+            ["s27"], ["trilock?kappa_s=1", "harpoon?kappa=2"],
+            ["seq-sat", "removal"], max_dips=64)
+        assert len(specs) == 4
+        store = ResultStore(str(tmp_path / "cells"))
+        cold = Campaign(store=store).run(specs)
+        assert all(result.ok for result in cold)
+        assert [result.cached for result in cold] == [False] * 4
+        warm = Campaign(store=store).run(specs)
+        assert [result.cached for result in warm] == [True] * 4
+        assert [result.value for result in warm] == \
+            [result.value for result in cold]
+        # TriLock resists removal-by-strip less than harpoon resists
+        # SAT: both SAT cells succeed on circuits this small.
+        by_label = {result.spec.label: result.value for result in warm}
+        assert by_label["matrix/s27/trilock/seq-sat"]["success"]
+        assert by_label["matrix/s27/harpoon/seq-sat"]["success"]
+
+    def test_parallel_equals_serial(self, tmp_path):
+        specs = matrix_cells(["s27"], ["trilock?kappa_s=1"],
+                             ["removal", "bmc"])
+        serial = Campaign().run(specs)
+        parallel = Campaign(jobs=2).run(specs)
+
+        def stripped(result):
+            # Wall-clock is the one legitimately nondeterministic field.
+            return {key: value for key, value in result.value.items()
+                    if key != "seconds"}
+
+        assert [stripped(r) for r in serial] == \
+            [stripped(r) for r in parallel]
+
+    def test_failure_is_captured_not_raised(self):
+        # kappa_s=4 -> 20 key bits, beyond key-space's enumeration cap.
+        (spec,) = matrix_cells(["s27"], ["trilock?kappa_s=4"],
+                               ["key-space"])
+        (result,) = Campaign().run([spec])
+        assert not result.ok
+        assert result.error["type"] == "AttackError"
+
+
+class TestSuiteCircuits:
+    def test_matrix_on_a_scaled_suite_circuit(self):
+        value = matrix_cell("b12", 0.05, 0, "trilock?kappa_s=1",
+                            "removal")
+        assert value["circuit"] == "b12"
+        assert {"O", "E", "M", "PM"} <= set(value["metrics"])
+
+    def test_scale_only_affects_suite_circuits(self):
+        a = matrix_cell("s27", 1.0, 0, "harpoon?kappa=2", "bmc")
+        b = matrix_cell("s27", 0.5, 0, "harpoon?kappa=2", "bmc")
+        assert a["metrics"] == b["metrics"]

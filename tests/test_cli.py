@@ -36,8 +36,54 @@ class TestLockCommand:
         assert code == 0
         assert "key (2 cycles x 4 bits)" in text
         payload = json.loads(open(workspace["key"]).read())
-        assert payload["format"] == "trilock-key-v1"
+        assert payload["format"] == "trilock-key-v2"
         assert payload["cycles"] == 2 and payload["width"] == 4
+        assert payload["scheme"].startswith("trilock?")
+        assert "kappa_s=1" in payload["scheme"]
+        assert "s_pairs=4" in payload["scheme"]
+
+    def test_v1_key_files_still_read(self, workspace):
+        """Key files written before the scheme spec existed keep working."""
+        run_cli(["lock", workspace["design"], "--kappa-s", "1",
+                 "--out", workspace["locked"], "--key-out",
+                 workspace["key"]])
+        payload = json.loads(open(workspace["key"]).read())
+        payload["format"] = "trilock-key-v1"
+        del payload["scheme"]
+        with open(workspace["key"], "w") as handle:
+            json.dump(payload, handle)
+        code, text = run_cli([
+            "verify", workspace["design"], workspace["locked"],
+            workspace["key"]])
+        assert code == 0 and "PASS" in text
+
+    def test_lock_via_scheme_spec(self, workspace):
+        code, text = run_cli([
+            "lock", workspace["design"], "--scheme", "harpoon?kappa=2",
+            "--out", workspace["locked"], "--key-out", workspace["key"]])
+        assert code == 0
+        assert "harpoon?kappa=2" in text
+        payload = json.loads(open(workspace["key"]).read())
+        assert payload["scheme"].startswith("harpoon?")
+        code, text = run_cli([
+            "verify", workspace["design"], workspace["locked"],
+            workspace["key"]])
+        assert code == 0 and "PASS" in text
+
+    def test_scheme_spec_excludes_flags(self, workspace):
+        code, text = run_cli([
+            "lock", workspace["design"], "--scheme", "trilock?kappa_s=1",
+            "--alpha", "0.3", "--out", workspace["locked"],
+            "--key-out", workspace["key"]])
+        assert code == 2
+        assert "--alpha" in text
+
+    def test_unknown_scheme_is_actionable(self, workspace):
+        code, text = run_cli([
+            "lock", workspace["design"], "--scheme", "sarlock",
+            "--out", workspace["locked"], "--key-out", workspace["key"]])
+        assert code == 2
+        assert "sarlock" in text and "trilock" in text
 
     def test_locked_file_is_valid_bench(self, workspace):
         run_cli(["lock", workspace["design"], "--kappa-s", "1",
@@ -147,6 +193,37 @@ class TestAttackCommand:
             run_cli(["attack", workspace["design"], workspace["design"],
                      "--kappa", "2", "--attack-jobs", "several"])
 
+    def test_attack_recovers_kappa_from_key_file(self, workspace):
+        """--key replaces --kappa/--depth re-typing (the footgun fix)."""
+        run_cli(["lock", workspace["design"], "--kappa-s", "1",
+                 "--seed", "3", "--out", workspace["locked"],
+                 "--key-out", workspace["key"]])
+        code, text = run_cli([
+            "attack", workspace["design"], workspace["locked"],
+            "--key", workspace["key"]])
+        assert code == 0
+        assert "key recovered" in text
+        assert "depth 1" in text  # b* = kappa_s recovered from the spec
+
+    def test_attack_kappa_mismatch_rejected(self, workspace):
+        run_cli(["lock", workspace["design"], "--kappa-s", "1",
+                 "--out", workspace["locked"], "--key-out",
+                 workspace["key"]])
+        code, text = run_cli([
+            "attack", workspace["design"], workspace["locked"],
+            "--kappa", "3", "--key", workspace["key"]])
+        assert code == 2
+        assert "contradicts" in text
+
+    def test_attack_without_kappa_or_key(self, workspace):
+        run_cli(["lock", workspace["design"], "--kappa-s", "1",
+                 "--out", workspace["locked"], "--key-out",
+                 workspace["key"]])
+        code, text = run_cli([
+            "attack", workspace["design"], workspace["locked"]])
+        assert code == 2
+        assert "--kappa" in text and "--key" in text
+
 
 class TestReportCommand:
     def test_report_contains_all_sections(self, workspace):
@@ -157,7 +234,63 @@ class TestReportCommand:
             "report", workspace["design"], workspace["locked"],
             workspace["key"], "--fc-samples", "200"])
         assert code == 0
+        assert "scheme: trilock?" in text
         assert "SAT resilience" in text
         assert "functional corruptibility" in text
         assert "removal resilience" in text
         assert "overhead" in text
+
+
+class TestRegistryListings:
+    def test_schemes_listing(self):
+        code, text = run_cli(["schemes"])
+        assert code == 0
+        for name in ("trilock", "naive", "harpoon", "sink"):
+            assert name in text
+        assert "kappa_s:int=2" in text  # schema with defaults
+
+    def test_attacks_listing(self):
+        code, text = run_cli(["attacks"])
+        assert code == 0
+        for name in ("seq-sat", "comb-sat", "bmc", "removal", "stg",
+                     "key-space"):
+            assert name in text
+        assert "dip_batch:int=1" in text
+
+
+class TestMatrixCommand:
+    def test_grid_runs_and_caches(self, workspace):
+        cache = str(workspace["tmp"] / "matrix-cache")
+        argv = ["matrix", "--circuit", "s27",
+                "--scheme", "trilock?kappa_s=1", "--scheme",
+                "harpoon?kappa=2",
+                "--attack", "seq-sat", "--attack", "removal",
+                "--cache-dir", cache, "--max-dips", "40"]
+        code, text = run_cli(argv)
+        assert code == 0
+        lines = [line for line in text.splitlines() if line.startswith("s27")]
+        assert len(lines) == 4  # 2 schemes x 2 attacks
+        assert "0 hits, 4 misses" in text
+        code, text = run_cli(argv)
+        assert code == 0
+        assert "4 hits, 0 misses" in text
+        assert text.count("hit") >= 4
+
+    def test_gridded_scheme_expansion(self, workspace):
+        code, text = run_cli([
+            "matrix", "--scheme", "trilock?kappa_s=1..2",
+            "--attack", "removal", "--no-cache"])
+        assert code == 0
+        rows = [line for line in text.splitlines()
+                if line.startswith("s27")]
+        assert len(rows) == 2
+
+    def test_failed_cell_is_reported_not_fatal(self, workspace):
+        # key-space on a huge key space fails inside the cell; the
+        # matrix renders the failure and exits non-zero.
+        code, text = run_cli([
+            "matrix", "--scheme", "trilock?kappa_s=4",
+            "--attack", "key-space", "--no-cache"])
+        assert code == 1
+        assert "failed" in text
+        assert "AttackError" in text

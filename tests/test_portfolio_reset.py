@@ -1,0 +1,147 @@
+"""Worker-fleet reuse: the ``reset`` protocol and cross-depth sharing.
+
+PR 3's follow-up: each unrolling depth of a sequential attack used to
+build a fresh :class:`DipEngine`, respawning the portfolio's worker
+processes.  ``PortfolioSolver.reset()`` now empties the problem while
+keeping the fleet alive, and ``sequential_sat_attack`` builds one solver
+for the whole attack.  Racing tests spawn real processes, so they carry
+the ``portfolio`` marker like the rest of the engine grid.
+"""
+
+import pytest
+
+from repro.attacks import attack_locked_circuit
+from repro.bench import load_benchmark
+from repro.core import lock, naive_config
+from repro.errors import SolverError
+from repro.sat import PortfolioSolver
+
+
+def naive_locked(kappa=2, seed=1):
+    return lock(load_benchmark("s27"), naive_config(kappa, seed=seed))
+
+
+@pytest.mark.portfolio
+class TestPortfolioReset:
+    def test_reset_keeps_worker_processes(self):
+        with PortfolioSolver(("cdcl", "cdcl-agile")) as solver:
+            a = solver.new_var()
+            solver.add_clause([a])
+            assert solver.solve() is True
+            pids = sorted(w.process.pid for w in solver._workers)
+            solver.reset()
+            assert solver.num_vars == 0
+            x, y = solver.new_var(), solver.new_var()
+            solver.add_clause([x, y])
+            solver.add_clause([-x])
+            assert solver.solve() is True
+            assert solver.model_value(y) is True
+            assert solver.solve(assumptions=[-y]) is False
+            assert sorted(w.process.pid
+                          for w in solver._workers) == pids
+            stats = solver.stats()
+            assert stats["resets"] == 1 and stats["spawns"] == 1
+
+    def test_reset_clears_root_unsat_and_model(self):
+        with PortfolioSolver(("cdcl", "cdcl-agile")) as solver:
+            a = solver.new_var()
+            solver.add_clause([a])
+            solver.add_clause([-a])
+            assert solver.solve() is False
+            solver.reset()
+            b = solver.new_var()
+            solver.add_clause([b])
+            assert solver.solve() is True
+            assert solver.model_value(b) is True
+
+    def test_reset_before_first_solve(self):
+        with PortfolioSolver(("cdcl", "cdcl-agile")) as solver:
+            solver.reset()
+            a = solver.new_var()
+            solver.add_clause([-a])
+            assert solver.solve() is True
+            assert solver.model_value(a) is False
+
+    def test_old_model_unavailable_after_reset(self):
+        with PortfolioSolver(("cdcl", "cdcl-agile")) as solver:
+            a = solver.new_var()
+            solver.add_clause([a])
+            assert solver.solve() is True
+            solver.reset()
+            with pytest.raises(SolverError):
+                solver.model_value(a)
+
+    def test_reset_after_close_respawns(self):
+        solver = PortfolioSolver(("cdcl", "cdcl-agile"))
+        try:
+            a = solver.new_var()
+            solver.add_clause([a])
+            assert solver.solve() is True
+            solver.close()
+            solver.reset()
+            b = solver.new_var()
+            solver.add_clause([b])
+            assert solver.solve() is True
+            assert solver.stats()["spawns"] == 2
+        finally:
+            solver.close()
+
+
+@pytest.mark.portfolio
+class TestSingleFleetAcrossDepths:
+    def test_seq_attack_builds_one_solver(self, monkeypatch):
+        """A deepening attack (naive lock at b=1 has no DIPs, so the
+        first candidate fails verification) spawns one portfolio fleet
+        and resets it per depth instead of respawning."""
+        import repro.attacks.seq_sat as seq_sat
+
+        built = []
+        original = seq_sat.make_attack_solver
+
+        def counting(**kwargs):
+            solver = original(**kwargs)
+            built.append(solver)
+            return solver
+
+        monkeypatch.setattr(seq_sat, "make_attack_solver", counting)
+        locked = naive_locked(kappa=2, seed=1)
+        result = attack_locked_circuit(locked, known_depth=1,
+                                       portfolio="cdcl,cdcl-agile",
+                                       attack_jobs=2)
+        assert result.success
+        assert result.key.as_int == locked.key.as_int
+        assert len(result.depths_tried) >= 2
+        assert len(built) == 1
+        stats = built[0].stats()
+        assert stats["spawns"] == 1
+        assert stats["resets"] == len(result.depths_tried) - 1
+
+    def test_serial_path_still_builds_per_depth_engine(self, monkeypatch):
+        """The default single-solver attack keeps its historical shape:
+        no shared solver, one engine per depth (byte-identical serial
+        behaviour)."""
+        import repro.attacks.seq_sat as seq_sat
+
+        shared = []
+        original = seq_sat.comb_sat_attack
+
+        def watching(*args, **kwargs):
+            shared.append(kwargs.get("solver"))
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(seq_sat, "comb_sat_attack", watching)
+        locked = naive_locked(kappa=2, seed=1)
+        result = attack_locked_circuit(locked, known_depth=1)
+        assert result.success
+        assert len(shared) >= 2
+        assert all(solver is None for solver in shared)
+
+    def test_racing_deepening_matches_serial_result(self):
+        locked = naive_locked(kappa=2, seed=4)
+        serial = attack_locked_circuit(locked, known_depth=1)
+        racing = attack_locked_circuit(locked, known_depth=1,
+                                       portfolio="cdcl,cdcl-agile",
+                                       attack_jobs=2)
+        assert serial.success and racing.success
+        assert serial.key.as_int == racing.key.as_int == locked.key.as_int
+        assert serial.depths_tried == racing.depths_tried
