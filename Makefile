@@ -3,7 +3,8 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke test-attacks campaign-demo matrix-demo bench
+.PHONY: test smoke test-attacks campaign-demo matrix-demo \
+	distributed-demo bench
 
 test:
 	$(PY) -m pytest -x -q
@@ -35,6 +36,12 @@ matrix-demo:
 	    --scheme "trilock?kappa_s=1..2" --scheme "harpoon?kappa=2" \
 	    --attack seq-sat --attack removal \
 	    --max-dips 512 --jobs 2 --cache-dir .repro-cache
+
+# Scale-out smoke: the same matrix grid through the local pool and
+# through the TCP scheduler + two loopback `repro-lock worker` agents,
+# asserting identical results and an all-hits warm rerun.
+distributed-demo:
+	$(PY) examples/distributed_smoke.py
 
 bench:
 	$(PY) -m pytest benchmarks -q

@@ -1,15 +1,19 @@
-"""Campaign-cache benchmark: a cold Table I campaign pays for the real
-SAT attack; the warm rerun is pure content-addressed cache hits and must
-be at least 5x faster while rendering a byte-identical table.  A second
-cell compares the cold single-solver attack against a solver portfolio
-in auto mode."""
+"""Campaign-cache and scale-out benchmarks: a cold Table I campaign pays
+for the real SAT attack; the warm rerun is pure content-addressed cache
+hits and must be at least 5x faster while rendering a byte-identical
+table.  Further cells compare the cold single-solver attack against a
+solver portfolio in auto mode, and the local pool against the
+distributed backend over two loopback workers (identical results;
+wall-clocks land in ``BENCH_campaign_scaleout.json``)."""
 
 import multiprocessing
 import tempfile
 import time
 
 from repro.bench.suite import load_suite_circuit
-from repro.campaign import Campaign
+from repro.campaign import Campaign, CellSpec, DistributedBackend, \
+    PoolBackend
+from repro.campaign.worker import run_worker
 from repro.core import TriLockConfig, lock
 from repro.experiments import table1_sat_resilience
 from repro.metrics import measure_resilience
@@ -18,7 +22,8 @@ from repro.sat import cpu_budget
 from conftest import run_once
 
 
-def test_campaign_warm_cache_speedup(benchmark, artifact_sink):
+def test_campaign_warm_cache_speedup(benchmark, artifact_sink,
+                                     bench_json_sink):
     with tempfile.TemporaryDirectory() as cache:
         start = time.perf_counter()
         cold = table1_sat_resilience.run(
@@ -40,6 +45,79 @@ def test_campaign_warm_cache_speedup(benchmark, artifact_sink):
             f"cold campaign: {cold_seconds:.2f}s\n"
             f"warm campaign: {warm_seconds:.3f}s (all cache hits)\n"
             f"speedup: {cold_seconds / warm_seconds:.0f}x\n")
+        bench_json_sink("campaign_cache", {
+            "workload": "table1 quick scale=0.08",
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "speedup": cold_seconds / warm_seconds,
+        })
+
+
+def bench_sleep_cell(tag, seconds):
+    """A deterministic, compute-shaped stand-in for an attack cell."""
+    time.sleep(seconds)
+    return {"tag": tag, "slept": seconds}
+
+
+def test_distributed_two_workers_matches_pool(benchmark, artifact_sink,
+                                              bench_json_sink):
+    """Scale-out cell: the same campaign through a 2-wide local pool and
+    through the distributed scheduler with two loopback single-core
+    workers must produce identical results, and the distributed run must
+    actually overlap cells (i.e. beat the serial sum) — the loopback
+    protocol overhead is bounded, not free."""
+    cell_seconds = 0.25
+    specs = [
+        CellSpec.make("bench_campaign:bench_sleep_cell",
+                      {"tag": tag, "seconds": cell_seconds},
+                      experiment="bench", label=f"sleep/{tag}")
+        for tag in range(8)
+    ]
+    serial_seconds = cell_seconds * len(specs)
+
+    start = time.perf_counter()
+    pool = Campaign(backend=PoolBackend(2)).run(specs)
+    pool_seconds = time.perf_counter() - start
+
+    backend = DistributedBackend(bind="127.0.0.1:0", min_workers=2)
+    workers = [
+        multiprocessing.Process(
+            target=run_worker, args=("%s:%d" % backend.address,),
+            kwargs={"cores": 1, "retry_for": 30.0, "name": f"bench{i}"})
+        for i in range(2)
+    ]
+    for worker in workers:
+        worker.start()
+    try:
+        start = time.perf_counter()
+        distributed = run_once(
+            benchmark, Campaign(backend=backend).run, specs)
+        distributed_seconds = time.perf_counter() - start
+    finally:
+        for worker in workers:
+            worker.join(timeout=15)
+            if worker.is_alive():
+                worker.terminate()
+        backend.close()
+
+    assert [r.value for r in distributed] == [r.value for r in pool]
+    assert [r.key for r in distributed] == [r.key for r in pool]
+    # Two single-core workers must overlap the cells: anything at or
+    # above the serial sum means the scheduler serialized the campaign.
+    assert distributed_seconds < serial_seconds * 0.9
+    artifact_sink(
+        "campaign_scaleout",
+        f"workload: 8 x {cell_seconds}s cells "
+        f"(serial sum {serial_seconds:.1f}s)\n"
+        f"pool --jobs 2:            {pool_seconds:.2f}s\n"
+        f"distributed (2 workers):  {distributed_seconds:.2f}s "
+        "(loopback TCP, scheduler-side cache writes)\n")
+    bench_json_sink("campaign_scaleout", {
+        "workload": f"8x{cell_seconds}s sleep cells",
+        "serial_sum_seconds": serial_seconds,
+        "pool_jobs2_seconds": pool_seconds,
+        "distributed_2workers_seconds": distributed_seconds,
+    })
 
 
 def test_attack_cell_portfolio_vs_single_solver(benchmark, artifact_sink):

@@ -8,6 +8,7 @@ EXPERIMENTS.md can be inspected after a run.
 
 from __future__ import annotations
 
+import json
 import os
 
 import pytest
@@ -31,6 +32,23 @@ def artifact_sink():
         path = os.path.join(base, f"{name}.txt")
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(text)
+        return path
+
+    return write
+
+
+@pytest.fixture
+def bench_json_sink():
+    """Write machine-readable benchmark numbers as ``BENCH_<name>.json``
+    next to the text artifacts, so successive runs can be diffed/tracked
+    (cold vs warm cache, pool vs distributed scale-out, ...)."""
+    def write(name, payload):
+        base = artifact_dir()
+        os.makedirs(base, exist_ok=True)
+        path = os.path.join(base, f"BENCH_{name}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
         return path
 
     return write

@@ -1,18 +1,32 @@
 """Parallel campaign runner with content-addressed result caching.
 
 Experiments express their work as lists of pure :class:`CellSpec` jobs;
-a :class:`Campaign` executes them inline or over a process pool, reading
-and writing finished values through a :class:`ResultStore` keyed by the
-SHA-256 of each cell's full configuration.
+a :class:`Campaign` executes them through a pluggable
+:class:`ExecutorBackend` — inline, a local process pool, or a
+distributed scheduler fanning cells out to remote ``repro-lock worker``
+agents — reading and writing finished values through a
+:class:`ResultStore` keyed by the SHA-256 of each cell's full
+configuration.
 """
 
+from repro.campaign.backends import (
+    DEFAULT_BIND,
+    ExecutorBackend,
+    InlineBackend,
+    PoolBackend,
+    backend_names,
+    register_executor_backend,
+    resolve_backend,
+)
 from repro.campaign.executor import Campaign, CellResult, resolve_cell_fn
 from repro.campaign.model import (
     CODE_VERSION,
     CellSpec,
     canonical_json,
     canonical_value,
+    engine_width,
 )
+from repro.campaign.scheduler import DistributedBackend, Scheduler
 from repro.campaign.store import (
     ResultStore,
     StoreStats,
@@ -22,14 +36,24 @@ from repro.campaign.store import (
 
 __all__ = [
     "CODE_VERSION",
+    "DEFAULT_BIND",
     "Campaign",
     "CellResult",
     "CellSpec",
+    "DistributedBackend",
+    "ExecutorBackend",
+    "InlineBackend",
+    "PoolBackend",
     "ResultStore",
+    "Scheduler",
     "StoreStats",
+    "backend_names",
     "canonical_json",
     "canonical_value",
     "default_cache_dir",
+    "engine_width",
+    "register_executor_backend",
     "render_status",
+    "resolve_backend",
     "resolve_cell_fn",
 ]

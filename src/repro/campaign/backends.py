@@ -1,0 +1,419 @@
+"""Pluggable campaign execution backends.
+
+A backend is the *execution policy* of a :class:`~repro.campaign.Campaign`:
+given the pending cells it fills in their :class:`CellResult` slots via
+``campaign.absorb`` and announces them in spec order via a
+:class:`SpecOrderReporter`.  Three policies ship built in:
+
+* :class:`InlineBackend` — cells run in this process, one after another
+  (no isolation, no timeout enforcement; Ctrl-C aborts cleanly);
+* :class:`PoolBackend` — a local pool of worker processes, one cell per
+  worker at a time, with true per-cell wall-clock timeouts: a cell that
+  exceeds its budget has its worker terminated and **replaced**, so the
+  rest of the campaign keeps running at full width;
+* :class:`DistributedBackend` (``repro.campaign.scheduler``) — a TCP
+  scheduler placing cells onto remote ``repro-lock worker`` agents as a
+  2-D resource ``(cells x in-cell workers)``.
+
+Third-party policies register through :func:`register_executor_backend`
+and are then addressable by name everywhere a backend string is
+accepted (``Campaign(backend=...)``, ``--backend`` on the CLIs).
+"""
+
+from __future__ import annotations
+
+import collections
+import importlib
+import multiprocessing
+import multiprocessing.connection
+import os
+import time
+import traceback
+
+from repro.errors import CampaignError
+# Re-exported for worker capacity defaults and CPU-share math: the
+# solver budget and the share denominator must count cores identically,
+# so there is exactly one implementation (next to cpu_budget).
+from repro.sat.backend import host_cores  # noqa: F401
+
+#: Default scheduler endpoint shared by `--bind` and `--connect`.
+DEFAULT_BIND = "127.0.0.1:7764"
+
+
+# ----------------------------------------------------------------------
+# Cell execution primitives (shared by every backend and the remote
+# worker agent)
+# ----------------------------------------------------------------------
+def resolve_cell_fn(path):
+    """Import and return the function named by ``"module:function"``."""
+    module_name, _, fn_name = path.partition(":")
+    if not module_name or not fn_name:
+        raise CampaignError(f"bad cell fn path {path!r}")
+    module = importlib.import_module(module_name)
+    try:
+        return getattr(module, fn_name)
+    except AttributeError:
+        raise CampaignError(f"{module_name} has no cell function {fn_name!r}")
+
+
+def _set_cpu_share(share):
+    """Publish how many sibling cell workers share this machine, so
+    in-cell auto solver races (``repro.sat.cpu_budget``) divide the CPUs
+    instead of each claiming all of them."""
+    os.environ["REPRO_CPU_SHARE"] = str(share)
+
+
+def kill_process(process, conn=None):
+    """Terminate a cell/worker subprocess, escalating to SIGKILL, and
+    close its pipe.  Shared by the pool and the remote worker agent so
+    teardown semantics cannot drift between backends."""
+    try:
+        process.terminate()
+    except OSError:  # pragma: no cover
+        pass
+    process.join(timeout=5)
+    if process.is_alive():  # pragma: no cover - SIGTERM ignored
+        process.kill()
+        process.join(timeout=5)
+    if conn is not None:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+def _execute_cell(fn_path, kwargs):
+    """Worker-side cell execution; never raises (errors are data)."""
+    start = time.perf_counter()
+    try:
+        fn = resolve_cell_fn(fn_path)
+        # Canonicalize through JSON so a fresh value is bit-identical to
+        # the same value read back from the cache on a later run.
+        from repro.campaign.model import canonical_value
+
+        value = canonical_value(fn(**kwargs))
+    except (KeyboardInterrupt, SystemExit):
+        # Never absorb an interrupt as a cell failure: inline campaigns
+        # must stay interruptible (Ctrl-C aborts, finished cells remain
+        # cached for resume).
+        raise
+    except BaseException as error:  # noqa: BLE001 - failure capture is the point
+        return failure_envelope(
+            time.perf_counter() - start, type(error).__name__, str(error),
+            traceback.format_exc())
+    return {"ok": True, "value": value,
+            "elapsed": time.perf_counter() - start}
+
+
+def failure_envelope(elapsed, error_type, message, tb=""):
+    """The captured-failure form of a cell envelope."""
+    return {
+        "ok": False,
+        "elapsed": elapsed,
+        "error": {"type": error_type, "message": message, "traceback": tb},
+    }
+
+
+def timeout_envelope(elapsed, cell_timeout):
+    """The envelope recorded for a cell that exceeded its budget."""
+    return failure_envelope(
+        elapsed, "TimeoutError",
+        f"cell exceeded {cell_timeout}s budget")
+
+
+class SpecOrderReporter:
+    """Announce results in spec order as the filled prefix grows.
+
+    Cell ``i`` is always reported before cell ``i+1`` even when a later
+    cell finished first on another worker or host.
+    """
+
+    def __init__(self, campaign, results):
+        self._campaign = campaign
+        self._results = results
+        self._next = 0
+
+    def flush(self):
+        total = len(self._results)
+        while self._next < total and self._results[self._next] is not None:
+            self._campaign.report(self._next, total,
+                                  self._results[self._next])
+            self._next += 1
+
+
+# ----------------------------------------------------------------------
+# The backend interface + registry
+# ----------------------------------------------------------------------
+class ExecutorBackend:
+    """Execution policy: run the pending cells of a campaign.
+
+    ``execute`` must fill ``results[index]`` for every ``index`` in
+    ``pending`` (via ``campaign.absorb``) and report progress in spec
+    order; it must capture every cell failure as data rather than
+    raising.  ``enforces_timeout`` declares whether the policy can bound
+    a running cell's wall clock (the inline backend cannot).
+    """
+
+    name = "?"
+    enforces_timeout = False
+
+    def execute(self, campaign, specs, keys, pending, results):
+        raise NotImplementedError
+
+
+class InlineBackend(ExecutorBackend):
+    """Cells run in this process, sequentially, to completion."""
+
+    name = "inline"
+    enforces_timeout = False
+
+    def execute(self, campaign, specs, keys, pending, results):
+        reporter = SpecOrderReporter(campaign, results)
+        reporter.flush()
+        for index in pending:
+            envelope = _execute_cell(specs[index].fn, specs[index].kwargs())
+            results[index] = campaign.absorb(specs[index], keys[index],
+                                             envelope)
+            reporter.flush()
+
+
+# ----------------------------------------------------------------------
+# Local process pool
+# ----------------------------------------------------------------------
+def _pool_worker_main(conn, share):
+    """Worker loop: receive ``(index, fn, kwargs)``, send the envelope."""
+    _set_cpu_share(share)
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            return
+        if task is None:
+            return
+        index, fn_path, kwargs = task
+        try:
+            conn.send((index, _execute_cell(fn_path, kwargs)))
+        except (KeyboardInterrupt, SystemExit):
+            return
+        except (BrokenPipeError, OSError):
+            return
+
+
+class _PoolWorker:
+    """One pool slot: a worker process plus its duplex pipe."""
+
+    def __init__(self, context, share):
+        self.conn, child = multiprocessing.Pipe()
+        self.process = context.Process(
+            target=_pool_worker_main, args=(child, share))
+        self.process.start()
+        child.close()
+        self.task_index = None
+        self.started = None
+        self.deadline = None
+
+    @property
+    def busy(self):
+        return self.task_index is not None
+
+    def assign(self, index, spec, cell_timeout):
+        self.conn.send((index, spec.fn, spec.kwargs()))
+        self.task_index = index
+        self.started = time.monotonic()
+        self.deadline = None if cell_timeout is None \
+            else self.started + cell_timeout
+
+    def clear(self):
+        self.task_index = None
+        self.started = None
+        self.deadline = None
+
+    def kill(self):
+        kill_process(self.process, self.conn)
+
+
+class PoolBackend(ExecutorBackend):
+    """A pool of local worker processes, one cell per worker at a time.
+
+    Timeouts are true per-cell wall clocks, measured from dispatch and
+    enforced while the cell runs: an over-budget cell's worker is
+    terminated and immediately replaced by a fresh one (counted in
+    ``replacements``), so a single diverging cell costs one slot for
+    ``cell_timeout`` seconds — not for the rest of the campaign.  A
+    worker that dies mid-cell is likewise captured as that cell's
+    failure and replaced.
+    """
+
+    name = "pool"
+    enforces_timeout = True
+
+    def __init__(self, jobs=2):
+        if jobs < 1:
+            raise CampaignError(f"pool jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.replacements = 0
+
+    def execute(self, campaign, specs, keys, pending, results):
+        reporter = SpecOrderReporter(campaign, results)
+        reporter.flush()
+        context = multiprocessing.get_context()
+        queue = collections.deque(pending)
+        share = min(self.jobs, len(queue))
+        workers = [_PoolWorker(context, share) for _ in range(share)]
+        outstanding = len(queue)
+
+        def finish(index, envelope):
+            nonlocal outstanding
+            results[index] = campaign.absorb(specs[index], keys[index],
+                                             envelope)
+            outstanding -= 1
+            reporter.flush()
+
+        def replace(worker):
+            workers.remove(worker)
+            worker.kill()
+            if queue:
+                # Remaining cells keep running at full width.
+                workers.append(_PoolWorker(context, share))
+                self.replacements += 1
+
+        try:
+            while outstanding:
+                self._assign(workers, queue, specs, campaign.cell_timeout,
+                             context, share)
+                busy = [w for w in workers if w.busy]
+                ready = multiprocessing.connection.wait(
+                    [w.conn for w in busy],
+                    timeout=self._wait_timeout(busy))
+                for conn in ready:
+                    worker = next(w for w in busy if w.conn is conn)
+                    index = worker.task_index
+                    try:
+                        _, envelope = worker.conn.recv()
+                    except (EOFError, OSError):
+                        envelope = failure_envelope(
+                            time.monotonic() - worker.started, "WorkerDied",
+                            f"pool worker (pid {worker.process.pid}) exited "
+                            "while computing this cell")
+                        replace(worker)
+                    else:
+                        worker.clear()
+                    finish(index, envelope)
+                now = time.monotonic()
+                for worker in list(workers):
+                    if worker.busy and worker.deadline is not None \
+                            and now >= worker.deadline:
+                        index = worker.task_index
+                        replace(worker)
+                        finish(index, timeout_envelope(
+                            now - worker.started, campaign.cell_timeout))
+        finally:
+            self._shutdown(workers)
+
+    def _assign(self, workers, queue, specs, cell_timeout, context, share):
+        for slot, worker in enumerate(list(workers)):
+            if worker.busy or not queue:
+                continue
+            index = queue.popleft()
+            try:
+                worker.assign(index, specs[index], cell_timeout)
+            except (BrokenPipeError, OSError):
+                # Died while idle: requeue the cell, stand up a fresh
+                # worker, and let the next loop iteration dispatch it.
+                queue.appendleft(index)
+                worker.kill()
+                workers[slot] = _PoolWorker(context, share)
+                self.replacements += 1
+
+    @staticmethod
+    def _wait_timeout(busy):
+        deadlines = [w.deadline for w in busy if w.deadline is not None]
+        if not deadlines:
+            return 0.5
+        return min(0.5, max(0.0, min(deadlines) - time.monotonic()))
+
+    @staticmethod
+    def _shutdown(workers):
+        # Busy workers are killed rather than awaited: a hung cell (or
+        # an aborted campaign) must not block interpreter exit.
+        for worker in workers:
+            if worker.busy:
+                worker.kill()
+                continue
+            try:
+                worker.conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in workers:
+            if not worker.busy:
+                worker.process.join(timeout=5)
+                if worker.process.is_alive():  # pragma: no cover
+                    worker.kill()
+                try:
+                    worker.conn.close()
+                except OSError:  # pragma: no cover
+                    pass
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+def _make_distributed(jobs):
+    from repro.campaign.scheduler import DistributedBackend
+
+    if jobs > 1:
+        raise CampaignError(
+            "the distributed backend takes its concurrency from the "
+            "registered workers; drop jobs=N (use --workers to wait for "
+            "a minimum fleet instead)")
+    return DistributedBackend()
+
+
+def _make_inline(jobs):
+    if jobs > 1:
+        raise CampaignError(
+            f"backend 'inline' is single-process; it cannot honor jobs={jobs}"
+            " (pick the pool backend instead)")
+    return InlineBackend()
+
+
+_BACKENDS = {
+    "inline": _make_inline,
+    "pool": lambda jobs: PoolBackend(max(1, jobs)),
+    "distributed": _make_distributed,
+}
+
+
+def backend_names():
+    """The registered executor backend names, sorted."""
+    return tuple(sorted(_BACKENDS))
+
+
+def register_executor_backend(name, factory, replace=False):
+    """Publish ``factory(jobs) -> ExecutorBackend`` under ``name``."""
+    if name in _BACKENDS and not replace:
+        raise CampaignError(f"executor backend {name!r} already registered")
+    _BACKENDS[name] = factory
+
+
+def resolve_backend(backend, jobs=1):
+    """The :class:`ExecutorBackend` for a ``Campaign``.
+
+    ``backend`` may be an instance (returned as-is), a registered name,
+    or ``None`` — the historical policy: inline for ``jobs=1``, a
+    ``jobs``-wide pool otherwise.
+    """
+    if isinstance(backend, ExecutorBackend):
+        return backend
+    if backend is None:
+        return InlineBackend() if jobs == 1 else PoolBackend(jobs)
+    if isinstance(backend, str):
+        factory = _BACKENDS.get(backend)
+        if factory is None:
+            known = ", ".join(backend_names())
+            raise CampaignError(
+                f"unknown campaign backend {backend!r} (known: {known})")
+        return factory(jobs)
+    raise CampaignError(
+        f"backend must be a name or an ExecutorBackend, got "
+        f"{type(backend).__name__}")

@@ -1,4 +1,4 @@
-"""Campaign execution: serial or process-pool, cached, failure-isolated.
+"""Campaign execution: cached, failure-isolated, backend-pluggable.
 
 :class:`Campaign` turns a list of :class:`~repro.campaign.model.CellSpec`
 into a list of :class:`CellResult` in spec order.  Finished values are
@@ -8,70 +8,29 @@ cell failure (exception, unpicklable result, timeout, dead worker) is
 captured in its result instead of raised, so one diverging SAT cell
 cannot sink a 300-cell sweep.
 
-Progress is reported in spec order through an optional callback — cell
-``i`` is always announced before cell ``i+1`` even when a later cell
-finished first on another worker.
+*How* the pending cells run is an
+:class:`~repro.campaign.backends.ExecutorBackend` — inline, a local
+process pool, or a distributed scheduler fanning cells out to remote
+workers; the caching, failure-capture, and spec-order progress
+semantics are identical across all of them.
 """
 
 from __future__ import annotations
 
-import concurrent.futures
-import importlib
-import os
-import time
-import traceback
+import warnings
 from dataclasses import dataclass
 
-from repro.campaign.model import CODE_VERSION, canonical_value
+from repro.campaign.backends import (
+    SpecOrderReporter,
+    _execute_cell,
+    resolve_backend,
+    resolve_cell_fn,
+)
+from repro.campaign.model import CODE_VERSION
 from repro.campaign.store import ResultStore
-from repro.errors import CampaignError
+from repro.errors import CampaignError, CampaignWarning
 
-
-def resolve_cell_fn(path):
-    """Import and return the function named by ``"module:function"``."""
-    module_name, _, fn_name = path.partition(":")
-    if not module_name or not fn_name:
-        raise CampaignError(f"bad cell fn path {path!r}")
-    module = importlib.import_module(module_name)
-    try:
-        return getattr(module, fn_name)
-    except AttributeError:
-        raise CampaignError(f"{module_name} has no cell function {fn_name!r}")
-
-
-def _set_cpu_share(share):
-    """Pool-worker initializer: publish how many sibling cell workers
-    share this machine, so in-cell auto solver races
-    (``repro.sat.cpu_budget``) divide the CPUs instead of each claiming
-    all of them."""
-    os.environ["REPRO_CPU_SHARE"] = str(share)
-
-
-def _execute_cell(fn_path, kwargs):
-    """Worker-side cell execution; never raises (errors are data)."""
-    start = time.perf_counter()
-    try:
-        fn = resolve_cell_fn(fn_path)
-        # Canonicalize through JSON so a fresh value is bit-identical to
-        # the same value read back from the cache on a later run.
-        value = canonical_value(fn(**kwargs))
-    except (KeyboardInterrupt, SystemExit):
-        # Never absorb an interrupt as a cell failure: inline campaigns
-        # must stay interruptible (Ctrl-C aborts, finished cells remain
-        # cached for resume).
-        raise
-    except BaseException as error:  # noqa: BLE001 - failure capture is the point
-        return {
-            "ok": False,
-            "elapsed": time.perf_counter() - start,
-            "error": {
-                "type": type(error).__name__,
-                "message": str(error),
-                "traceback": traceback.format_exc(),
-            },
-        }
-    return {"ok": True, "value": value,
-            "elapsed": time.perf_counter() - start}
+__all__ = ["Campaign", "CellResult", "resolve_cell_fn", "_execute_cell"]
 
 
 @dataclass
@@ -101,21 +60,22 @@ class Campaign:
     """Execution policy for a batch of cells.
 
     ``jobs`` — worker processes (1 = inline, no pool);
+    ``backend`` — an execution policy name (``inline``/``pool``/
+    ``distributed``) or :class:`ExecutorBackend` instance; defaults to
+    inline for ``jobs=1``, a ``jobs``-wide local pool otherwise;
     ``cache_dir``/``store`` — result cache (None = always recompute);
-    ``cell_timeout`` — bound on waiting for one cell's result, assessed
-    in spec order (pool mode only; inline cells run to completion).
-    This is a coarse campaign-liveness guard — a diverging cell costs at
-    most ``cell_timeout`` extra wall-clock once collection reaches it,
-    but concurrent runtime absorbed while earlier cells were collected
-    does not count, and a hung cell keeps occupying its worker slot
-    until the campaign ends.  For precise budgets use the attack-level
-    knobs (e.g. Table I's ``time_budget_per_cell``), which cells enforce
-    cooperatively;
+    ``cell_timeout`` — wall-clock bound on one running cell, enforced by
+    the pool (terminate-and-replace the worker) and distributed
+    (scheduler-side cancel) backends.  The inline backend cannot
+    interrupt a cell in its own process, so there the timeout is
+    ineffective and construction emits a :class:`CampaignWarning`.  For
+    precise budgets use the attack-level knobs (e.g. Table I's
+    ``time_budget_per_cell``), which cells enforce cooperatively;
     ``progress`` — callback ``(index, total, CellResult)``.
     """
 
     def __init__(self, jobs=1, cache_dir=None, store=None, cell_timeout=None,
-                 progress=None, salt=CODE_VERSION):
+                 progress=None, salt=CODE_VERSION, backend=None):
         if jobs < 1:
             raise CampaignError(f"jobs must be >= 1, got {jobs}")
         if store is None and cache_dir is not None:
@@ -125,6 +85,14 @@ class Campaign:
         self.cell_timeout = cell_timeout
         self.progress = progress
         self.salt = salt
+        self.backend = resolve_backend(backend, jobs=jobs)
+        if cell_timeout is not None and not self.backend.enforces_timeout:
+            warnings.warn(
+                f"cell_timeout={cell_timeout} has no effect on the "
+                f"'{self.backend.name}' backend: cells run in this process "
+                "and cannot be interrupted; use jobs >= 2, "
+                "backend='pool', or backend='distributed' to enforce it",
+                CampaignWarning, stacklevel=2)
 
     # ------------------------------------------------------------------
     def run(self, specs):
@@ -142,12 +110,9 @@ class Campaign:
                 pending.append(index)
 
         if not pending:
-            self._report_all(results)
+            SpecOrderReporter(self, results).flush()
             return results
-        if self.jobs == 1:
-            self._run_inline(specs, keys, pending, results)
-        else:
-            self._run_pool(specs, keys, pending, results)
+        self.backend.execute(self, specs, keys, pending, results)
         return results
 
     def values(self, specs, allow_failures=False):
@@ -173,79 +138,13 @@ class Campaign:
         return self.store.stats
 
     # ------------------------------------------------------------------
-    def _run_inline(self, specs, keys, pending, results):
-        for index in range(len(specs)):
-            if results[index] is None:
-                envelope = _execute_cell(specs[index].fn,
-                                         specs[index].kwargs())
-                results[index] = self._absorb(specs[index], keys[index],
-                                              envelope)
-            self._report(index, len(specs), results[index])
-
-    def _run_pool(self, specs, keys, pending, results):
-        # Workers are killed rather than awaited when a cell timed out or
-        # the campaign is aborted (Ctrl-C): a hung cell would otherwise
-        # block shutdown (and interpreter exit) indefinitely.
-        kill_workers = True
-        workers = min(self.jobs, len(pending))
-        pool = concurrent.futures.ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_set_cpu_share, initargs=(workers,))
-        try:
-            futures = {
-                index: pool.submit(_execute_cell, specs[index].fn,
-                                   specs[index].kwargs())
-                for index in pending
-            }
-            timed_out = False
-            for index in range(len(specs)):
-                if results[index] is None:
-                    results[index] = self._collect(
-                        specs[index], keys[index], futures[index])
-                    timed_out = timed_out or \
-                        results[index].status == "timeout"
-                self._report(index, len(specs), results[index])
-            kill_workers = timed_out
-        finally:
-            if kill_workers:
-                for process in dict(getattr(pool, "_processes", None)
-                                    or {}).values():
-                    try:
-                        process.terminate()
-                    except OSError:  # pragma: no cover
-                        pass
-            pool.shutdown(wait=True, cancel_futures=True)
-
-    def _collect(self, spec, key, future):
-        start = time.perf_counter()
-        try:
-            envelope = future.result(timeout=self.cell_timeout)
-        except (KeyboardInterrupt, SystemExit):
-            raise
-        except concurrent.futures.TimeoutError:
-            future.cancel()
-            envelope = {
-                "ok": False,
-                "elapsed": time.perf_counter() - start,
-                "error": {
-                    "type": "TimeoutError",
-                    "message": f"cell exceeded {self.cell_timeout}s budget",
-                    "traceback": "",
-                },
-            }
-        except BaseException as error:  # worker died, broken pool, ...
-            envelope = {
-                "ok": False,
-                "elapsed": time.perf_counter() - start,
-                "error": {
-                    "type": type(error).__name__,
-                    "message": str(error),
-                    "traceback": traceback.format_exc(),
-                },
-            }
-        return self._absorb(spec, key, envelope)
-
-    def _absorb(self, spec, key, envelope):
+    # Backend surface
+    # ------------------------------------------------------------------
+    def absorb(self, spec, key, envelope):
+        """Turn a cell envelope into a :class:`CellResult`, persisting
+        successful values through the store (backends call this on the
+        campaign side, so distributed runs write the shared cache from
+        one place)."""
         if envelope["ok"]:
             value = envelope["value"]
             if self.store is not None:
@@ -256,10 +155,6 @@ class Campaign:
         return CellResult(spec=spec, key=key, error=envelope["error"],
                           elapsed=envelope["elapsed"])
 
-    def _report(self, index, total, result):
+    def report(self, index, total, result):
         if self.progress is not None:
             self.progress(index, total, result)
-
-    def _report_all(self, results):
-        for index, result in enumerate(results):
-            self._report(index, len(results), result)

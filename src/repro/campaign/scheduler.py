@@ -1,0 +1,470 @@
+"""TCP scheduler for distributed campaigns.
+
+The :class:`DistributedBackend` turns a campaign's pending cells into
+JSON envelopes and places them onto remote ``repro-lock worker`` agents
+(:mod:`repro.campaign.worker`) over a line-framed JSON protocol
+(:mod:`repro.campaign.wire`):
+
+* worker → scheduler: ``register`` (advertised cores), ``heartbeat``,
+  ``result`` (the cell's failure-capture envelope);
+* scheduler → worker: ``welcome`` (heartbeat interval), ``cell``
+  (fn path, canonical kwargs — spec strings included — cache key, salt,
+  width, cpu_share), ``cancel``, ``shutdown``.
+
+Placement is 2-D: every cell declares its in-cell width
+(``CellSpec.width()`` — the ``attack_jobs``/portfolio size), and the
+scheduler packs cells onto workers by free cores so the sum of placed
+widths never exceeds a worker's advertised capacity (a cell wider than
+any worker runs alone on a fully idle one).  Each placement ships a
+``cpu_share`` so worker-side solver auto-sizing
+(``repro.sat.cpu_budget``) stays honest about its slice of the host.
+
+Failure model: per-cell timeouts are enforced scheduler-side (the cell
+is cancelled on its worker and recorded as a timeout, exactly like the
+pool backend); a worker that disconnects or stops heartbeating has its
+in-flight cells **requeued** onto the remaining fleet, so killing a
+worker mid-campaign loses no cells.  Results are absorbed scheduler-side
+through the campaign's shared :class:`~repro.campaign.store.ResultStore`,
+so a cache dir on shared storage keeps working unchanged.
+"""
+
+from __future__ import annotations
+
+import collections
+import selectors
+import socket
+import time
+from dataclasses import dataclass
+
+from repro.campaign.backends import (
+    DEFAULT_BIND,
+    ExecutorBackend,
+    SpecOrderReporter,
+    failure_envelope,
+    timeout_envelope,
+)
+from repro.campaign.wire import (
+    MessageBuffer,
+    format_address,
+    parse_hostport,
+    send_message,
+)
+from repro.errors import CampaignError
+
+#: Interval (seconds) the welcome message asks workers to heartbeat at.
+HEARTBEAT_INTERVAL = 2.0
+
+#: Default multiple of silence after which a worker is declared dead.
+DEFAULT_HEARTBEAT_TIMEOUT = 15.0
+
+#: Times one cell may be (re)placed before a lost worker fails it for
+#: good — a cell that keeps killing its workers must not wipe the fleet.
+MAX_ATTEMPTS = 3
+
+
+@dataclass(frozen=True)
+class _Task:
+    """One pending cell as the scheduler sees it."""
+
+    index: int
+    fn: str
+    kwargs: dict
+    key: str
+    width: int
+    label: str
+
+
+@dataclass
+class _Assignment:
+    """One cell in flight on a worker."""
+
+    task: _Task
+    consumed: int
+    started: float
+    deadline: float
+
+
+class _WorkerState:
+    """Scheduler-side view of one connected worker."""
+
+    def __init__(self, sock, address):
+        self.sock = sock
+        self.address = address
+        self.buffer = MessageBuffer()
+        self.name = format_address(address)
+        self.cores = 0
+        self.free = 0
+        self.assigned = {}
+        self.last_seen = time.monotonic()
+        self.registered = False
+
+    def touch(self):
+        self.last_seen = time.monotonic()
+
+
+class Scheduler:
+    """Place tasks onto registered workers; deliver result envelopes.
+
+    The scheduler owns an already-listening socket (so callers can learn
+    the bound port before any worker starts) and runs a single-threaded
+    ``selectors`` event loop inside :meth:`run` until every task has a
+    delivered envelope.
+    """
+
+    def __init__(self, listen_sock, *, min_workers=1,
+                 heartbeat_timeout=DEFAULT_HEARTBEAT_TIMEOUT,
+                 cell_timeout=None, salt="", on_event=None):
+        if min_workers < 1:
+            raise CampaignError(
+                f"min_workers must be >= 1, got {min_workers}")
+        self._listen = listen_sock
+        self.min_workers = min_workers
+        self.heartbeat_timeout = heartbeat_timeout
+        self.cell_timeout = cell_timeout
+        self.salt = salt
+        self._on_event = on_event
+        self._workers = {}          # sock -> _WorkerState
+        self._queue = collections.deque()
+        self._next_id = 0
+        self._attempts = {}         # task index -> placements so far
+        self._sel = None
+        self._deliver = None
+        self._outstanding = 0
+        self._dispatching = False
+
+    # ------------------------------------------------------------------
+    def run(self, tasks, deliver):
+        """Execute every task; calls ``deliver(index, envelope)`` once
+        per task (in completion order — the caller re-orders)."""
+        self._queue = collections.deque(tasks)
+        self._deliver = deliver
+        self._outstanding = len(self._queue)
+        self._attempts = {}
+        self._dispatching = False
+        self._sel = selectors.DefaultSelector()
+        self._listen.setblocking(False)
+        self._sel.register(self._listen, selectors.EVENT_READ, "listen")
+        self._event(
+            f"scheduler on {format_address(self._listen.getsockname())}: "
+            f"{self._outstanding} cells queued, waiting for "
+            f"{self.min_workers} worker(s)")
+        try:
+            while self._outstanding:
+                for key, _ in self._sel.select(timeout=self._poll_timeout()):
+                    if key.data == "listen":
+                        self._accept()
+                    else:
+                        self._service(self._workers[key.fileobj])
+                self._reap_stale()
+                self._enforce_timeouts()
+                self._maybe_dispatch()
+        finally:
+            self._close_all()
+
+    # ------------------------------------------------------------------
+    def _event(self, message):
+        if self._on_event is not None:
+            self._on_event(message)
+
+    def _poll_timeout(self):
+        timeout = 0.5
+        if self.cell_timeout is not None:
+            now = time.monotonic()
+            for worker in self._workers.values():
+                for item in worker.assigned.values():
+                    timeout = min(timeout, max(0.0, item.deadline - now))
+        return timeout
+
+    def _accept(self):
+        try:
+            sock, address = self._listen.accept()
+        except OSError:  # pragma: no cover - accept raced a reset
+            return
+        sock.setblocking(True)
+        worker = _WorkerState(sock, address)
+        self._workers[sock] = worker
+        self._sel.register(sock, selectors.EVENT_READ, "worker")
+
+    def _service(self, worker):
+        try:
+            data = worker.sock.recv(65536)
+        except OSError:
+            data = b""
+        if not data:
+            self._drop(worker, "connection closed")
+            return
+        worker.touch()
+        try:
+            messages = worker.buffer.feed(data)
+        except CampaignError as error:
+            self._drop(worker, str(error))
+            return
+        for message in messages:
+            self._handle(worker, message)
+
+    def _handle(self, worker, message):
+        kind = message.get("type")
+        if kind == "register":
+            worker.cores = max(1, int(message.get("cores") or 1))
+            worker.free = worker.cores
+            worker.name = str(message.get("name") or worker.name)
+            worker.registered = True
+            self._event(f"worker {worker.name} joined "
+                        f"({worker.cores} cores)")
+            self._send(worker, {"type": "welcome",
+                                "heartbeat": HEARTBEAT_INTERVAL})
+        elif kind == "result":
+            item = worker.assigned.pop(message.get("id"), None)
+            if item is None:
+                # Late result for a cell already timed out or requeued
+                # after this worker was presumed dead — drop it.
+                return
+            worker.free += item.consumed
+            self._finish(item.task, message.get("envelope"))
+        elif kind == "heartbeat":
+            pass  # the recv itself refreshed last_seen
+        else:
+            self._event(f"worker {worker.name}: ignoring unknown "
+                        f"message type {kind!r}")
+
+    def _finish(self, task, envelope):
+        if not isinstance(envelope, dict) or "ok" not in envelope:
+            envelope = failure_envelope(
+                0.0, "CampaignError",
+                f"worker returned a malformed envelope for {task.label}")
+        self._outstanding -= 1
+        self._deliver(task.index, envelope)
+
+    def _send(self, worker, message):
+        try:
+            send_message(worker.sock, message)
+            return True
+        except OSError:
+            self._drop(worker, "send failed")
+            return False
+
+    def _drop(self, worker, reason):
+        if worker.sock not in self._workers:
+            return
+        del self._workers[worker.sock]
+        try:
+            self._sel.unregister(worker.sock)
+        except (KeyError, ValueError):  # pragma: no cover
+            pass
+        try:
+            worker.sock.close()
+        except OSError:  # pragma: no cover
+            pass
+        in_flight = [item.task for item in worker.assigned.values()]
+        worker.assigned.clear()
+        # Requeue ahead of untouched work: these cells were already
+        # scheduled once and spec-order consumers are waiting on them.
+        # A cell that has burned through MAX_ATTEMPTS workers is almost
+        # certainly *killing* them (e.g. an unshippable result) — fail
+        # it instead of letting it wipe the fleet and hang the campaign.
+        requeued = 0
+        for task in reversed(in_flight):
+            if self._attempts.get(task.index, 0) >= MAX_ATTEMPTS:
+                self._finish(task, failure_envelope(
+                    0.0, "WorkerLost",
+                    f"cell lost its worker {MAX_ATTEMPTS} times in a row "
+                    f"(last: {reason}); not requeueing it again"))
+            else:
+                self._queue.appendleft(task)
+                requeued += 1
+        suffix = f", {requeued} cells requeued" if requeued else ""
+        self._event(f"worker {worker.name} lost ({reason}){suffix}")
+
+    def _reap_stale(self):
+        horizon = time.monotonic() - self.heartbeat_timeout
+        for worker in list(self._workers.values()):
+            if worker.last_seen < horizon:
+                self._drop(worker, "heartbeat timeout")
+
+    def _enforce_timeouts(self):
+        if self.cell_timeout is None:
+            return
+        now = time.monotonic()
+        for worker in list(self._workers.values()):
+            for cell_id, item in list(worker.assigned.items()):
+                if now < item.deadline:
+                    continue
+                if worker.assigned.pop(cell_id, None) is None:
+                    continue  # worker dropped mid-sweep; already requeued
+                worker.free += item.consumed
+                alive = self._send(worker, {"type": "cancel", "id": cell_id})
+                # The popped cell still timed out — deliver its envelope
+                # even when the cancel send just dropped the worker (the
+                # drop requeued only the cells still assigned).
+                self._finish(item.task, timeout_envelope(
+                    now - item.started, self.cell_timeout))
+                if not alive:
+                    break
+
+    # ------------------------------------------------------------------
+    # 2-D placement
+    # ------------------------------------------------------------------
+    def _maybe_dispatch(self):
+        if not self._dispatching:
+            registered = sum(1 for w in self._workers.values()
+                             if w.registered)
+            if registered < self.min_workers:
+                return
+            self._dispatching = True
+            self._event(f"{registered} worker(s) registered, dispatching")
+        self._place()
+
+    def _place(self):
+        unplaced = collections.deque()
+        while self._queue:
+            task = self._queue.popleft()
+            worker = self._pick_worker(task.width)
+            if worker is None or not self._dispatch(worker, task):
+                unplaced.append(task)
+        self._queue = unplaced
+
+    def _pick_worker(self, width):
+        """The most-free worker that can hold ``width`` more cores.
+
+        A cell wider than every worker's capacity is placed alone on a
+        fully idle worker (consuming all its cores) — capacity clamps
+        reality, it never strands work.
+        """
+        best = None
+        for worker in self._workers.values():
+            if not worker.registered:
+                continue
+            consumed = min(width, worker.cores)
+            if worker.free < consumed:
+                continue
+            if width > worker.cores and worker.free < worker.cores:
+                continue  # over-wide cells run alone
+            if best is None or worker.free > best.free:
+                best = worker
+        return best
+
+    def _dispatch(self, worker, task):
+        consumed = min(task.width, worker.cores)
+        cell_id = self._next_id
+        self._next_id += 1
+        self._attempts[task.index] = self._attempts.get(task.index, 0) + 1
+        # `cores` is the placement's grant in *advertised* units; the
+        # worker converts it into REPRO_CPU_SHARE against its real host
+        # CPU count, so solver auto-sizing sees exactly this many cores
+        # even when --cores understates (or overstates) the hardware.
+        sent = self._send(worker, {
+            "type": "cell",
+            "id": cell_id,
+            "fn": task.fn,
+            "kwargs": task.kwargs,
+            "key": task.key,
+            "salt": self.salt,
+            "label": task.label,
+            "width": task.width,
+            "cores": consumed,
+        })
+        if not sent:
+            return False
+        now = time.monotonic()
+        deadline = float("inf") if self.cell_timeout is None \
+            else now + self.cell_timeout
+        worker.assigned[cell_id] = _Assignment(
+            task=task, consumed=consumed, started=now, deadline=deadline)
+        worker.free -= consumed
+        return True
+
+    def _close_all(self):
+        for worker in list(self._workers.values()):
+            try:
+                send_message(worker.sock, {"type": "shutdown"}, timeout=2.0)
+            except OSError:
+                pass
+            try:
+                self._sel.unregister(worker.sock)
+            except (KeyError, ValueError):  # pragma: no cover
+                pass
+            try:
+                worker.sock.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._workers.clear()
+        try:
+            self._sel.unregister(self._listen)
+        except (KeyError, ValueError):  # pragma: no cover
+            pass
+        self._sel.close()
+
+
+class DistributedBackend(ExecutorBackend):
+    """Campaign execution across remote ``repro-lock worker`` agents.
+
+    The backend binds ``bind`` lazily (``"host:0"`` picks an ephemeral
+    port — read :attr:`address` to learn it) and keeps listening across
+    ``execute`` calls, so a warm rerun on the same campaign reuses the
+    endpoint.  ``min_workers`` holds dispatch until that many workers
+    registered; workers joining later still receive work.
+    """
+
+    name = "distributed"
+    enforces_timeout = True
+
+    def __init__(self, bind=DEFAULT_BIND, min_workers=1,
+                 heartbeat_timeout=DEFAULT_HEARTBEAT_TIMEOUT, on_event=None):
+        self._bind = parse_hostport(bind, what="scheduler bind address")
+        self.min_workers = min_workers
+        self.heartbeat_timeout = heartbeat_timeout
+        self.on_event = on_event
+        self._listen = None
+
+    @property
+    def address(self):
+        """The bound ``(host, port)``; binds the socket on first use."""
+        return self._ensure_listening().getsockname()[:2]
+
+    def _ensure_listening(self):
+        if self._listen is None:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            try:
+                sock.bind(self._bind)
+            except OSError as error:
+                sock.close()
+                raise CampaignError(
+                    f"cannot bind scheduler to "
+                    f"{format_address(self._bind)}: {error}")
+            sock.listen(64)
+            self._listen = sock
+        return self._listen
+
+    def execute(self, campaign, specs, keys, pending, results):
+        reporter = SpecOrderReporter(campaign, results)
+        reporter.flush()
+        tasks = [
+            _Task(index=index, fn=specs[index].fn,
+                  kwargs=specs[index].kwargs(), key=keys[index],
+                  width=specs[index].width(),
+                  label=specs[index].describe())
+            for index in pending
+        ]
+        scheduler = Scheduler(
+            self._ensure_listening(), min_workers=self.min_workers,
+            heartbeat_timeout=self.heartbeat_timeout,
+            cell_timeout=campaign.cell_timeout, salt=campaign.salt,
+            on_event=self.on_event)
+
+        def deliver(index, envelope):
+            results[index] = campaign.absorb(specs[index], keys[index],
+                                             envelope)
+            reporter.flush()
+
+        scheduler.run(tasks, deliver)
+        reporter.flush()
+
+    def close(self):
+        """Stop listening (idempotent)."""
+        if self._listen is not None:
+            try:
+                self._listen.close()
+            except OSError:  # pragma: no cover
+                pass
+            self._listen = None

@@ -1,0 +1,115 @@
+"""JSON-lines framing for the distributed campaign protocol.
+
+Scheduler and workers exchange newline-delimited JSON messages over a
+plain TCP socket — one JSON object per line, UTF-8, no length prefix.
+The format is deliberately debuggable with ``nc``/``telnet`` and keeps
+the wire layer free of pickle (a worker never unpickles scheduler
+bytes, and vice versa).
+
+Messages never sort keys: cell values round-trip through
+:func:`repro.campaign.model.canonical_value`, whose dict-order
+preservation is what keeps rendered table columns byte-identical across
+backends, and a sorting serializer would destroy that on the wire.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+
+from repro.errors import CampaignError
+
+#: Upper bound on one framed message (a cell value is a JSON dict of
+#: metrics, not a bulk artifact); a peer exceeding it is dropped rather
+#: than allowed to balloon the buffer.
+MAX_MESSAGE_BYTES = 64 * 1024 * 1024
+
+
+def parse_hostport(text, what="address"):
+    """``(host, port)`` from ``"HOST:PORT"``; raises on malformed input."""
+    host, sep, port = str(text).rpartition(":")
+    if not sep or not host or not port.isdigit():
+        raise CampaignError(
+            f"bad {what} {text!r}: expected HOST:PORT (e.g. 127.0.0.1:7764)")
+    return host, int(port)
+
+
+def format_address(address):
+    """``"host:port"`` for a ``(host, port)`` pair."""
+    host, port = address
+    return f"{host}:{port}"
+
+
+def encode_message(message):
+    """One framed message: compact JSON + newline (keys NOT sorted)."""
+    return json.dumps(message, separators=(",", ":"),
+                      allow_nan=False).encode("utf-8") + b"\n"
+
+
+def send_message(sock, message, timeout=30.0):
+    """Send one framed message completely, whatever the socket's
+    configured recv timeout.
+
+    The poll loops on both sides run their sockets with a short recv
+    timeout; a partial ``sendall`` under that timeout would corrupt the
+    framing, so sends temporarily switch to a generous blocking window.
+    """
+    previous = sock.gettimeout()
+    try:
+        sock.settimeout(timeout)
+        sock.sendall(encode_message(message))
+    finally:
+        try:
+            sock.settimeout(previous)
+        except OSError:  # pragma: no cover - socket died mid-send
+            pass
+
+
+class MessageBuffer:
+    """Reassemble framed messages from a stream of received chunks."""
+
+    def __init__(self):
+        self._data = bytearray()
+
+    def feed(self, chunk):
+        """Absorb ``chunk``; returns the list of completed messages.
+
+        Raises :class:`CampaignError` on an unparseable line or an
+        over-long frame — the caller should drop the connection.
+        """
+        self._data += chunk
+        if len(self._data) > MAX_MESSAGE_BYTES:
+            raise CampaignError(
+                f"peer sent a frame over {MAX_MESSAGE_BYTES} bytes")
+        messages = []
+        while True:
+            newline = self._data.find(b"\n")
+            if newline < 0:
+                return messages
+            line = bytes(self._data[:newline])
+            del self._data[:newline + 1]
+            if not line.strip():
+                continue
+            try:
+                message = json.loads(line)
+            except (json.JSONDecodeError, UnicodeDecodeError) as error:
+                raise CampaignError(f"bad wire message: {error}")
+            if not isinstance(message, dict) or "type" not in message:
+                raise CampaignError(
+                    f"wire message must be an object with a 'type': "
+                    f"{line[:120]!r}")
+            messages.append(message)
+
+
+def connect_with_retry(host, port, retry_for=10.0, poll=0.2):
+    """A connected socket to ``host:port``, retrying for ``retry_for``
+    seconds (workers typically start before — or race — the scheduler)."""
+    deadline = time.monotonic() + max(0.0, retry_for)
+    while True:
+        try:
+            return socket.create_connection((host, port), timeout=5.0)
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(poll)

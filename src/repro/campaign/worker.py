@@ -1,0 +1,199 @@
+"""Campaign worker agent: execute cells for a remote scheduler.
+
+``repro-lock worker --connect HOST:PORT --cores N`` connects to a
+:class:`~repro.campaign.scheduler.Scheduler`, advertises ``N`` cores of
+capacity, and then executes every ``cell`` envelope it is handed — each
+in its own subprocess through the shared failure-capture semantics of
+:func:`repro.campaign.backends._execute_cell` — streaming the result
+envelopes back and heartbeating in between.  ``cancel`` kills the named
+cell's subprocess (the scheduler already recorded the timeout); a
+``shutdown`` — or the scheduler's socket closing — ends the agent.
+
+The scheduler's 2-D placement guarantees the widths of concurrently
+assigned cells never exceed the advertised cores, so the agent runs
+whatever it is told without further admission control; each cell
+message carries its core *grant*, which the agent converts into a
+``REPRO_CPU_SHARE`` against the real host CPU count
+(:func:`cpu_share_for`) so in-cell solver auto-sizing sees exactly its
+granted slice of this host, not the whole machine.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import socket
+import sys
+import time
+
+from repro.campaign.backends import (
+    _execute_cell,
+    failure_envelope,
+    host_cores,
+    kill_process,
+)
+from repro.campaign.wire import (
+    MessageBuffer,
+    connect_with_retry,
+    parse_hostport,
+    send_message,
+)
+from repro.errors import CampaignError
+
+#: recv timeout that paces the poll loop (socket + child pipes).
+_POLL_SECONDS = 0.1
+
+
+def cpu_share_for(granted, advertised):
+    """``REPRO_CPU_SHARE`` for a placement granted ``granted`` of this
+    worker's ``advertised`` cores.
+
+    The share divides the *real* host CPU count inside
+    ``repro.sat.cpu_budget``, so it must be derived from real cores —
+    deriving it from advertised cores would oversubscribe an
+    under-advertised host (``--cores 2`` on an 8-core box would hand a
+    1-core grant a budget of 4).  The grant is clamped to the advertised
+    capacity the operator capped this worker at.
+    """
+    granted = max(1, min(int(granted or 1), max(1, int(advertised))))
+    return max(1, host_cores() // granted)
+
+
+def _cell_main(conn, fn_path, kwargs, cpu_share):
+    """Cell subprocess: publish the CPU share, execute, ship the envelope."""
+    os.environ["REPRO_CPU_SHARE"] = str(cpu_share)
+    try:
+        envelope = _execute_cell(fn_path, kwargs)
+    except (KeyboardInterrupt, SystemExit):  # pragma: no cover
+        return
+    try:
+        conn.send(envelope)
+    except (BrokenPipeError, OSError):  # pragma: no cover - parent gone
+        pass
+    finally:
+        conn.close()
+
+
+class _RunningCell:
+    """One in-flight cell: its subprocess plus the result pipe."""
+
+    def __init__(self, context, cell_id, fn_path, kwargs, cpu_share):
+        self.cell_id = cell_id
+        self.conn, child = multiprocessing.Pipe(duplex=False)
+        self.process = context.Process(
+            target=_cell_main, args=(child, fn_path, kwargs, cpu_share))
+        self.process.start()
+        child.close()
+        self.started = time.monotonic()
+
+    def kill(self):
+        kill_process(self.process, self.conn)
+
+
+def run_worker(connect, cores=None, name=None, retry_for=10.0, out=None):
+    """Join the scheduler at ``connect`` and execute cells until it is
+    done with us.  Returns 0 on an orderly shutdown, 1 on a lost link.
+    """
+    out = out if out is not None else sys.stderr
+    host, port = parse_hostport(connect, what="scheduler address")
+    cores = cores if cores else host_cores()
+    name = name or f"{socket.gethostname()}:{os.getpid()}"
+    context = multiprocessing.get_context()
+
+    sock = connect_with_retry(host, port, retry_for=retry_for)
+    sock.settimeout(_POLL_SECONDS)
+    send_message(sock, {"type": "register", "cores": cores, "name": name})
+    out.write(f"worker {name}: registered {cores} cores "
+              f"with {connect}\n")
+
+    buffer = MessageBuffer()
+    running = {}
+    heartbeat_interval = 2.0
+    last_beat = time.monotonic()
+    done = 0
+    orderly = False
+    try:
+        while True:
+            try:
+                data = sock.recv(65536)
+            except socket.timeout:
+                data = None
+            except OSError:
+                break
+            if data == b"":
+                break  # scheduler went away
+            if data:
+                stop = False
+                for message in buffer.feed(data):
+                    kind = message.get("type")
+                    if kind == "cell":
+                        running[message["id"]] = _RunningCell(
+                            context, message["id"], message["fn"],
+                            message.get("kwargs") or {},
+                            cpu_share_for(message.get("cores"), cores))
+                    elif kind == "cancel":
+                        cell = running.pop(message.get("id"), None)
+                        if cell is not None:
+                            cell.kill()
+                    elif kind == "welcome":
+                        heartbeat_interval = float(
+                            message.get("heartbeat") or heartbeat_interval)
+                    elif kind == "shutdown":
+                        stop = True
+                if stop:
+                    orderly = True
+                    break
+            done += _pump_results(sock, running)
+            now = time.monotonic()
+            if now - last_beat >= heartbeat_interval:
+                send_message(sock, {"type": "heartbeat"})
+                last_beat = now
+    except (BrokenPipeError, OSError, CampaignError):
+        # OSError: the link died; CampaignError: the stream fed us an
+        # unparseable/over-long frame — either way the scheduler is no
+        # longer speaking the protocol, so take the lost-link exit.
+        pass
+    finally:
+        for cell in running.values():
+            cell.kill()
+        running.clear()
+        try:
+            sock.close()
+        except OSError:  # pragma: no cover
+            pass
+    out.write(f"worker {name}: {done} cells executed, "
+              f"{'shutdown' if orderly else 'link lost'}\n")
+    return 0 if orderly else 1
+
+
+def _pump_results(sock, running):
+    """Ship finished (or crashed) cells back; returns how many."""
+    shipped = 0
+    for cell_id, cell in list(running.items()):
+        envelope = None
+        if cell.conn.poll():
+            try:
+                envelope = cell.conn.recv()
+            except (EOFError, OSError):
+                envelope = None
+        if envelope is None and not cell.process.is_alive():
+            cell.process.join(timeout=1)
+            # One more look: the pipe can buffer past process exit.
+            if cell.conn.poll():
+                try:
+                    envelope = cell.conn.recv()
+                except (EOFError, OSError):
+                    envelope = None
+            if envelope is None:
+                envelope = failure_envelope(
+                    time.monotonic() - cell.started, "WorkerCellDied",
+                    f"cell subprocess exited with code "
+                    f"{cell.process.exitcode} before returning a result")
+        if envelope is None:
+            continue
+        del running[cell_id]
+        cell.kill()
+        send_message(sock, {"type": "result", "id": cell_id,
+                            "envelope": envelope})
+        shipped += 1
+    return shipped

@@ -29,6 +29,14 @@ Discover the plugin registries and run a scheme x attack matrix::
     repro-lock matrix --circuit s27 --scheme "trilock?kappa_s=1..2" \
         --attack seq-sat --attack removal --jobs 4
 
+Scale a matrix out over distributed workers (start any number of
+workers, on this or other hosts; the scheduler requeues the cells of a
+worker that dies)::
+
+    repro-lock matrix ... --backend distributed --bind 0.0.0.0:7764 \
+        --workers 2
+    repro-lock worker --connect scheduler-host:7764 --cores 8
+
 Inspect or clear the experiment-campaign result cache::
 
     repro-lock campaign status
@@ -42,7 +50,8 @@ import json
 import os
 import sys
 
-from repro._cliutils import attack_jobs_arg
+from repro._cliutils import add_backend_arguments, attack_jobs_arg, \
+    make_executor_backend
 from repro.api import ATTACKS, SCHEMES, matrix_cells, parse_spec
 from repro.api.spec import format_spec
 from repro.attacks import bounded_equivalence, scc_report, sequential_sat_attack
@@ -163,8 +172,30 @@ def build_parser():
     matrix_cmd.add_argument("--no-cache", action="store_true",
                             help="recompute every cell")
     matrix_cmd.add_argument("--cell-timeout", type=float, default=None,
-                            help="seconds one cell may run (needs "
-                                 "--jobs >= 2)")
+                            help="seconds one cell may run; enforced by "
+                                 "the pool (--jobs >= 2) and distributed "
+                                 "backends only — the inline backend "
+                                 "cannot interrupt a cell and warns")
+    add_backend_arguments(matrix_cmd)
+
+    worker_cmd = commands.add_parser(
+        "worker", help="join a distributed campaign scheduler and "
+                       "execute cells")
+    worker_cmd.add_argument("--connect", required=True, metavar="HOST:PORT",
+                            help="scheduler address (the matrix/experiment "
+                                 "run's --bind)")
+    worker_cmd.add_argument("--cores", type=int, default=None,
+                            help="capacity to advertise (default: this "
+                                 "host's CPU affinity count); the "
+                                 "scheduler never places cells whose "
+                                 "summed widths exceed it")
+    worker_cmd.add_argument("--name", default=None,
+                            help="worker name in scheduler logs "
+                                 "(default host:pid)")
+    worker_cmd.add_argument("--retry-for", type=float, default=10.0,
+                            help="seconds to retry the initial connect, "
+                                 "so workers may start before the "
+                                 "scheduler (default %(default)s)")
 
     campaign_cmd = commands.add_parser(
         "campaign", help="inspect the experiment-campaign result cache")
@@ -403,7 +434,8 @@ def cmd_matrix(args, out):
     store = None if args.no_cache else ResultStore(
         args.cache_dir if args.cache_dir else default_cache_dir())
     campaign = Campaign(jobs=args.jobs, store=store,
-                        cell_timeout=args.cell_timeout)
+                        cell_timeout=args.cell_timeout,
+                        backend=make_executor_backend(args, sys.stderr))
     results = campaign.run(specs)
     rows = []
     for result in results:
@@ -431,6 +463,19 @@ def cmd_matrix(args, out):
     return 0 if all(result.ok for result in results) else 1
 
 
+def cmd_worker(args, out):
+    from repro.campaign.worker import run_worker
+
+    try:
+        return run_worker(args.connect, cores=args.cores, name=args.name,
+                          retry_for=args.retry_for, out=out)
+    except OSError as error:
+        raise ReproError(
+            f"cannot reach scheduler at {args.connect}: {error} "
+            "(is the matrix/experiment run with --backend distributed "
+            "up, and --bind reachable from here?)")
+
+
 def cmd_campaign(args, out):
     store = ResultStore(args.cache_dir if args.cache_dir
                         else default_cache_dir())
@@ -451,6 +496,7 @@ _COMMANDS = {
     "schemes": cmd_schemes,
     "attacks": cmd_attacks,
     "matrix": cmd_matrix,
+    "worker": cmd_worker,
     "campaign": cmd_campaign,
 }
 

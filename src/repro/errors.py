@@ -72,5 +72,11 @@ class CampaignError(ReproError):
     """Invalid campaign request or a cell failure the caller did not allow."""
 
 
+class CampaignWarning(UserWarning):
+    """A campaign configuration is legal but (partly) ineffective — e.g.
+    a ``cell_timeout`` on the inline backend, which cannot interrupt a
+    cell running in its own process."""
+
+
 class SpecError(ReproError):
     """Malformed scheme/attack spec string or registry lookup failure."""

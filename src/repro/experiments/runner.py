@@ -15,6 +15,11 @@ content-addressed under ``--cache-dir`` (default ``.repro-cache``, or
 ``$REPRO_CACHE_DIR``) so reruns and interrupted campaigns only pay for
 the cells that changed.  ``--no-cache`` recomputes everything;
 ``repro-experiments status`` summarises the cache.
+
+Sweeps too big for one host scale out with ``--backend distributed``
+(plus ``--bind``/``--workers``): cells are shipped to ``repro-lock
+worker`` agents on any reachable hosts, placed 2-D by ``(cells x
+in-cell attack_jobs)``, and written back through the shared cache.
 """
 
 from __future__ import annotations
@@ -24,7 +29,8 @@ import os
 import sys
 import time
 
-from repro._cliutils import attack_jobs_arg
+from repro._cliutils import add_backend_arguments, attack_jobs_arg, \
+    make_executor_backend
 from repro.campaign import Campaign, ResultStore, default_cache_dir, \
     render_status
 from repro.errors import ReproError
@@ -91,7 +97,11 @@ def build_parser():
                              "the result cache")
     parser.add_argument("--cell-timeout", type=float, default=None,
                         help="seconds one cell may run before it is "
-                             "recorded as failed (needs --jobs >= 2)")
+                             "recorded as failed; enforced by the pool "
+                             "(--jobs >= 2) and distributed backends "
+                             "only — the inline backend cannot "
+                             "interrupt a cell and warns")
+    add_backend_arguments(parser)
     parser.add_argument("--attack-jobs", type=attack_jobs_arg, default=1,
                         help="worker processes racing solver "
                              "configurations inside one attack cell: "
@@ -118,13 +128,15 @@ def make_campaign(args, err=None):
     """Build the campaign execution policy from CLI flags."""
     err = err if err is not None else sys.stderr
     store = None if args.no_cache else ResultStore(resolve_cache_dir(args))
+    backend = make_executor_backend(args, err)
     progress = None
-    if args.jobs > 1:
+    if args.jobs > 1 or backend is not None:
         def progress(index, total, result):
             err.write(f"  [{index + 1}/{total}] {result.spec.describe()}: "
                       f"{result.status} ({result.elapsed:.2f}s)\n")
     return Campaign(jobs=args.jobs, store=store,
-                    cell_timeout=args.cell_timeout, progress=progress)
+                    cell_timeout=args.cell_timeout, progress=progress,
+                    backend=backend)
 
 
 def run_experiment(name, args, campaign=None):

@@ -283,6 +283,21 @@ def parse_portfolio(spec):
     return names
 
 
+def host_cores():
+    """CPUs of this host (affinity-aware).
+
+    The single source of truth for "real host cores": both the solver
+    budget below and the campaign worker's ``REPRO_CPU_SHARE`` math
+    (``repro.campaign.worker.cpu_share_for``) divide this same number,
+    so a placement granted ``k`` cores really resolves to a ``k``-wide
+    race on the remote host.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
 def cpu_budget():
     """CPUs this process may fairly use for racing (affinity-aware).
 
@@ -295,10 +310,7 @@ def cpu_budget():
     budget divides by it, so ``--jobs N`` plus ``--attack-jobs auto``
     shares the machine instead of oversubscribing it ``N`` times over.
     """
-    try:
-        cpus = len(os.sched_getaffinity(0)) or 1
-    except AttributeError:  # pragma: no cover - non-Linux fallback
-        cpus = os.cpu_count() or 1
+    cpus = host_cores()
     try:
         share = int(os.environ.get("REPRO_CPU_SHARE", "1"))
     except ValueError:

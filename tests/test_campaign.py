@@ -9,6 +9,7 @@ import os
 import subprocess
 import sys
 import time
+import warnings
 
 import pytest
 
@@ -16,10 +17,12 @@ from repro.campaign import (
     CODE_VERSION,
     Campaign,
     CellSpec,
+    DistributedBackend,
+    PoolBackend,
     ResultStore,
     canonical_value,
 )
-from repro.errors import CampaignError
+from repro.errors import CampaignError, CampaignWarning
 from repro.experiments import table1_sat_resilience, table2_removal
 from repro.experiments.runner import main as runner_main
 
@@ -49,6 +52,15 @@ def cpu_share_cell(tag):
 def slow_cell(seconds):
     time.sleep(seconds)
     return {"slept": seconds}
+
+
+def die_cell(code):
+    os._exit(code)
+
+
+def pid_sleep_cell(tag, seconds):
+    time.sleep(seconds)
+    return {"tag": tag, "pid": os.getpid()}
 
 
 def unserializable_cell():
@@ -261,6 +273,60 @@ class TestCampaignExecutor:
         assert results[0].status == "timeout"
         assert results[1].ok
 
+    def test_inline_timeout_warns_it_is_ineffective(self):
+        """jobs=1 runs cells in-process, so cell_timeout cannot be
+        enforced; construction says so instead of silently ignoring it."""
+        with pytest.warns(CampaignWarning, match="no effect"):
+            campaign = Campaign(jobs=1, cell_timeout=0.001)
+        # The cell still runs to completion, un-interrupted.
+        (result,) = campaign.run([CellSpec.make(
+            "tests.test_campaign:slow_cell", {"seconds": 0.05})])
+        assert result.ok and result.value == {"slept": 0.05}
+
+    def test_pool_and_distributed_timeouts_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", CampaignWarning)
+            Campaign(jobs=2, cell_timeout=5.0)
+            Campaign(backend=DistributedBackend(bind="127.0.0.1:0"),
+                     cell_timeout=5.0).backend.close()
+
+    def test_timed_out_worker_is_replaced_at_full_width(self):
+        """A hung cell costs its slot for cell_timeout seconds, not for
+        the rest of the campaign: the worker is terminated and replaced,
+        and the remaining cells run on a full-width pool."""
+        backend = PoolBackend(2)
+        specs = [
+            CellSpec.make("tests.test_campaign:slow_cell", {"seconds": 30},
+                          label="hung"),
+            *[CellSpec.make("tests.test_campaign:pid_sleep_cell",
+                            {"tag": tag, "seconds": 0.4})
+              for tag in range(5)],
+        ]
+        start = time.perf_counter()
+        results = Campaign(backend=backend, cell_timeout=0.6).run(specs)
+        elapsed = time.perf_counter() - start
+        assert results[0].status == "timeout"
+        assert all(r.ok for r in results[1:])
+        assert backend.replacements == 1
+        # Replacement was immediate — nowhere near the hung cell's 30s.
+        assert elapsed < 15
+        # The replacement is a genuinely fresh worker process: the
+        # queued cells ran on at least two distinct worker pids.
+        pids = {r.value["pid"] for r in results[1:]}
+        assert len(pids) >= 2
+
+    def test_worker_death_is_captured_and_replaced(self):
+        backend = PoolBackend(2)
+        specs = [
+            CellSpec.make("tests.test_campaign:die_cell", {"code": 5},
+                          label="dies"),
+            *[_spec(a=a) for a in range(3)],
+        ]
+        results = Campaign(backend=backend).run(specs)
+        assert not results[0].ok
+        assert results[0].error["type"] == "WorkerDied"
+        assert all(r.ok for r in results[1:])
+
     def test_progress_is_reported_in_spec_order(self):
         events = []
         campaign = Campaign(
@@ -347,6 +413,10 @@ class TestExperimentCampaigns:
         assert runner_main(["status", "--cache-dir", cache]) == 0
         status_out = capsys.readouterr().out
         assert "table2: 3 cells" in status_out
+
+    def test_runner_scheduler_flags_require_distributed(self, capsys):
+        assert runner_main(["fig4", "--no-cache", "--workers", "2"]) == 2
+        assert "--backend distributed" in capsys.readouterr().err
 
     def test_runner_no_cache_flag(self, tmp_path, capsys):
         cache = str(tmp_path / "cache")

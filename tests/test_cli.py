@@ -294,3 +294,49 @@ class TestMatrixCommand:
         assert code == 1
         assert "failed" in text
         assert "AttackError" in text
+
+    def test_explicit_pool_backend_runs(self, workspace):
+        code, text = run_cli([
+            "matrix", "--scheme", "trilock?kappa_s=1",
+            "--attack", "removal", "--no-cache",
+            "--backend", "pool", "--jobs", "2"])
+        assert code == 0
+        assert "done" in text
+
+    def test_scheduler_flags_require_distributed_backend(self, workspace):
+        code, text = run_cli([
+            "matrix", "--scheme", "trilock?kappa_s=1",
+            "--attack", "removal", "--no-cache",
+            "--workers", "2"])
+        assert code == 2
+        assert "--backend distributed" in text
+        code, text = run_cli([
+            "matrix", "--scheme", "trilock?kappa_s=1",
+            "--attack", "removal", "--no-cache",
+            "--bind", "127.0.0.1:7764"])
+        assert code == 2
+        assert "--backend distributed" in text
+
+    def test_distributed_backend_rejects_jobs(self, workspace):
+        # Same misconfiguration rejection as the library API: the
+        # distributed backend's concurrency comes from workers.
+        code, text = run_cli([
+            "matrix", "--scheme", "trilock?kappa_s=1",
+            "--attack", "removal", "--no-cache",
+            "--backend", "distributed", "--jobs", "8"])
+        assert code == 2
+        assert "drop --jobs" in text
+
+
+class TestWorkerCommand:
+    def test_bad_scheduler_address_is_a_clean_error(self):
+        code, text = run_cli(["worker", "--connect", "nonsense"])
+        assert code == 2
+        assert "HOST:PORT" in text
+
+    def test_unreachable_scheduler_is_a_clean_error(self):
+        # Port 1 on localhost refuses immediately; no retries wanted.
+        code, text = run_cli(["worker", "--connect", "127.0.0.1:1",
+                              "--retry-for", "0"])
+        assert code == 2
+        assert "cannot reach scheduler" in text

@@ -1,0 +1,516 @@
+"""Distributed campaign execution: backend equivalence, the socket
+scheduler/worker protocol, 2-D (cells x in-cell width) placement,
+dead-worker requeue, and scheduler-side timeouts."""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import selectors
+import socket
+import time
+
+import pytest
+
+from repro.campaign import (
+    Campaign,
+    CellSpec,
+    DistributedBackend,
+    InlineBackend,
+    PoolBackend,
+    Scheduler,
+    backend_names,
+    canonical_json,
+    engine_width,
+    resolve_backend,
+)
+from repro.campaign.backends import host_cores
+from repro.campaign.scheduler import (
+    MAX_ATTEMPTS,
+    _Assignment,
+    _Task,
+    _WorkerState,
+)
+from repro.campaign.wire import MessageBuffer, parse_hostport, send_message
+from repro.campaign.worker import cpu_share_for, run_worker
+from repro.errors import CampaignError
+
+pytestmark = pytest.mark.smoke
+
+
+# ----------------------------------------------------------------------
+# Cell functions (module-level so any fresh interpreter resolves them).
+# ----------------------------------------------------------------------
+def add_cell(a, b):
+    return {"sum": a + b, "operands": [a, b]}
+
+
+def slow_cell(seconds):
+    time.sleep(seconds)
+    return {"slept": seconds}
+
+
+def exit_cell(code):
+    os._exit(code)
+
+
+def blob_cell(n_bytes):
+    return {"blob": "x" * n_bytes}
+
+
+def track_cell(outdir, tag, seconds, attack_jobs, portfolio=None):
+    """Record this cell's execution window, host worker, and CPU share."""
+    start = time.time()
+    time.sleep(seconds)
+    record = {
+        "tag": tag,
+        "worker": os.getppid(),
+        "start": start,
+        "end": time.time(),
+        "width": attack_jobs,
+        "share": os.environ.get("REPRO_CPU_SHARE"),
+    }
+    with open(os.path.join(outdir, f"{tag}.json"), "w",
+              encoding="utf-8") as handle:
+        json.dump(record, handle)
+    return record
+
+
+def _add_spec(a, b=10):
+    return CellSpec.make("tests.test_distributed:add_cell",
+                         {"a": a, "b": b}, experiment="unit",
+                         label=f"add/{a}")
+
+
+def _start_workers(address, count, cores=2, heartbeat=None):
+    host, port = address
+    workers = []
+    for i in range(count):
+        process = multiprocessing.Process(
+            target=run_worker, args=(f"{host}:{port}",),
+            kwargs={"cores": cores, "retry_for": 30.0, "name": f"tw{i}"})
+        process.start()
+        workers.append(process)
+    return workers
+
+
+def _stop_workers(workers):
+    for worker in workers:
+        if worker.is_alive():
+            worker.terminate()
+        worker.join(timeout=10)
+
+
+@pytest.fixture
+def backend():
+    instance = DistributedBackend(bind="127.0.0.1:0", min_workers=1,
+                                  heartbeat_timeout=5.0)
+    yield instance
+    instance.close()
+
+
+# ----------------------------------------------------------------------
+# The acceptance criterion: three backends, identical results
+# ----------------------------------------------------------------------
+class TestBackendEquivalence:
+    def test_inline_pool_distributed_identical(self, backend):
+        specs = [_add_spec(a) for a in range(8)]
+        inline = Campaign(backend=InlineBackend()).run(specs)
+        pool = Campaign(backend=PoolBackend(2)).run(specs)
+
+        backend.min_workers = 2
+        workers = _start_workers(backend.address, 2)
+        try:
+            distributed = Campaign(backend=backend).run(specs)
+        finally:
+            _stop_workers(workers)
+
+        for results in (pool, distributed):
+            assert [r.key for r in results] == [r.key for r in inline]
+            # Byte-identical values: the canonical JSON encodings match
+            # exactly, key order included.
+            assert [canonical_json(r.value) for r in results] \
+                == [canonical_json(r.value) for r in inline]
+            assert [r.status for r in results] == ["done"] * len(specs)
+            assert [r.spec for r in results] == specs
+
+    def test_distributed_writes_shared_cache_scheduler_side(
+            self, backend, tmp_path):
+        cache = str(tmp_path / "cache")
+        specs = [_add_spec(a) for a in range(4)]
+        workers = _start_workers(backend.address, 1)
+        try:
+            cold = Campaign(backend=backend, cache_dir=cache)
+            assert all(r.ok for r in cold.run(specs))
+            assert cold.store.stats.puts == 4
+        finally:
+            _stop_workers(workers)
+        # Warm rerun: pure cache hits, no scheduler, no workers needed.
+        warm = Campaign(backend=backend, cache_dir=cache)
+        results = warm.run(specs)
+        assert all(r.cached for r in results)
+        assert warm.store.stats.hits == 4 and warm.store.stats.misses == 0
+
+    def test_progress_reported_in_spec_order(self, backend):
+        events = []
+        specs = [_add_spec(a) for a in range(6)]
+        workers = _start_workers(backend.address, 2)
+        try:
+            campaign = Campaign(
+                backend=backend,
+                progress=lambda i, total, r: events.append((i, r.status)))
+            campaign.run(specs)
+        finally:
+            _stop_workers(workers)
+        assert [index for index, _ in events] == list(range(6))
+        assert {status for _, status in events} == {"done"}
+
+
+# ----------------------------------------------------------------------
+# Failure model: dead workers, crashed cells, timeouts
+# ----------------------------------------------------------------------
+class TestDistributedFailures:
+    def test_killed_worker_loses_no_cells(self, backend):
+        events = []
+        backend.on_event = events.append
+        backend.min_workers = 2
+        specs = [CellSpec.make("tests.test_distributed:slow_cell",
+                               {"seconds": 0.3 + i * 1e-6},
+                               label=f"slow/{i}")
+                 for i in range(6)]
+        workers = _start_workers(backend.address, 2, cores=1)
+        try:
+            killer = multiprocessing.Process(
+                target=_kill_after, args=(workers[0].pid, 0.45))
+            killer.start()
+            results = Campaign(backend=backend).run(specs)
+            killer.join()
+        finally:
+            _stop_workers(workers)
+        assert all(r.ok for r in results)
+        assert [r.value["slept"] for r in results] \
+            == [0.3 + i * 1e-6 for i in range(6)]
+        assert any("requeued" in event for event in events)
+
+    def test_crashed_cell_subprocess_is_captured(self, backend):
+        specs = [
+            CellSpec.make("tests.test_distributed:exit_cell", {"code": 3},
+                          label="boom"),
+            _add_spec(1),
+        ]
+        workers = _start_workers(backend.address, 1)
+        try:
+            results = Campaign(backend=backend).run(specs)
+        finally:
+            _stop_workers(workers)
+        assert not results[0].ok
+        assert results[0].error["type"] == "WorkerCellDied"
+        assert "code 3" in results[0].error["message"]
+        assert results[1].ok and results[1].value["sum"] == 11
+
+    def test_worker_killing_cell_fails_instead_of_wiping_the_fleet(
+            self, backend, monkeypatch):
+        """A cell whose result the scheduler cannot accept drops its
+        worker every time; after MAX_ATTEMPTS placements it is failed
+        for good so the campaign still completes."""
+        import repro.campaign.wire as wire
+
+        # Shrink the frame limit in *this* (scheduler) process only —
+        # workers are separate processes and send normally; the
+        # oversized result frame then kills each connection it rides.
+        monkeypatch.setattr(wire, "MAX_MESSAGE_BYTES", 4096)
+        events = []
+        backend.on_event = events.append
+        backend.min_workers = MAX_ATTEMPTS
+        specs = [CellSpec.make("tests.test_distributed:blob_cell",
+                               {"n_bytes": 65536}, label="toxic")]
+        workers = _start_workers(backend.address, MAX_ATTEMPTS, cores=1)
+        try:
+            (result,) = Campaign(backend=backend).run(specs)
+        finally:
+            _stop_workers(workers)
+        assert not result.ok
+        assert result.error["type"] == "WorkerLost"
+        assert f"{MAX_ATTEMPTS} times" in result.error["message"]
+        assert sum("lost" in event for event in events) == MAX_ATTEMPTS
+
+    def test_cell_timeout_enforced_scheduler_side(self, backend):
+        specs = [
+            CellSpec.make("tests.test_distributed:slow_cell",
+                          {"seconds": 30}, label="hung"),
+            _add_spec(2),
+        ]
+        workers = _start_workers(backend.address, 1, cores=1)
+        try:
+            start = time.monotonic()
+            results = Campaign(backend=backend,
+                               cell_timeout=0.6).run(specs)
+            elapsed = time.monotonic() - start
+        finally:
+            _stop_workers(workers)
+        assert results[0].status == "timeout"
+        assert "0.6s budget" in results[0].error["message"]
+        # The cancelled cell freed its core: the second cell ran after
+        # the timeout on the same single-core worker.
+        assert results[1].ok
+        assert elapsed < 20
+
+    def test_timeout_sweep_survives_cancel_send_dropping_the_worker(self):
+        """Regression: with two cells expired on the same worker, a
+        cancel send that fails drops the worker mid-sweep (clearing and
+        requeueing its remaining assignments); the sweep must neither
+        KeyError on the vanished assignments nor double-handle them."""
+
+        class _DeadSock:
+            def gettimeout(self):
+                return None
+
+            def settimeout(self, timeout):
+                pass
+
+            def sendall(self, data):
+                raise OSError("connection reset")
+
+            def close(self):
+                pass
+
+        listen = socket.socket()
+        listen.bind(("127.0.0.1", 0))
+        listen.listen(1)
+        try:
+            scheduler = Scheduler(listen, cell_timeout=0.01)
+            scheduler._sel = selectors.DefaultSelector()
+            delivered = []
+            scheduler._deliver = \
+                lambda index, envelope: delivered.append((index, envelope))
+            scheduler._outstanding = 3
+            worker = _WorkerState(_DeadSock(), ("h", 1))
+            worker.registered, worker.cores, worker.free = True, 3, 0
+            now = time.monotonic()
+            for index in range(3):  # two expired, one still healthy
+                deadline = now - 1 if index < 2 else now + 60
+                worker.assigned[index] = _Assignment(
+                    task=_Task(index=index, fn="f", kwargs={},
+                               key=str(index), width=1, label=f"t{index}"),
+                    consumed=1, started=now - 2, deadline=deadline)
+            scheduler._workers = {worker.sock: worker}
+            scheduler._enforce_timeouts()
+        finally:
+            scheduler._sel.close()
+            listen.close()
+        # The first expired cell got its timeout envelope; the failed
+        # cancel dropped the worker, requeueing the other two exactly
+        # once each (no timeout-AND-requeue double handling).
+        assert [index for index, _ in delivered] == [0]
+        assert delivered[0][1]["error"]["type"] == "TimeoutError"
+        assert [task.index for task in scheduler._queue] == [1, 2]
+        assert scheduler._outstanding == 2
+        assert not scheduler._workers
+
+
+# ----------------------------------------------------------------------
+# 2-D placement
+# ----------------------------------------------------------------------
+class TestTwoDimensionalPlacement:
+    def _run_tracked(self, backend, tmp_path, widths, cores, seconds=0.3):
+        outdir = str(tmp_path / "track")
+        os.makedirs(outdir, exist_ok=True)
+        specs = [
+            CellSpec.make("tests.test_distributed:track_cell",
+                          {"outdir": outdir, "tag": f"t{i}",
+                           "seconds": seconds, "attack_jobs": width,
+                           "portfolio": None},
+                          label=f"track/{i}")
+            for i, width in enumerate(widths)
+        ]
+        assert [spec.width() for spec in specs] == list(widths)
+        workers = _start_workers(backend.address, 1, cores=cores)
+        try:
+            results = Campaign(backend=backend).run(specs)
+        finally:
+            _stop_workers(workers)
+        assert all(r.ok for r in results)
+        return [r.value for r in results]
+
+    def test_wide_cells_never_overcommit_a_worker(self, backend, tmp_path):
+        records = self._run_tracked(backend, tmp_path,
+                                    widths=[2, 2, 2, 2], cores=2)
+        # Width-2 cells on a 2-core worker must serialize: any two
+        # overlapping execution windows would exceed the advertised
+        # capacity.
+        for one in records:
+            for two in records:
+                if one["tag"] >= two["tag"]:
+                    continue
+                overlap = min(one["end"], two["end"]) \
+                    - max(one["start"], two["start"])
+                assert overlap <= 0, (
+                    f"{one['tag']} and {two['tag']} co-placed "
+                    f"({overlap:.3f}s overlap) past 2 cores")
+
+    def test_cpu_share_published_per_placement(self, backend, tmp_path):
+        records = self._run_tracked(backend, tmp_path,
+                                    widths=[2, 1, 1], cores=2)
+        by_width = {record["width"]: record["share"] for record in records}
+        # The share divides the *real* host CPU count inside
+        # repro.sat.cpu_budget, so it is derived from real cores: a
+        # width-w grant must yield a budget of exactly w, however many
+        # cores the worker advertised.
+        real = host_cores()
+        assert by_width[2] == str(max(1, real // 2))
+        assert by_width[1] == str(real)
+        # And the resulting budgets equal the grants (when the host has
+        # the cores at all).
+        assert real // int(by_width[1]) == min(1, real)
+        assert real // int(by_width[2]) == min(2, real)
+
+    def test_cpu_share_for_derives_from_real_cores(self):
+        real = host_cores()
+        assert cpu_share_for(1, 2) == real
+        assert cpu_share_for(2, 2) == max(1, real // 2)
+        # The grant is clamped to the worker's advertised capacity, and
+        # malformed grants degrade to 1 core.
+        assert cpu_share_for(99, 2) == max(1, real // 2)
+        assert cpu_share_for(None, 4) == real
+
+    def test_pick_worker_packs_by_free_cores(self):
+        listen = socket.socket()
+        listen.bind(("127.0.0.1", 0))
+        listen.listen(1)
+        try:
+            scheduler = Scheduler(listen)
+            small = _WorkerState(object(), ("h1", 1))
+            small.registered, small.cores, small.free = True, 2, 1
+            big = _WorkerState(object(), ("h2", 2))
+            big.registered, big.cores, big.free = True, 4, 3
+            scheduler._workers = {1: small, 2: big}
+            # width 1 goes to the most-free worker; width 3 only fits
+            # the big one; width 2 exceeds small's free core.
+            assert scheduler._pick_worker(1) is big
+            assert scheduler._pick_worker(3) is big
+            assert scheduler._pick_worker(2) is big
+            big.free = 2
+            assert scheduler._pick_worker(3) is None  # busy: must drain
+            # A cell wider than every worker runs alone on an idle one.
+            big.free = 4
+            assert scheduler._pick_worker(9) is big
+            big.free = 3
+            assert scheduler._pick_worker(9) is None
+        finally:
+            listen.close()
+
+
+# ----------------------------------------------------------------------
+# Cell width declaration
+# ----------------------------------------------------------------------
+class TestCellWidth:
+    def test_plain_cells_are_width_one(self):
+        assert _add_spec(1).width() == 1
+
+    def test_direct_attack_jobs_kwargs(self):
+        spec = CellSpec.make("m:f", {"attack_jobs": 3, "portfolio": None})
+        assert spec.width() == 3
+
+    def test_auto_jobs_width_is_portfolio_size(self):
+        spec = CellSpec.make(
+            "m:f", {"attack_jobs": None,
+                    "portfolio": ["cdcl", "cdcl-agile", "cdcl-stable"]})
+        assert spec.width() == 3
+        assert engine_width(None, "race2") == 2
+        assert engine_width(None, None) == 1
+
+    def test_matrix_attack_spec_width(self):
+        spec = CellSpec.matrix("s27", "trilock?kappa_s=1",
+                               "seq-sat?attack_jobs=4&portfolio=all")
+        assert spec.width() == 4
+        auto = CellSpec.matrix("s27", "trilock?kappa_s=1",
+                               "seq-sat?attack_jobs=auto&portfolio=race2")
+        assert auto.width() == 2
+        assert CellSpec.matrix("s27", "trilock?kappa_s=1",
+                               "removal").width() == 1
+
+    def test_malformed_declarations_degrade_to_one(self):
+        assert engine_width("nonsense", None) == 1
+        assert engine_width(None, "no-such-backend") == 1
+
+    def test_wire_roundtrip_preserves_key_and_width(self):
+        spec = CellSpec.matrix("s27", "trilock?kappa_s=2",
+                               "seq-sat?attack_jobs=2&portfolio=race2")
+        clone = CellSpec.from_wire(spec.to_wire())
+        assert clone == spec
+        assert clone.key() == spec.key()
+        assert clone.width() == spec.width()
+        with pytest.raises(CampaignError):
+            CellSpec.from_wire({"params": {}})
+
+
+# ----------------------------------------------------------------------
+# Backend registry / wire plumbing
+# ----------------------------------------------------------------------
+class TestBackendResolution:
+    def test_names_and_defaults(self):
+        assert backend_names() == ("distributed", "inline", "pool")
+        assert isinstance(resolve_backend(None, jobs=1), InlineBackend)
+        pool = resolve_backend(None, jobs=3)
+        assert isinstance(pool, PoolBackend) and pool.jobs == 3
+        instance = PoolBackend(2)
+        assert resolve_backend(instance) is instance
+
+    def test_bad_combinations_are_rejected(self):
+        with pytest.raises(CampaignError, match="unknown campaign backend"):
+            resolve_backend("slurm")
+        with pytest.raises(CampaignError, match="single-process"):
+            resolve_backend("inline", jobs=4)
+        with pytest.raises(CampaignError, match="drop jobs"):
+            resolve_backend("distributed", jobs=4)
+        with pytest.raises(CampaignError):
+            resolve_backend(42)
+
+
+class TestWire:
+    def test_parse_hostport(self):
+        assert parse_hostport("127.0.0.1:7764") == ("127.0.0.1", 7764)
+        for bad in ("nohost", "host:", ":123", "host:abc"):
+            with pytest.raises(CampaignError):
+                parse_hostport(bad)
+
+    def test_message_buffer_reassembles_partial_frames(self):
+        buffer = MessageBuffer()
+        payload = b'{"type":"result","id":1}\n{"type":"heart'
+        assert buffer.feed(payload) == [{"type": "result", "id": 1}]
+        assert buffer.feed(b'beat"}\n') == [{"type": "heartbeat"}]
+
+    def test_message_buffer_rejects_garbage(self):
+        with pytest.raises(CampaignError):
+            MessageBuffer().feed(b"not json at all\n")
+        with pytest.raises(CampaignError):
+            MessageBuffer().feed(b'["no","type"]\n')
+
+    def test_send_message_preserves_dict_order(self):
+        """Cell values keep insertion order on the wire — sorting keys
+        would break cross-backend byte-identity of rendered tables."""
+        server = socket.socket()
+        server.bind(("127.0.0.1", 0))
+        server.listen(1)
+        client = socket.create_connection(server.getsockname()[:2])
+        peer, _ = server.accept()
+        try:
+            send_message(client, {"type": "x",
+                                  "value": {"zebra": 1, "alpha": 2}})
+            data = peer.recv(4096)
+        finally:
+            client.close()
+            peer.close()
+            server.close()
+        assert data.index(b"zebra") < data.index(b"alpha")
+        (message,) = MessageBuffer().feed(data)
+        assert list(message["value"]) == ["zebra", "alpha"]
+
+
+def _kill_after(pid, delay):
+    time.sleep(delay)
+    try:
+        os.kill(pid, 9)
+    except OSError:
+        pass

@@ -1,0 +1,150 @@
+"""ResultStore under concurrent multi-process writers.
+
+The shared-cache / NFS story of the distributed runner rests on one
+invariant: ``put`` is atomic (temp file + rename), so a reader racing
+any number of writers — even writers that die mid-write — sees either
+nothing or a complete, valid entry, never a torn one.  These tests race
+real processes at the same store directory and check exactly that.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.campaign import CellSpec, ResultStore
+
+pytestmark = pytest.mark.smoke
+
+
+def _spec_for(n):
+    return CellSpec.make("tests.test_store_concurrency:payload_cell",
+                         {"n": n}, experiment="race", label=f"race/{n}")
+
+
+def payload_cell(n):  # referenced by the spec's fn path only
+    return _value_for(n)
+
+
+def _value_for(n):
+    # Big enough that a write takes real time (so kills land mid-write)
+    # and a torn read could never parse as the full value.
+    return {"n": n, "blob": list(range(n, n + 4096))}
+
+
+def _hammer(cache_dir, keys_ns, rounds, start_gate):
+    """Writer process: put every (key, n) pair, `rounds` times over."""
+    store = ResultStore(cache_dir)
+    start_gate.wait()
+    for _ in range(rounds):
+        for n in keys_ns:
+            store.put(_spec_for(n).key(), _spec_for(n), _value_for(n))
+
+
+def _endless_writer(cache_dir, n, start_gate):
+    """Writer that puts one key forever (until killed mid-flight)."""
+    store = ResultStore(cache_dir)
+    start_gate.wait()
+    while True:
+        store.put(_spec_for(n).key(), _spec_for(n), _value_for(n))
+
+
+class TestConcurrentWriters:
+    def test_same_key_racing_writers_never_tear_a_read(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        gate = multiprocessing.Event()
+        writers = [
+            multiprocessing.Process(target=_hammer,
+                                    args=(cache, [7], 25, gate))
+            for _ in range(4)
+        ]
+        for writer in writers:
+            writer.start()
+        reader = ResultStore(cache)
+        key = _spec_for(7).key()
+        gate.set()
+        observed = 0
+        deadline = time.monotonic() + 30
+        while any(w.is_alive() for w in writers):
+            assert time.monotonic() < deadline, "writers hung"
+            value = reader.get(key)
+            if value is not None:
+                assert value == _value_for(7)  # complete or absent, never torn
+                observed += 1
+        for writer in writers:
+            writer.join()
+            assert writer.exitcode == 0
+        assert observed > 0
+        assert reader.get(key) == _value_for(7)
+        # A torn read would have been evicted as corrupt — none were.
+        assert reader.stats.invalidations == 0
+
+    def test_distinct_keys_from_many_processes_all_land(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        gate = multiprocessing.Event()
+        per_writer = [list(range(base, base + 12)) for base in
+                      (0, 100, 200, 300)]
+        writers = [
+            multiprocessing.Process(target=_hammer,
+                                    args=(cache, ns, 3, gate))
+            for ns in per_writer
+        ]
+        for writer in writers:
+            writer.start()
+        gate.set()
+        for writer in writers:
+            writer.join(timeout=60)
+            assert writer.exitcode == 0
+        store = ResultStore(cache)
+        for ns in per_writer:
+            for n in ns:
+                assert store.get(_spec_for(n).key()) == _value_for(n)
+        status = store.status()
+        assert status["entries"] == 48
+        assert status["by_experiment"] == {"race": 48}
+        assert store.stats.as_dict() == {
+            "hits": 48, "misses": 0, "puts": 0, "invalidations": 0}
+        # Clean completion leaves no temp litter behind.
+        assert not _tmp_files(cache)
+
+    def test_killed_writer_cannot_corrupt_the_store(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        gate = multiprocessing.Event()
+        store = ResultStore(cache)
+        key = _spec_for(5).key()
+        for _ in range(3):
+            writer = multiprocessing.Process(
+                target=_endless_writer, args=(cache, 5, gate))
+            writer.start()
+            gate.set()
+            # Let it complete at least one put, then kill mid-flight.
+            deadline = time.monotonic() + 30
+            while store.get(key) is None:
+                assert time.monotonic() < deadline, "first put never landed"
+            os.kill(writer.pid, signal.SIGKILL)
+            writer.join(timeout=10)
+            # The entry is still the complete value...
+            assert store.get(key) == _value_for(5)
+            # ...and the entry file itself parses as a full envelope.
+            with open(store.path_of(key), encoding="utf-8") as handle:
+                entry = json.load(handle)
+            assert entry["key"] == key and entry["value"] == _value_for(5)
+        assert store.stats.invalidations == 0
+        # A mid-write kill may orphan temp files, but they are invisible
+        # to reads and inspection: only *.json entries count.
+        assert store.status()["entries"] == 1
+        for leftover in _tmp_files(cache):
+            assert leftover.endswith(".tmp")
+
+
+def _tmp_files(cache_dir):
+    found = []
+    for root, _, names in os.walk(cache_dir):
+        found.extend(os.path.join(root, name) for name in names
+                     if not name.endswith(".json"))
+    return found
