@@ -4,7 +4,7 @@ PY ?= python
 export PYTHONPATH := src
 
 .PHONY: test smoke test-attacks campaign-demo matrix-demo \
-	distributed-demo bench
+	distributed-demo serve-demo bench
 
 test:
 	$(PY) -m pytest -x -q
@@ -42,6 +42,12 @@ matrix-demo:
 # asserting identical results and an all-hits warm rerun.
 distributed-demo:
 	$(PY) examples/distributed_smoke.py
+
+# Campaign-service smoke: the `repro-lock serve` daemon + HTTP API with
+# two loopback workers — two tenants complete, /metrics is live, and a
+# warm resubmit finishes from the shared cache with zero cells shipped.
+serve-demo:
+	$(PY) examples/serve_smoke.py
 
 bench:
 	$(PY) -m pytest benchmarks -q

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Campaign-service smoke: the daemon story on loopback (CI runs this).
+
+1. start a `CampaignService` (scheduler + shared `ResultStore`), its
+   HTTP API server, and two real ``repro-lock worker`` subprocesses,
+2. submit two tenants' matrix campaigns over HTTP and wait for both,
+3. assert accurate per-cell state and streamed results,
+4. scrape ``/metrics`` and assert the Prometheus families are there,
+5. resubmit one campaign warm — it must complete instantly from the
+   shared cache with **zero cells shipped** to the fleet.
+
+Usage::
+
+    PYTHONPATH=src python examples/serve_smoke.py
+"""
+
+import subprocess
+import sys
+import tempfile
+
+from repro.campaign import ResultStore
+from repro.campaign.service import (
+    CampaignService,
+    ServiceClient,
+    ServiceHTTPServer,
+)
+
+MATRIX = {
+    "circuits": ["s27"],
+    "schemes": ["trilock?kappa_s=1..2"],
+    "attacks": ["seq-sat", "removal"],
+    "max_dips": 256,
+}
+
+
+def spawn_worker(address, index):
+    host, port = address
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "worker",
+         "--connect", f"{host}:{port}", "--cores", "2",
+         "--retry-for", "60", "--name", f"smoke{index}"])
+
+
+def main():
+    import threading
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        service = CampaignService(
+            store=ResultStore(cache_dir), scheduler_bind="127.0.0.1:0",
+            min_workers=2,
+            on_event=lambda message: print(f"[serve] {message}"))
+        service.start()
+        httpd = ServiceHTTPServer(("127.0.0.1", 0), service)
+        http_thread = threading.Thread(
+            target=httpd.serve_forever, kwargs={"poll_interval": 0.1},
+            daemon=True)
+        http_thread.start()
+        workers = [spawn_worker(service.scheduler_address, i)
+                   for i in range(2)]
+        host, port = httpd.address
+        client = ServiceClient(f"{host}:{port}")
+        try:
+            alice = client.submit(dict(MATRIX, tenant="alice"))
+            bob = client.submit(dict(MATRIX, tenant="bob", seed=1,
+                                     priority=3))
+            print(f"submitted: alice={alice['id']} bob={bob['id']}")
+
+            for job in (alice, bob):
+                final = client.wait(job["id"], timeout=600)
+                assert final["status"] == "done", final
+                assert final["counts"] == {"done": 4}, final
+                cells = client.status(job["id"])["cell_states"]
+                assert all(cell["state"] == "done" for cell in cells)
+                results = client.results(job["id"])
+                assert len(results) == 4 and all(
+                    r["value"]["success"] is not None for r in results)
+            print("both tenants done: 4 + 4 cells")
+
+            metrics = client.metrics()
+            for family in ("repro_uptime_seconds", "repro_campaigns",
+                           "repro_cells_total",
+                           "repro_cells_shipped_total",
+                           "repro_workers_connected",
+                           "repro_cache_hit_rate"):
+                assert family in metrics, f"missing metric {family}"
+            assert 'tenant="alice"' in metrics and 'tenant="bob"' in metrics
+            print(f"/metrics OK ({len(metrics.splitlines())} lines)")
+
+            warm = client.submit(dict(MATRIX, tenant="carol"))
+            final = client.wait(warm["id"], timeout=60)
+            assert final["status"] == "done", final
+            assert final["counts"] == {"hit": 4}, final
+            assert final["shipped"] == 0, final
+            print("warm resubmit: all cache hits, zero cells shipped")
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            service.close()
+            for worker in workers:
+                try:
+                    worker.wait(timeout=30)
+                except subprocess.TimeoutExpired:
+                    worker.kill()
+                    worker.wait()
+        assert all(worker.returncode == 0 for worker in workers), \
+            "a worker exited uncleanly"
+
+    print("serve smoke OK: two tenants, live metrics, warm resubmit free")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

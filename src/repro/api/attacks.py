@@ -23,6 +23,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.api.registry import Param, Plugin, Registry
+from repro.api.spec import format_spec
 from repro.attacks.key_space import key_space_trace
 from repro.attacks.bmc import bounded_equivalence
 from repro.attacks.oracle import SimulationOracle
@@ -59,6 +60,13 @@ class AttackOutcome:
     ``metrics`` holds flat JSON scalars for table rendering, ``details``
     richer JSON-safe structures.  The dict round-trip (:meth:`as_dict` /
     :meth:`from_dict`) is what campaign cells cache.
+
+    ``attack_spec``/``scheme_spec`` carry the *canonical* spec strings
+    the outcome was produced from (``Attack.run`` fills the former,
+    :func:`repro.api.cells.matrix_cell` the latter), so a result fetched
+    over the campaign-service job API is self-describing.  They are
+    derived metadata, not inputs: cache keys hash the cell parameters
+    only, so adding them changed no existing key.
     """
 
     attack: str
@@ -66,6 +74,8 @@ class AttackOutcome:
     seconds: float
     metrics: dict = field(default_factory=dict)
     details: dict = field(default_factory=dict)
+    attack_spec: str = None
+    scheme_spec: str = None
 
     def as_dict(self):
         return {
@@ -74,6 +84,8 @@ class AttackOutcome:
             "seconds": self.seconds,
             "metrics": dict(self.metrics),
             "details": dict(self.details),
+            "attack_spec": self.attack_spec,
+            "scheme_spec": self.scheme_spec,
         }
 
     @classmethod
@@ -81,7 +93,9 @@ class AttackOutcome:
         return cls(attack=payload["attack"], success=payload["success"],
                    seconds=payload["seconds"],
                    metrics=dict(payload.get("metrics", ())),
-                   details=dict(payload.get("details", ())))
+                   details=dict(payload.get("details", ())),
+                   attack_spec=payload.get("attack_spec"),
+                   scheme_spec=payload.get("scheme_spec"))
 
 
 class Attack(Plugin):
@@ -101,10 +115,11 @@ class Attack(Plugin):
             oracle = SimulationOracle(locked.original)
         if budget is None:
             budget = AttackBudget()
+        resolved = self.resolve_params(params)
         start = time.perf_counter()
-        outcome = self._fn(locked, oracle, budget,
-                           **self.resolve_params(params))
+        outcome = self._fn(locked, oracle, budget, **resolved)
         outcome.attack = self.name
+        outcome.attack_spec = format_spec(self.name, resolved)
         outcome.seconds = time.perf_counter() - start
         return outcome
 

@@ -83,10 +83,11 @@ def matrix_cell(circuit, scale, seed, scheme, attack, max_dips=None,
         locked, budget=AttackBudget(max_dips=max_dips,
                                     time_budget=time_budget),
         **attack_params)
-    payload = outcome.as_dict()
     # scheme_params is already fully resolved, so formatting it directly
     # yields the canonical spec without another schema pass.
-    payload["scheme"] = format_spec(scheme_obj.name, scheme_params)
+    outcome.scheme_spec = format_spec(scheme_obj.name, scheme_params)
+    payload = outcome.as_dict()
+    payload["scheme"] = outcome.scheme_spec
     payload["circuit"] = circuit
     return payload
 

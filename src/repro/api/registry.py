@@ -22,6 +22,7 @@ third-party code uses exactly the same door::
 
 from __future__ import annotations
 
+import difflib
 from dataclasses import dataclass
 
 from repro.errors import SpecError
@@ -83,6 +84,15 @@ class Param:
                 f"{owner}: parameter {name!r} expects {expected}, "
                 f"got {value!r}")
         return float(value) if self.kind == "float" else value
+
+    def as_dict(self):
+        """JSON-safe schema entry (the ``--json`` listing form)."""
+        payload = {"kind": self.kind, "default": self.default,
+                   "doc": self.doc}
+        if self.aliases:
+            payload["aliases"] = {spelling: value
+                                  for spelling, value in self.aliases}
+        return payload
 
     def describe(self):
         """``kind=default`` rendering for CLI listings."""
@@ -169,6 +179,18 @@ class Plugin:
                                self.params_schema.items()))
         return self.name, self.description, schema or "(no parameters)"
 
+    def describe_json(self):
+        """JSON-safe description: name, doc, and full param schema —
+        what ``repro-lock schemes --json`` and the service's
+        ``/schemes`` endpoint emit for machine discovery."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "description": self.description,
+            "params": {key: param.as_dict()
+                       for key, param in sorted(self.params_schema.items())},
+        }
+
     def __repr__(self):
         return f"<{self.kind} {self.name!r}>"
 
@@ -194,8 +216,13 @@ class Registry:
             return self._entries[name]
         except KeyError:
             known = ", ".join(self.names()) or "(none registered)"
+            hint = ""
+            close = difflib.get_close_matches(
+                str(name), self.names(), n=1, cutoff=0.5)
+            if close:
+                hint = f" — did you mean {close[0]!r}?"
             raise SpecError(
-                f"unknown {self.kind} {name!r} (registered: {known})")
+                f"unknown {self.kind} {name!r} (registered: {known}){hint}")
 
     def names(self):
         return tuple(sorted(self._entries))

@@ -81,6 +81,17 @@ def _render_scalar(value, key=""):
         "(spec values are bool, int, float, str or null)")
 
 
+def _split_params(text, tail):
+    """Yield ``(part, column)`` for each ``&``-separated parameter of
+    ``tail``, where ``column`` is the 1-based position of the part in
+    the full spec ``text`` — so parse errors can point at the offending
+    token instead of making the user count characters."""
+    column = len(text) - len(tail) + 1
+    for part in tail.split("&"):
+        yield part, column
+        column += len(part) + 1
+
+
 def parse_spec(text):
     """``"name?a=1&b=x"`` -> ``("name", {"a": 1, "b": "x"})``.
 
@@ -93,17 +104,20 @@ def parse_spec(text):
     text = text.strip()
     name, _, tail = text.partition("?")
     if not name:
-        raise SpecError(f"spec {text!r} has no plugin name")
+        raise SpecError(f"spec {text!r} has no plugin name "
+                        "(column 1 is '?')")
     params = {}
     if tail:
-        for part in tail.split("&"):
+        for part, column in _split_params(text, tail):
             key, sep, raw = part.partition("=")
             if not sep or not key or not raw:
                 raise SpecError(
-                    f"spec {text!r}: malformed parameter {part!r} "
-                    "(expected key=value)")
+                    f"spec {text!r}: malformed parameter {part!r} at "
+                    f"column {column} (expected key=value)")
             if key in params:
-                raise SpecError(f"spec {text!r} repeats parameter {key!r}")
+                raise SpecError(
+                    f"spec {text!r} repeats parameter {key!r} at "
+                    f"column {column}")
             params[key] = _parse_scalar(raw)
     return name, params
 
@@ -165,14 +179,16 @@ def expand_grid(text):
     if not tail:
         return [format_spec(name)]
     keys, choices = [], []
-    for part in tail.split("&"):
+    for part, column in _split_params(text, tail):
         key, sep, raw = part.partition("=")
         if not sep or not key or not raw:
             raise SpecError(
-                f"spec {text!r}: malformed parameter {part!r} "
-                "(expected key=value)")
+                f"spec {text!r}: malformed parameter {part!r} at "
+                f"column {column} (expected key=value)")
         if key in keys:
-            raise SpecError(f"spec {text!r} repeats parameter {key!r}")
+            raise SpecError(
+                f"spec {text!r} repeats parameter {key!r} at "
+                f"column {column}")
         keys.append(key)
         choices.append(_expand_value(key, raw))
     order = sorted(range(len(keys)), key=lambda i: keys[i])

@@ -121,6 +121,13 @@ def timeout_envelope(elapsed, cell_timeout):
         f"cell exceeded {cell_timeout}s budget")
 
 
+def cancelled_envelope(elapsed):
+    """The envelope recorded for a cell cancelled before completion
+    (its campaign was deleted through the service API)."""
+    return failure_envelope(
+        elapsed, "Cancelled", "campaign cancelled before this cell completed")
+
+
 class SpecOrderReporter:
     """Announce results in spec order as the filled prefix grows.
 

@@ -26,6 +26,19 @@ in-flight cells **requeued** onto the remaining fleet, so killing a
 worker mid-campaign loses no cells.  Results are absorbed scheduler-side
 through the campaign's shared :class:`~repro.campaign.store.ResultStore`,
 so a cache dir on shared storage keeps working unchanged.
+
+The scheduler runs in two modes.  :meth:`Scheduler.run` is the batch
+mode the :class:`DistributedBackend` uses: execute a fixed task list to
+completion, then release the fleet.  :meth:`Scheduler.serve` is the
+**incremental** mode behind ``repro-lock serve``
+(:mod:`repro.campaign.service`): the event loop runs until stopped while
+other threads feed it work through the thread-safe :meth:`submit` /
+:meth:`cancel_group` doors (a submission inbox drained on the loop
+thread, woken through a self-pipe).  Which queued task is placed next is
+a pluggable *queue policy* — the default :class:`FifoTaskQueue`
+preserves the historical strict-FIFO order; the service installs a
+multi-tenant fair-share policy
+(:class:`repro.campaign.service.fairshare.FairShareQueue`).
 """
 
 from __future__ import annotations
@@ -33,13 +46,15 @@ from __future__ import annotations
 import collections
 import selectors
 import socket
+import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.campaign.backends import (
     DEFAULT_BIND,
     ExecutorBackend,
     SpecOrderReporter,
+    cancelled_envelope,
     failure_envelope,
     timeout_envelope,
 )
@@ -62,9 +77,35 @@ DEFAULT_HEARTBEAT_TIMEOUT = 15.0
 MAX_ATTEMPTS = 3
 
 
-@dataclass(frozen=True)
+def listen_socket(bind, what="scheduler"):
+    """A listening TCP socket bound to ``bind`` (``(host, port)`` or a
+    ``"HOST:PORT"`` string; port 0 picks a free port)."""
+    if isinstance(bind, str):
+        bind = parse_hostport(bind, what=f"{what} bind address")
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    try:
+        sock.bind(bind)
+    except OSError as error:
+        sock.close()
+        raise CampaignError(
+            f"cannot bind {what} to {format_address(bind)}: {error}")
+    sock.listen(64)
+    return sock
+
+
+@dataclass
 class _Task:
-    """One pending cell as the scheduler sees it."""
+    """One pending cell as the scheduler sees it.
+
+    ``group``/``tenant``/``priority`` exist for the service mode: the
+    group names the submission (so one campaign can be cancelled as a
+    unit), the tenant is the fair-share accounting bucket, and
+    ``deliver`` overrides the run-level deliver callback so concurrent
+    submissions route results to their own jobs.  ``attempts`` counts
+    placements — a task that loses MAX_ATTEMPTS workers in a row is
+    failed instead of requeued.
+    """
 
     index: int
     fn: str
@@ -72,6 +113,11 @@ class _Task:
     key: str
     width: int
     label: str
+    group: str = ""
+    tenant: str = ""
+    priority: int = 0
+    deliver: object = None
+    attempts: int = field(default=0, compare=False)
 
 
 @dataclass
@@ -102,18 +148,66 @@ class _WorkerState:
         self.last_seen = time.monotonic()
 
 
+class FifoTaskQueue(collections.deque):
+    """The default queue policy: strict submission order.
+
+    The policy protocol a queue must implement for the scheduler:
+    ``put`` (new work), ``pop_next`` (next placement candidate, or
+    None), ``defer`` (tasks that found no worker this round, restored
+    ahead of newer work in their original order), ``requeue`` (a task
+    whose worker died, restored to the very front), ``remove_group``
+    (cancel a submission), ``started``/``finished`` (placement
+    accounting hooks), and ``depths`` (per-tenant backlog for metrics).
+    """
+
+    def put(self, task):
+        self.append(task)
+
+    def pop_next(self):
+        return self.popleft() if self else None
+
+    def defer(self, tasks):
+        self.extendleft(reversed(tasks))
+
+    def requeue(self, task):
+        self.appendleft(task)
+
+    def remove_group(self, group):
+        removed = [task for task in self if task.group == group]
+        if removed:
+            kept = [task for task in self if task.group != group]
+            self.clear()
+            self.extend(kept)
+        return removed
+
+    def started(self, task, cores):
+        pass
+
+    def finished(self, task, cores):
+        pass
+
+    def depths(self):
+        counts = {}
+        for task in self:
+            counts[task.tenant] = counts.get(task.tenant, 0) + 1
+        return counts
+
+
 class Scheduler:
     """Place tasks onto registered workers; deliver result envelopes.
 
     The scheduler owns an already-listening socket (so callers can learn
     the bound port before any worker starts) and runs a single-threaded
-    ``selectors`` event loop inside :meth:`run` until every task has a
-    delivered envelope.
+    ``selectors`` event loop — either :meth:`run` (a fixed batch, loop
+    until done) or :meth:`serve` (run until stopped, accepting work
+    incrementally through :meth:`submit`).  All mutation happens on the
+    loop thread; :meth:`submit` and :meth:`cancel_group` are the only
+    thread-safe doors and go through an inbox + waker pipe.
     """
 
     def __init__(self, listen_sock, *, min_workers=1,
                  heartbeat_timeout=DEFAULT_HEARTBEAT_TIMEOUT,
-                 cell_timeout=None, salt="", on_event=None):
+                 cell_timeout=None, salt="", on_event=None, queue=None):
         if min_workers < 1:
             raise CampaignError(
                 f"min_workers must be >= 1, got {min_workers}")
@@ -124,42 +218,172 @@ class Scheduler:
         self.salt = salt
         self._on_event = on_event
         self._workers = {}          # sock -> _WorkerState
-        self._queue = collections.deque()
+        self._queue = queue if queue is not None else FifoTaskQueue()
         self._next_id = 0
-        self._attempts = {}         # task index -> placements so far
         self._sel = None
         self._deliver = None
         self._outstanding = 0
         self._dispatching = False
+        self._inbox = collections.deque()
+        self._inbox_lock = threading.Lock()
+        self._stop_event = threading.Event()
+        self._waker_r, self._waker_w = socket.socketpair()
+        self._waker_r.setblocking(False)
+        self._waker_w.setblocking(False)
+        #: Loop-published snapshot of fleet/queue state (atomically
+        #: replaced each tick) — safe to read from any thread.
+        self.stats_snapshot = {"workers": [], "queued": 0,
+                               "queue_depths": {}, "outstanding": 0,
+                               "dispatching": False}
 
+    # ------------------------------------------------------------------
+    # Entry points
     # ------------------------------------------------------------------
     def run(self, tasks, deliver):
         """Execute every task; calls ``deliver(index, envelope)`` once
         per task (in completion order — the caller re-orders)."""
-        self._queue = collections.deque(tasks)
         self._deliver = deliver
-        self._outstanding = len(self._queue)
-        self._attempts = {}
         self._dispatching = False
-        self._sel = selectors.DefaultSelector()
-        self._listen.setblocking(False)
-        self._sel.register(self._listen, selectors.EVENT_READ, "listen")
+        self._setup()
+        for task in tasks:
+            self._admit(task)
         self._event(
             f"scheduler on {format_address(self._listen.getsockname())}: "
             f"{self._outstanding} cells queued, waiting for "
             f"{self.min_workers} worker(s)")
         try:
             while self._outstanding:
-                for key, _ in self._sel.select(timeout=self._poll_timeout()):
-                    if key.data == "listen":
-                        self._accept()
-                    else:
-                        self._service(self._workers[key.fileobj])
-                self._reap_stale()
-                self._enforce_timeouts()
-                self._maybe_dispatch()
+                self._tick()
         finally:
             self._close_all()
+
+    def serve(self, stop=None):
+        """Run the event loop until ``stop`` (a ``threading.Event``) is
+        set, accepting work incrementally through :meth:`submit`."""
+        if stop is not None:
+            self._stop_event = stop
+        self._dispatching = False
+        self._setup()
+        self._event(
+            f"scheduler serving on "
+            f"{format_address(self._listen.getsockname())}")
+        try:
+            while not self._stop_event.is_set():
+                self._tick()
+        finally:
+            self._close_all()
+
+    def stop(self):
+        """Ask a :meth:`serve` loop to exit (thread-safe)."""
+        self._stop_event.set()
+        self._wake()
+
+    # ------------------------------------------------------------------
+    # Thread-safe submission doors
+    # ------------------------------------------------------------------
+    def submit(self, tasks):
+        """Enqueue tasks from any thread; each should carry its own
+        ``deliver`` callback (service mode)."""
+        with self._inbox_lock:
+            self._inbox.append(("submit", list(tasks)))
+        self._wake()
+
+    def cancel_group(self, group):
+        """Cancel every queued and in-flight task of ``group`` (their
+        deliver callbacks receive cancelled envelopes); thread-safe."""
+        with self._inbox_lock:
+            self._inbox.append(("cancel", group))
+        self._wake()
+
+    def _wake(self):
+        try:
+            self._waker_w.send(b"x")
+        except (BlockingIOError, OSError):
+            pass  # pipe full (already pending) or scheduler closed
+
+    # ------------------------------------------------------------------
+    # The event loop
+    # ------------------------------------------------------------------
+    def _setup(self):
+        self._sel = selectors.DefaultSelector()
+        self._listen.setblocking(False)
+        self._sel.register(self._listen, selectors.EVENT_READ, "listen")
+        self._sel.register(self._waker_r, selectors.EVENT_READ, "wake")
+
+    def _tick(self):
+        for key, _ in self._sel.select(timeout=self._poll_timeout()):
+            if key.data == "listen":
+                self._accept()
+            elif key.data == "wake":
+                self._drain_waker()
+            else:
+                self._service(self._workers[key.fileobj])
+        self._drain_inbox()
+        self._reap_stale()
+        self._enforce_timeouts()
+        self._maybe_dispatch()
+        self._publish_stats()
+
+    def _drain_waker(self):
+        try:
+            while self._waker_r.recv(4096):
+                pass
+        except (BlockingIOError, OSError):
+            pass
+
+    def _drain_inbox(self):
+        while True:
+            with self._inbox_lock:
+                if not self._inbox:
+                    return
+                action, payload = self._inbox.popleft()
+            if action == "submit":
+                for task in payload:
+                    self._admit(task)
+            elif action == "cancel":
+                self._cancel_group_now(payload)
+
+    def _admit(self, task):
+        self._outstanding += 1
+        self._queue.put(task)
+
+    def _cancel_group_now(self, group):
+        cancelled = 0
+        for task in self._queue.remove_group(group):
+            cancelled += 1
+            self._finish(task, cancelled_envelope(0.0))
+        now = time.monotonic()
+        for worker in list(self._workers.values()):
+            for cell_id, item in list(worker.assigned.items()):
+                if item.task.group != group:
+                    continue
+                if worker.assigned.pop(cell_id, None) is None:
+                    continue  # worker dropped mid-sweep
+                worker.free += item.consumed
+                self._queue.finished(item.task, item.consumed)
+                alive = self._send(worker, {"type": "cancel", "id": cell_id})
+                cancelled += 1
+                self._finish(item.task,
+                             cancelled_envelope(now - item.started))
+                if not alive:
+                    break
+        if cancelled:
+            self._event(f"group {group}: {cancelled} cells cancelled")
+
+    def _publish_stats(self):
+        now = time.monotonic()
+        self.stats_snapshot = {
+            "workers": [
+                {"name": worker.name, "cores": worker.cores,
+                 "free": worker.free, "in_flight": len(worker.assigned),
+                 "last_seen_age": max(0.0, now - worker.last_seen)}
+                for worker in self._workers.values() if worker.registered
+            ],
+            "queued": len(self._queue),
+            "queue_depths": dict(self._queue.depths()),
+            "outstanding": self._outstanding,
+            "dispatching": self._dispatching,
+        }
 
     # ------------------------------------------------------------------
     def _event(self, message):
@@ -216,10 +440,11 @@ class Scheduler:
         elif kind == "result":
             item = worker.assigned.pop(message.get("id"), None)
             if item is None:
-                # Late result for a cell already timed out or requeued
-                # after this worker was presumed dead — drop it.
+                # Late result for a cell already timed out, cancelled,
+                # or requeued after this worker was presumed dead.
                 return
             worker.free += item.consumed
+            self._queue.finished(item.task, item.consumed)
             self._finish(item.task, message.get("envelope"))
         elif kind == "heartbeat":
             pass  # the recv itself refreshed last_seen
@@ -233,7 +458,8 @@ class Scheduler:
                 0.0, "CampaignError",
                 f"worker returned a malformed envelope for {task.label}")
         self._outstanding -= 1
-        self._deliver(task.index, envelope)
+        deliver = task.deliver if task.deliver is not None else self._deliver
+        deliver(task.index, envelope)
 
     def _send(self, worker, message):
         try:
@@ -255,22 +481,25 @@ class Scheduler:
             worker.sock.close()
         except OSError:  # pragma: no cover
             pass
-        in_flight = [item.task for item in worker.assigned.values()]
+        in_flight = list(worker.assigned.values())
         worker.assigned.clear()
+        for item in in_flight:
+            self._queue.finished(item.task, item.consumed)
         # Requeue ahead of untouched work: these cells were already
         # scheduled once and spec-order consumers are waiting on them.
         # A cell that has burned through MAX_ATTEMPTS workers is almost
         # certainly *killing* them (e.g. an unshippable result) — fail
         # it instead of letting it wipe the fleet and hang the campaign.
         requeued = 0
-        for task in reversed(in_flight):
-            if self._attempts.get(task.index, 0) >= MAX_ATTEMPTS:
+        for item in reversed(in_flight):
+            task = item.task
+            if task.attempts >= MAX_ATTEMPTS:
                 self._finish(task, failure_envelope(
                     0.0, "WorkerLost",
                     f"cell lost its worker {MAX_ATTEMPTS} times in a row "
                     f"(last: {reason}); not requeueing it again"))
             else:
-                self._queue.appendleft(task)
+                self._queue.requeue(task)
                 requeued += 1
         suffix = f", {requeued} cells requeued" if requeued else ""
         self._event(f"worker {worker.name} lost ({reason}){suffix}")
@@ -292,6 +521,7 @@ class Scheduler:
                 if worker.assigned.pop(cell_id, None) is None:
                     continue  # worker dropped mid-sweep; already requeued
                 worker.free += item.consumed
+                self._queue.finished(item.task, item.consumed)
                 alive = self._send(worker, {"type": "cancel", "id": cell_id})
                 # The popped cell still timed out — deliver its envelope
                 # even when the cancel send just dropped the worker (the
@@ -315,13 +545,16 @@ class Scheduler:
         self._place()
 
     def _place(self):
-        unplaced = collections.deque()
-        while self._queue:
-            task = self._queue.popleft()
+        deferred = []
+        while True:
+            task = self._queue.pop_next()
+            if task is None:
+                break
             worker = self._pick_worker(task.width)
             if worker is None or not self._dispatch(worker, task):
-                unplaced.append(task)
-        self._queue = unplaced
+                deferred.append(task)
+        if deferred:
+            self._queue.defer(deferred)
 
     def _pick_worker(self, width):
         """The most-free worker that can hold ``width`` more cores.
@@ -347,7 +580,7 @@ class Scheduler:
         consumed = min(task.width, worker.cores)
         cell_id = self._next_id
         self._next_id += 1
-        self._attempts[task.index] = self._attempts.get(task.index, 0) + 1
+        task.attempts += 1
         # `cores` is the placement's grant in *advertised* units; the
         # worker converts it into REPRO_CPU_SHARE against its real host
         # CPU count, so solver auto-sizing sees exactly this many cores
@@ -371,6 +604,7 @@ class Scheduler:
         worker.assigned[cell_id] = _Assignment(
             task=task, consumed=consumed, started=now, deadline=deadline)
         worker.free -= consumed
+        self._queue.started(task, consumed)
         return True
 
     def _close_all(self):
@@ -388,10 +622,16 @@ class Scheduler:
             except OSError:  # pragma: no cover
                 pass
         self._workers.clear()
-        try:
-            self._sel.unregister(self._listen)
-        except (KeyError, ValueError):  # pragma: no cover
-            pass
+        for sock in (self._listen, self._waker_r):
+            try:
+                self._sel.unregister(sock)
+            except (KeyError, ValueError):  # pragma: no cover
+                pass
+        for sock in (self._waker_r, self._waker_w):
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
         self._sel.close()
 
 
@@ -423,17 +663,7 @@ class DistributedBackend(ExecutorBackend):
 
     def _ensure_listening(self):
         if self._listen is None:
-            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-            try:
-                sock.bind(self._bind)
-            except OSError as error:
-                sock.close()
-                raise CampaignError(
-                    f"cannot bind scheduler to "
-                    f"{format_address(self._bind)}: {error}")
-            sock.listen(64)
-            self._listen = sock
+            self._listen = listen_socket(self._bind)
         return self._listen
 
     def execute(self, campaign, specs, keys, pending, results):

@@ -1,0 +1,38 @@
+"""Campaign-as-a-service: the ``repro-lock serve`` daemon.
+
+The package turns the distributed campaign scheduler
+(:mod:`repro.campaign.scheduler`) into a long-lived multi-tenant
+service:
+
+* :mod:`~repro.campaign.service.daemon` — :class:`CampaignService`, the
+  core: owns one shared :class:`~repro.campaign.store.ResultStore`, one
+  incremental :class:`~repro.campaign.scheduler.Scheduler` (running in a
+  background thread), and the in-memory job table;
+* :mod:`~repro.campaign.service.fairshare` — the multi-tenant
+  fair-share queue policy plugged into the scheduler;
+* :mod:`~repro.campaign.service.jobs` — per-campaign cell state;
+* :mod:`~repro.campaign.service.httpd` — the HTTP/JSON API server;
+* :mod:`~repro.campaign.service.metrics` — Prometheus text exposition;
+* :mod:`~repro.campaign.service.client` — the urllib client the CLI
+  subcommands (``submit``/``status``/``results``/``cancel``) use.
+"""
+
+from repro.campaign.service.client import DEFAULT_SERVER, ServiceClient
+from repro.campaign.service.daemon import CampaignService
+from repro.campaign.service.fairshare import FairShareQueue
+from repro.campaign.service.httpd import DEFAULT_HTTP_BIND, ServiceHTTPServer
+from repro.campaign.service.jobs import CampaignJob, CellState
+from repro.campaign.service.metrics import MetricFamily, render_metrics
+
+__all__ = [
+    "CampaignService",
+    "CampaignJob",
+    "CellState",
+    "FairShareQueue",
+    "MetricFamily",
+    "render_metrics",
+    "ServiceClient",
+    "ServiceHTTPServer",
+    "DEFAULT_HTTP_BIND",
+    "DEFAULT_SERVER",
+]

@@ -1,0 +1,117 @@
+"""A urllib client for the campaign service API.
+
+Used by the ``repro-lock submit``/``status``/``results``/``cancel``
+subcommands and by tests; any HTTP client works just as well (the API
+is plain JSON), this one simply keeps the CLI dependency-free.
+
+HTTP-level failures — connection refused, non-2xx responses — surface
+as :class:`~repro.errors.CampaignError` carrying the server's
+``{"error": ...}`` message when there is one, so CLI error rendering
+stays uniform.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import urllib.error
+import urllib.request
+
+from repro.errors import CampaignError
+
+#: Client-side default endpoint: flag > $REPRO_SERVER > localhost.
+DEFAULT_SERVER = "127.0.0.1:8765"
+
+
+def resolve_server(server=None):
+    """The ``host:port`` the client commands should talk to."""
+    return server or os.environ.get("REPRO_SERVER") or DEFAULT_SERVER
+
+
+class ServiceClient:
+    """Typed wrappers over the daemon's HTTP endpoints."""
+
+    def __init__(self, server=None, timeout=30.0):
+        server = resolve_server(server)
+        if "://" not in server:
+            server = f"http://{server}"
+        self.base = server.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(self, method, path, payload=None):
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            f"{self.base}{path}", data=data, headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as error:
+            detail = error.read().decode("utf-8", "replace")
+            try:
+                detail = json.loads(detail).get("error") or detail
+            except (json.JSONDecodeError, AttributeError):
+                pass
+            raise CampaignError(
+                f"{method} {path}: {error.code} {detail}".strip())
+        except (urllib.error.URLError, OSError) as error:
+            reason = getattr(error, "reason", error)
+            raise CampaignError(
+                f"cannot reach campaign service at {self.base}: {reason}")
+
+    def _json(self, method, path, payload=None):
+        return json.loads(self._request(method, path, payload))
+
+    # ------------------------------------------------------------------
+    def info(self):
+        return self._json("GET", "/")
+
+    def metrics(self):
+        return self._request("GET", "/metrics")
+
+    def submit(self, request):
+        """POST a submission payload; returns the job summary."""
+        return self._json("POST", "/campaigns", request)
+
+    def campaigns(self):
+        return self._json("GET", "/campaigns")["campaigns"]
+
+    def status(self, job_id):
+        return self._json("GET", f"/campaigns/{job_id}")
+
+    def results(self, job_id):
+        text = self._request("GET", f"/campaigns/{job_id}/results")
+        return [json.loads(line) for line in text.splitlines() if line]
+
+    def cancel(self, job_id):
+        return self._json("DELETE", f"/campaigns/{job_id}")
+
+    def schemes(self):
+        return self._json("GET", "/schemes")["schemes"]
+
+    def attacks(self):
+        return self._json("GET", "/attacks")["attacks"]
+
+    def shutdown(self):
+        return self._json("POST", "/shutdown", {})
+
+    # ------------------------------------------------------------------
+    def wait(self, job_id, timeout=None, poll=0.25):
+        """Poll until the campaign reaches a terminal status; returns
+        the final detail payload."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            detail = self.status(job_id)
+            if detail["status"] in ("done", "cancelled"):
+                return detail
+            if deadline is not None and time.monotonic() >= deadline:
+                raise CampaignError(
+                    f"campaign {job_id} still {detail['status']} after "
+                    f"{timeout}s")
+            time.sleep(poll)

@@ -1,0 +1,178 @@
+"""HTTP/JSON front-end for the campaign service.
+
+A small, dependency-free API on ``http.server``:
+
+* ``GET  /``                        — daemon info (scheduler endpoint,
+  uptime, worker/campaign counts, cache stats);
+* ``GET  /metrics``                 — Prometheus text exposition;
+* ``GET  /campaigns``               — job summaries, submission order;
+* ``POST /campaigns``               — submit (matrix or raw cells);
+  returns ``{"id": ..., ...summary}`` with status 201;
+* ``GET  /campaigns/<id>``          — per-cell state;
+* ``GET  /campaigns/<id>/results``  — completed cell values as
+  newline-delimited JSON (``application/x-ndjson``), spec order;
+* ``DELETE /campaigns/<id>``        — cancel;
+* ``GET  /schemes`` / ``GET /attacks`` — plugin discovery (the same
+  payload as ``repro-lock schemes --json``);
+* ``POST /shutdown``                — stop serving (the CLI's Ctrl-C
+  equivalent for remote operators).
+
+Errors are JSON bodies ``{"error": message}`` with 4xx/5xx status.
+Requests are served on daemon threads, so a slow poller never blocks a
+submission; all state lives in the :class:`CampaignService`, which does
+its own locking.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.campaign.wire import parse_hostport
+from repro.errors import CampaignError, ReproError, SpecError
+
+#: Default bind for the HTTP API (the scheduler port is separate).
+DEFAULT_HTTP_BIND = "127.0.0.1:8765"
+
+#: Submission bodies past this are rejected (a matrix spec is tiny).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_CAMPAIGN = re.compile(r"^/campaigns/([A-Za-z0-9_.-]+)$")
+_RESULTS = re.compile(r"^/campaigns/([A-Za-z0-9_.-]+)/results$")
+
+
+def _plugin_listing(kind):
+    from repro.api.attacks import ATTACKS
+    from repro.api.schemes import SCHEMES
+
+    registry = SCHEMES if kind == "schemes" else ATTACKS
+    return [plugin.describe_json() for plugin in registry]
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    server_version = "repro-lock-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    @property
+    def service(self):
+        return self.server.service
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        event = getattr(self.server, "on_event", None)
+        if event is not None:
+            event(f"http {self.address_string()} {format % args}")
+
+    # ------------------------------------------------------------------
+    def do_GET(self):
+        path = self.path.split("?", 1)[0]
+        try:
+            if path == "/" or path == "/info":
+                self._json(200, self.service.info())
+            elif path == "/metrics":
+                self._text(200, self.service.metrics_text(),
+                           "text/plain; version=0.0.4; charset=utf-8")
+            elif path == "/campaigns":
+                self._json(200, {"campaigns": self.service.list_jobs()})
+            elif _RESULTS.match(path):
+                job_id = _RESULTS.match(path).group(1)
+                self._ndjson(200, self.service.job_results(job_id))
+            elif _CAMPAIGN.match(path):
+                job_id = _CAMPAIGN.match(path).group(1)
+                self._json(200, self.service.job_detail(job_id))
+            elif path in ("/schemes", "/attacks"):
+                self._json(200, {path[1:]: _plugin_listing(path[1:])})
+            else:
+                self._json(404, {"error": f"no such endpoint: {path}"})
+        except KeyError as error:
+            self._json(404, {"error": f"no such campaign: "
+                                      f"{error.args[0]}"})
+        except ReproError as error:
+            self._json(400, {"error": str(error)})
+
+    def do_POST(self):
+        path = self.path.split("?", 1)[0]
+        try:
+            if path == "/campaigns":
+                request = self._read_json()
+                job = self.service.submit(request)
+                self._json(201, job.summary())
+            elif path == "/shutdown":
+                self._json(200, {"ok": True})
+                threading.Thread(target=self.server.shutdown,
+                                 daemon=True).start()
+            else:
+                self._json(404, {"error": f"no such endpoint: {path}"})
+        except (CampaignError, SpecError) as error:
+            self._json(400, {"error": str(error)})
+        except ReproError as error:
+            self._json(400, {"error": str(error)})
+
+    def do_DELETE(self):
+        path = self.path.split("?", 1)[0]
+        match = _CAMPAIGN.match(path)
+        try:
+            if match:
+                self._json(200, self.service.cancel(match.group(1)))
+            else:
+                self._json(404, {"error": f"no such endpoint: {path}"})
+        except KeyError as error:
+            self._json(404, {"error": f"no such campaign: "
+                                      f"{error.args[0]}"})
+        except ReproError as error:
+            self._json(400, {"error": str(error)})
+
+    # ------------------------------------------------------------------
+    def _read_json(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise CampaignError(
+                f"request body too large ({length} bytes)")
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise CampaignError("request body must be a JSON object")
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise CampaignError(f"request body is not valid JSON: {error}")
+
+    def _respond(self, code, body, content_type):
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        try:
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            pass
+
+    def _json(self, code, payload):
+        body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+        self._respond(code, body, "application/json")
+
+    def _ndjson(self, code, rows):
+        body = "".join(json.dumps(row) + "\n" for row in rows)
+        self._respond(code, body.encode("utf-8"), "application/x-ndjson")
+
+    def _text(self, code, text, content_type):
+        self._respond(code, text.encode("utf-8"), content_type)
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """The daemon's API server; ``service`` is a :class:`CampaignService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, bind, service, on_event=None):
+        if isinstance(bind, str):
+            bind = parse_hostport(bind, what="http bind address")
+        self.service = service
+        self.on_event = on_event
+        super().__init__(bind, ServiceRequestHandler)
+
+    @property
+    def address(self):
+        return self.socket.getsockname()[:2]

@@ -1,0 +1,142 @@
+"""In-memory job table entries for the campaign service.
+
+A submitted campaign becomes a :class:`CampaignJob`: one
+:class:`CellState` per matrix cell, tracking the cell through
+``queued → running → done`` (or ``hit`` straight from the shared
+store, or a terminal ``failed``/``timeout``/``cancelled``).  Completed
+values are kept on the job so ``GET /campaigns/<id>/results`` can
+stream them without re-reading the store.
+
+State transitions happen under the service's lock; the job itself holds
+no locking so it stays trivially serialisable.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+#: States a cell can end in (no further transitions).
+TERMINAL_STATES = ("done", "hit", "failed", "timeout", "cancelled")
+
+#: Every cell state, in lifecycle order (for stable metric labels).
+CELL_STATES = ("queued", "running") + TERMINAL_STATES
+
+
+@dataclass
+class CellState:
+    """One matrix cell of one submitted campaign."""
+
+    spec: object            # CellSpec
+    key: str                # cache key under the service's salt
+    state: str = "queued"
+    elapsed: float = 0.0
+    error: dict = None
+    value: dict = None
+
+    def as_dict(self, include_value=False):
+        payload = {
+            "index": None,  # caller fills the position in
+            "label": self.spec.describe(),
+            "key": self.key,
+            "state": self.state,
+            "elapsed": round(self.elapsed, 6),
+        }
+        if self.error is not None:
+            payload["error"] = {"type": self.error.get("type"),
+                                "message": self.error.get("message")}
+        if include_value and self.value is not None:
+            payload["value"] = self.value
+        return payload
+
+
+class CampaignJob:
+    """One campaign submission: id, tenant, priority, and cell states."""
+
+    def __init__(self, job_id, tenant, priority, specs, keys):
+        self.id = job_id
+        self.tenant = tenant
+        self.priority = priority
+        self.cells = [CellState(spec=spec, key=key)
+                      for spec, key in zip(specs, keys)]
+        self.created = time.time()
+        self.finished_at = None
+        #: Cells actually handed to the scheduler (cache hits are not
+        #: shipped — a fully warm resubmission ships zero cells).
+        self.shipped = 0
+        self.cancelled = False
+
+    # ------------------------------------------------------------------
+    def counts(self):
+        by_state = {}
+        for cell in self.cells:
+            by_state[cell.state] = by_state.get(cell.state, 0) + 1
+        return by_state
+
+    @property
+    def done(self):
+        return all(cell.state in TERMINAL_STATES for cell in self.cells)
+
+    def status(self):
+        if self.done:
+            return "cancelled" if self.cancelled else "done"
+        if any(cell.state == "running" for cell in self.cells):
+            return "running"
+        return "queued"
+
+    # ------------------------------------------------------------------
+    def summary(self):
+        return {
+            "id": self.id,
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "status": self.status(),
+            "created": self.created,
+            "finished": self.finished_at,
+            "cells": len(self.cells),
+            "shipped": self.shipped,
+            "counts": self.counts(),
+        }
+
+    def detail(self):
+        payload = self.summary()
+        cells = []
+        for index, cell in enumerate(self.cells):
+            entry = cell.as_dict()
+            entry["index"] = index
+            cells.append(entry)
+        payload["cell_states"] = cells
+        return payload
+
+    def results(self):
+        """Completed cell values, in spec order, skipping unfinished
+        and failed cells — each annotated with its label and state."""
+        out = []
+        for index, cell in enumerate(self.cells):
+            if cell.value is None:
+                continue
+            out.append({
+                "index": index,
+                "label": cell.spec.describe(),
+                "key": cell.key,
+                "state": cell.state,
+                "elapsed": round(cell.elapsed, 6),
+                "value": cell.value,
+            })
+        return out
+
+
+@dataclass
+class ServiceCounters:
+    """Monotonic service-lifetime counters (for /metrics)."""
+
+    cells_total: dict = field(default_factory=dict)    # (tenant, state) -> n
+    cell_seconds: dict = field(default_factory=dict)   # tenant -> seconds
+    shipped_total: int = 0
+
+    def count_cell(self, tenant, state, elapsed=0.0):
+        key = (tenant, state)
+        self.cells_total[key] = self.cells_total.get(key, 0) + 1
+        if elapsed:
+            self.cell_seconds[tenant] = \
+                self.cell_seconds.get(tenant, 0.0) + elapsed

@@ -1,0 +1,62 @@
+"""Minimal Prometheus text-format exposition (stdlib only).
+
+Implements just the slice of the `text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ the
+``/metrics`` endpoint needs: ``# HELP``/``# TYPE`` headers, labelled
+samples with escaped label values, and float rendering that keeps
+integers readable.  No client library, no registry — the daemon builds
+a fresh list of :class:`MetricFamily` per scrape.
+"""
+
+from __future__ import annotations
+
+
+def escape_label_value(value):
+    return (str(value)
+            .replace("\\", r"\\")
+            .replace('"', r'\"')
+            .replace("\n", r"\n"))
+
+
+def render_value(value):
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+class MetricFamily:
+    """One named metric plus its labelled samples."""
+
+    def __init__(self, name, kind, help_text):
+        self.name = name
+        self.kind = kind  # "gauge" | "counter"
+        self.help_text = help_text
+        self.samples = []  # (labels dict, value)
+
+    def add(self, value, **labels):
+        self.samples.append((labels, value))
+        return self
+
+    def render(self):
+        lines = [f"# HELP {self.name} {self.help_text}",
+                 f"# TYPE {self.name} {self.kind}"]
+        for labels, value in self.samples:
+            if labels:
+                body = ",".join(
+                    f'{key}="{escape_label_value(labels[key])}"'
+                    for key in sorted(labels))
+                lines.append(f"{self.name}{{{body}}} {render_value(value)}")
+            else:
+                lines.append(f"{self.name} {render_value(value)}")
+        return lines
+
+
+def render_metrics(families):
+    """The full exposition payload for a list of families; families
+    without samples are skipped (Prometheus dislikes bare headers)."""
+    lines = []
+    for family in families:
+        if family.samples:
+            lines.extend(family.render())
+    return "\n".join(lines) + "\n"

@@ -18,6 +18,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 from dataclasses import dataclass, field
 
 ENTRY_FORMAT = "trilock-cell-v1"
@@ -33,12 +34,29 @@ def default_cache_dir():
 
 @dataclass
 class StoreStats:
-    """Per-instance cache traffic counters."""
+    """Per-instance cache traffic counters.
+
+    Increments go through :meth:`record` under an internal lock: one
+    store is shared by every tenant of a ``repro-lock serve`` daemon, so
+    counters are bumped from the scheduler loop thread while HTTP
+    threads render them into ``/metrics``.
+    """
 
     hits: int = 0
     misses: int = 0
     puts: int = 0
     invalidations: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
+
+    def record(self, event):
+        with self._lock:
+            setattr(self, event, getattr(self, event) + 1)
+
+    def hit_rate(self):
+        """Fraction of lookups served from the cache (0.0 when idle)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
 
     def as_dict(self):
         return {"hits": self.hits, "misses": self.misses,
@@ -70,20 +88,20 @@ class ResultStore:
             with open(path, "r", encoding="utf-8") as handle:
                 entry = json.load(handle)
         except FileNotFoundError:
-            self.stats.misses += 1
+            self.stats.record("misses")
             return None
         except (json.JSONDecodeError, OSError, UnicodeDecodeError):
             self._evict(path)
-            self.stats.misses += 1
+            self.stats.record("misses")
             return None
         if (not isinstance(entry, dict)
                 or entry.get("format") != ENTRY_FORMAT
                 or entry.get("key") != key
                 or "value" not in entry):
             self._evict(path)
-            self.stats.misses += 1
+            self.stats.record("misses")
             return None
-        self.stats.hits += 1
+        self.stats.record("hits")
         return entry["value"]
 
     def put(self, key, spec, value, elapsed=0.0):
@@ -115,7 +133,7 @@ class ResultStore:
             except OSError:
                 pass
             raise
-        self.stats.puts += 1
+        self.stats.record("puts")
         return path
 
     def _evict(self, path):
@@ -123,7 +141,7 @@ class ResultStore:
             os.unlink(path)
         except OSError:
             pass
-        self.stats.invalidations += 1
+        self.stats.record("invalidations")
 
     # ------------------------------------------------------------------
     # Inspection (the `campaign status` command)

@@ -37,6 +37,18 @@ worker that dies)::
         --workers 2
     repro-lock worker --connect scheduler-host:7764 --cores 8
 
+Run the campaign service daemon and talk to it (the async job API —
+many tenants, one worker fleet, one shared result cache)::
+
+    repro-lock serve --http 127.0.0.1:8765 --bind 0.0.0.0:7764 \
+        --local-workers 2
+    repro-lock submit --scheme trilock --attack seq-sat --tenant alice \
+        --wait
+    repro-lock status            # all campaigns
+    repro-lock status c0001-abcd # per-cell state
+    repro-lock results c0001-abcd
+    repro-lock cancel c0001-abcd
+
 Inspect or clear the experiment-campaign result cache::
 
     repro-lock campaign status
@@ -58,6 +70,7 @@ from repro.attacks import bounded_equivalence, scc_report, sequential_sat_attack
 from repro.attacks.oracle import SimulationOracle
 from repro.campaign import Campaign, ResultStore, default_cache_dir, \
     render_status
+from repro.campaign.service import DEFAULT_HTTP_BIND, ServiceClient
 from repro.core import KeySequence, TriLockConfig
 from repro.core.locker import LockedCircuit
 from repro.errors import ReproError
@@ -140,9 +153,15 @@ def build_parser():
     report_cmd.add_argument("--fc-depth", type=int, default=4)
     report_cmd.add_argument("--fc-samples", type=int, default=800)
 
-    commands.add_parser("schemes",
-                        help="list the registered locking schemes")
-    commands.add_parser("attacks", help="list the registered attacks")
+    for kind in ("schemes", "attacks"):
+        listing_cmd = commands.add_parser(
+            kind,
+            help="list the registered locking schemes" if kind == "schemes"
+            else "list the registered attacks")
+        listing_cmd.add_argument(
+            "--json", action="store_true",
+            help="machine-readable listing: name, description, and the "
+                 "full parameter schema with defaults")
 
     matrix_cmd = commands.add_parser(
         "matrix", help="run a scheme x attack grid through the campaign "
@@ -196,6 +215,83 @@ def build_parser():
                             help="seconds to retry the initial connect, "
                                  "so workers may start before the "
                                  "scheduler (default %(default)s)")
+
+    serve_cmd = commands.add_parser(
+        "serve", help="run the long-lived campaign service daemon "
+                      "(async job API over HTTP + a worker fleet)")
+    serve_cmd.add_argument("--http", default=DEFAULT_HTTP_BIND,
+                           metavar="HOST:PORT",
+                           help="HTTP API bind (default %(default)s; "
+                                "port 0 picks a free port)")
+    serve_cmd.add_argument("--bind", default="127.0.0.1:0",
+                           metavar="HOST:PORT",
+                           help="scheduler endpoint workers connect to "
+                                "(default %(default)s — an ephemeral "
+                                "port, printed at startup)")
+    serve_cmd.add_argument("--cache-dir", default=None,
+                           help="shared result cache all tenants hit "
+                                "(default $REPRO_CACHE_DIR or "
+                                ".repro-cache)")
+    serve_cmd.add_argument("--no-cache", action="store_true",
+                           help="serve without a shared result store")
+    serve_cmd.add_argument("--cell-timeout", type=float, default=None,
+                           help="seconds one cell may run on a worker")
+    serve_cmd.add_argument("--local-workers", type=int, default=0,
+                           metavar="N",
+                           help="worker agents to spawn on this host "
+                                "(remote workers join with "
+                                "'repro-lock worker --connect')")
+    serve_cmd.add_argument("--worker-cores", type=int, default=None,
+                           help="cores each local worker advertises")
+    serve_cmd.add_argument("--min-workers", type=int, default=1,
+                           help="hold dispatch until this many workers "
+                                "registered (default %(default)s)")
+    serve_cmd.add_argument("--heartbeat-timeout", type=float, default=None,
+                           help="seconds of silence before a worker is "
+                                "declared dead")
+
+    submit_cmd = commands.add_parser(
+        "submit", help="submit a scheme x attack matrix to a serve "
+                       "daemon")
+    submit_cmd.add_argument("--server", default=None, metavar="HOST:PORT",
+                            help="service endpoint (default $REPRO_SERVER "
+                                 "or 127.0.0.1:8765)")
+    submit_cmd.add_argument("--tenant", default="default",
+                            help="fair-share accounting bucket")
+    submit_cmd.add_argument("--priority", type=int, default=0,
+                            help="within-tenant priority (higher wins)")
+    submit_cmd.add_argument("--circuit", action="append", default=None,
+                            help="benchmark name (repeatable; default s27)")
+    submit_cmd.add_argument("--scheme", action="append", required=True,
+                            help="scheme spec, may be gridded; repeatable")
+    submit_cmd.add_argument("--attack", action="append", required=True,
+                            help="attack spec, may be gridded; repeatable")
+    submit_cmd.add_argument("--scale", type=float, default=1.0)
+    submit_cmd.add_argument("--seed", type=int, default=0)
+    submit_cmd.add_argument("--max-dips", type=int, default=None)
+    submit_cmd.add_argument("--time-budget", type=float, default=None)
+    submit_cmd.add_argument("--wait", action="store_true",
+                            help="poll until the campaign finishes")
+    submit_cmd.add_argument("--poll", type=float, default=0.5,
+                            help="--wait poll interval in seconds")
+
+    status_cmd = commands.add_parser(
+        "status", help="campaign states on a serve daemon")
+    status_cmd.add_argument("id", nargs="?", default=None,
+                            help="campaign id (omit to list all)")
+    status_cmd.add_argument("--server", default=None, metavar="HOST:PORT")
+    status_cmd.add_argument("--json", action="store_true")
+
+    results_cmd = commands.add_parser(
+        "results", help="stream a campaign's completed cell values "
+                        "(newline-delimited JSON)")
+    results_cmd.add_argument("id", help="campaign id")
+    results_cmd.add_argument("--server", default=None, metavar="HOST:PORT")
+
+    cancel_cmd = commands.add_parser(
+        "cancel", help="cancel a campaign on a serve daemon")
+    cancel_cmd.add_argument("id", help="campaign id")
+    cancel_cmd.add_argument("--server", default=None, metavar="HOST:PORT")
 
     campaign_cmd = commands.add_parser(
         "campaign", help="inspect the experiment-campaign result cache")
@@ -389,14 +485,18 @@ def cmd_report(args, out):
 
 
 def cmd_schemes(args, out):
-    return _list_registry(SCHEMES, out)
+    return _list_registry(SCHEMES, out, as_json=args.json)
 
 
 def cmd_attacks(args, out):
-    return _list_registry(ATTACKS, out)
+    return _list_registry(ATTACKS, out, as_json=args.json)
 
 
-def _list_registry(registry, out):
+def _list_registry(registry, out, as_json=False):
+    if as_json:
+        out.write(json.dumps([plugin.describe_json()
+                              for plugin in registry], indent=2) + "\n")
+        return 0
     rows = [
         {"name": name, "description": description, "parameters": schema}
         for name, description, schema in
@@ -476,6 +576,150 @@ def cmd_worker(args, out):
             "up, and --bind reachable from here?)")
 
 
+def cmd_serve(args, out):
+    import signal
+    import subprocess
+
+    from repro.campaign.service import CampaignService, ServiceHTTPServer
+
+    store = None if args.no_cache else ResultStore(
+        args.cache_dir if args.cache_dir else default_cache_dir())
+
+    def event(message):
+        sys.stderr.write(f"[serve] {message}\n")
+
+    kwargs = {}
+    if args.heartbeat_timeout is not None:
+        kwargs["heartbeat_timeout"] = args.heartbeat_timeout
+    service = CampaignService(
+        store=store, scheduler_bind=args.bind,
+        min_workers=args.min_workers, cell_timeout=args.cell_timeout,
+        on_event=event, **kwargs)
+    service.start()
+    host, port = service.scheduler_address
+    workers = []
+    for _ in range(args.local_workers):
+        command = [sys.executable, "-m", "repro.cli", "worker",
+                   "--connect", f"{host}:{port}"]
+        if args.worker_cores:
+            command += ["--cores", str(args.worker_cores)]
+        workers.append(subprocess.Popen(command))
+    httpd = ServiceHTTPServer(args.http, service)
+    api_host, api_port = httpd.address
+    out.write(f"campaign service: http://{api_host}:{api_port} "
+              f"(scheduler {host}:{port}, cache "
+              f"{store.cache_dir if store else 'off'}, "
+              f"{len(workers)} local workers)\n")
+    out.flush()
+
+    def _sigterm(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _sigterm)
+    except ValueError:  # pragma: no cover - not the main thread
+        pass
+    try:
+        httpd.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        httpd.server_close()
+        service.close()
+        for proc in workers:
+            proc.terminate()
+        for proc in workers:
+            try:
+                proc.wait(timeout=5)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                proc.kill()
+    out.write("campaign service stopped\n")
+    return 0
+
+
+def _counts_line(counts):
+    return " ".join(f"{state}={counts[state]}"
+                    for state in sorted(counts)) or "(empty)"
+
+
+def cmd_submit(args, out):
+    client = ServiceClient(args.server)
+    request = {
+        "tenant": args.tenant,
+        "priority": args.priority,
+        "circuits": args.circuit if args.circuit else ["s27"],
+        "schemes": args.scheme,
+        "attacks": args.attack,
+        "scale": args.scale,
+        "seed": args.seed,
+        "max_dips": args.max_dips,
+        "time_budget": args.time_budget,
+    }
+    summary = client.submit(request)
+    out.write(f"campaign {summary['id']} (tenant {summary['tenant']}): "
+              f"{summary['cells']} cells, {summary['shipped']} shipped, "
+              f"{summary['counts'].get('hit', 0)} warm hits\n")
+    if not args.wait:
+        return 0
+    detail = client.wait(summary["id"], poll=args.poll)
+    counts = detail["counts"]
+    out.write(f"campaign {summary['id']} {detail['status']}: "
+              f"{_counts_line(counts)}\n")
+    clean = detail["status"] == "done" and not any(
+        counts.get(state) for state in ("failed", "timeout", "cancelled"))
+    return 0 if clean else 1
+
+
+def cmd_status(args, out):
+    client = ServiceClient(args.server)
+    if args.id is None:
+        jobs = client.campaigns()
+        if args.json:
+            out.write(json.dumps(jobs, indent=2) + "\n")
+            return 0
+        if not jobs:
+            out.write("no campaigns\n")
+            return 0
+        rows = [{
+            "id": job["id"], "tenant": job["tenant"],
+            "status": job["status"], "cells": job["cells"],
+            "shipped": job["shipped"],
+            "counts": _counts_line(job["counts"]),
+        } for job in jobs]
+        out.write(format_table(rows) + "\n")
+        return 0
+    detail = client.status(args.id)
+    if args.json:
+        out.write(json.dumps(detail, indent=2) + "\n")
+        return 0
+    out.write(f"campaign {detail['id']} (tenant {detail['tenant']}, "
+              f"priority {detail['priority']}): {detail['status']}, "
+              f"{_counts_line(detail['counts'])}\n")
+    rows = [{
+        "cell": cell["index"], "label": cell["label"],
+        "state": cell["state"], "T(s)": round(cell["elapsed"], 3),
+        "error": (f"{cell['error']['type']}: {cell['error']['message']}"
+                  if cell.get("error") else ""),
+    } for cell in detail["cell_states"]]
+    out.write(format_table(rows) + "\n")
+    return 0
+
+
+def cmd_results(args, out):
+    client = ServiceClient(args.server)
+    for row in client.results(args.id):
+        out.write(json.dumps(row) + "\n")
+    return 0
+
+
+def cmd_cancel(args, out):
+    client = ServiceClient(args.server)
+    summary = client.cancel(args.id)
+    out.write(f"campaign {summary['id']}: {summary['status']}, "
+              f"{_counts_line(summary['counts'])}\n")
+    return 0
+
+
 def cmd_campaign(args, out):
     store = ResultStore(args.cache_dir if args.cache_dir
                         else default_cache_dir())
@@ -497,6 +741,11 @@ _COMMANDS = {
     "attacks": cmd_attacks,
     "matrix": cmd_matrix,
     "worker": cmd_worker,
+    "serve": cmd_serve,
+    "submit": cmd_submit,
+    "status": cmd_status,
+    "results": cmd_results,
+    "cancel": cmd_cancel,
     "campaign": cmd_campaign,
 }
 

@@ -44,7 +44,10 @@ class TestMatrixCells:
     def test_every_attack_produces_a_uniform_outcome(self, scheme, attack):
         value = matrix_cell("s27", 1.0, 0, scheme, attack, max_dips=64)
         assert set(value) == {"attack", "success", "seconds", "metrics",
-                              "details", "scheme", "circuit"}
+                              "details", "attack_spec", "scheme_spec",
+                              "scheme", "circuit"}
+        assert value["scheme_spec"] == value["scheme"]
+        assert value["attack_spec"].partition("?")[0] == value["attack"]
         assert isinstance(value["success"], bool)
         assert value["seconds"] >= 0
         assert value["metrics"]

@@ -133,6 +133,36 @@ class TestErrors:
             with pytest.raises(SpecError):
                 parse_spec(bad)
 
+    def test_malformed_parameter_reports_offending_token_and_column(self):
+        with pytest.raises(SpecError) as excinfo:
+            parse_spec("trilock?kappa_s")
+        message = str(excinfo.value)
+        assert "'kappa_s'" in message and "at column 9" in message
+
+    def test_repeated_parameter_reports_second_occurrence_column(self):
+        with pytest.raises(SpecError) as excinfo:
+            parse_spec("trilock?kappa_s=3&kappa_s=4")
+        message = str(excinfo.value)
+        assert "'kappa_s'" in message and "at column 19" in message
+
+    def test_grid_errors_carry_positions_too(self):
+        with pytest.raises(SpecError) as excinfo:
+            expand_grid("trilock?kappa_s&alpha=0.3")
+        assert "at column 9" in str(excinfo.value)
+
+    def test_unknown_name_suggests_nearest_plugin(self):
+        with pytest.raises(SpecError) as excinfo:
+            canonical_scheme_spec("trilok?kappa_s=2")
+        assert "did you mean 'trilock'?" in str(excinfo.value)
+        with pytest.raises(SpecError) as excinfo:
+            canonical_attack_spec("seqsat")
+        assert "did you mean 'seq-sat'?" in str(excinfo.value)
+
+    def test_hopeless_typos_get_no_suggestion(self):
+        with pytest.raises(SpecError) as excinfo:
+            canonical_scheme_spec("zzzzzz?kappa=1")
+        assert "did you mean" not in str(excinfo.value)
+
 
 class TestGrids:
     def test_range_expansion(self):

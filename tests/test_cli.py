@@ -257,6 +257,29 @@ class TestRegistryListings:
             assert name in text
         assert "dip_batch:int=1" in text
 
+    def test_schemes_json_listing(self):
+        code, text = run_cli(["schemes", "--json"])
+        assert code == 0
+        listing = json.loads(text)
+        by_name = {entry["name"]: entry for entry in listing}
+        assert "trilock" in by_name and "harpoon" in by_name
+        trilock = by_name["trilock"]
+        assert trilock["description"]
+        assert trilock["params"]["kappa_s"]["kind"] == "int"
+        assert trilock["params"]["kappa_s"]["default"] == 2
+        assert trilock["params"]["kappa_s"]["doc"]
+
+    def test_attacks_json_listing(self):
+        code, text = run_cli(["attacks", "--json"])
+        assert code == 0
+        listing = json.loads(text)
+        by_name = {entry["name"]: entry for entry in listing}
+        assert "seq-sat" in by_name
+        params = by_name["seq-sat"]["params"]
+        assert params["dip_batch"]["default"] == 1
+        # Alias spellings are part of the machine-readable schema.
+        assert params["attack_jobs"]["aliases"] == {"auto": None}
+
 
 class TestMatrixCommand:
     def test_grid_runs_and_caches(self, workspace):
