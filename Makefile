@@ -41,13 +41,13 @@ matrix-demo:
 # through the TCP scheduler + two loopback `repro-lock worker` agents,
 # asserting identical results and an all-hits warm rerun.
 distributed-demo:
-	$(PY) examples/distributed_smoke.py
+	REPRO_SECRET=demo-fleet-secret $(PY) examples/distributed_smoke.py
 
 # Campaign-service smoke: the `repro-lock serve` daemon + HTTP API with
 # two loopback workers — two tenants complete, /metrics is live, and a
 # warm resubmit finishes from the shared cache with zero cells shipped.
 serve-demo:
-	$(PY) examples/serve_smoke.py
+	REPRO_SECRET=demo-fleet-secret $(PY) examples/serve_smoke.py
 
 bench:
 	$(PY) -m pytest benchmarks -q

@@ -159,3 +159,74 @@ def test_attack_cell_portfolio_vs_single_solver(benchmark, artifact_sink):
         f"single solver (cdcl): {single_seconds:.2f}s\n"
         f"portfolio race2, attack_jobs=auto "
         f"(cpu budget {cpu_budget()}): {portfolio_seconds:.2f}s\n")
+
+
+def test_campaign_tiered_warm_rerun(benchmark, artifact_sink,
+                                    bench_json_sink):
+    """Two-tier cache cell: a cold distributed run populates the
+    worker's local shard; the warm rerun (fresh worker process, fresh
+    authority store, same shard) must ship **zero** cell-kwargs frames —
+    every cell is answered key-only from the shard — and must beat the
+    cold run."""
+    cell_seconds = 0.25
+    specs = [
+        CellSpec.make("bench_campaign:bench_sleep_cell",
+                      {"tag": tag, "seconds": cell_seconds},
+                      experiment="bench", label=f"tier/{tag}")
+        for tag in range(8)
+    ]
+
+    def fleet_run(campaign, backend, shard):
+        worker = multiprocessing.Process(
+            target=run_worker, args=("%s:%d" % backend.address,),
+            kwargs={"cores": 2, "retry_for": 30.0, "name": "tier",
+                    "shard_dir": shard})
+        worker.start()
+        try:
+            start = time.perf_counter()
+            results = campaign.run(specs)
+            return results, time.perf_counter() - start
+        finally:
+            worker.join(timeout=15)
+            if worker.is_alive():
+                worker.terminate()
+
+    with tempfile.TemporaryDirectory() as tier:
+        shard = f"{tier}/shard"
+        backend = DistributedBackend(bind="127.0.0.1:0", min_workers=1)
+        try:
+            cold, cold_seconds = fleet_run(
+                Campaign(backend=backend, cache_dir=f"{tier}/authority1"),
+                backend, shard)
+            cold_stats = backend.last_run_stats
+            warm_campaign = Campaign(backend=backend,
+                                     cache_dir=f"{tier}/authority2")
+            warm, warm_seconds = run_once(
+                benchmark, fleet_run, warm_campaign, backend, shard)
+            warm_stats = backend.last_run_stats
+        finally:
+            backend.close()
+
+    assert [r.value for r in warm] == [r.value for r in cold]
+    assert cold_stats["kwargs_frames"] == len(specs)
+    # The acceptance bar: a warm fleet rerun ships zero kwargs frames.
+    assert warm_stats["kwargs_frames"] == 0
+    assert warm_stats["shard_hits"] == len(specs)
+    assert warm_seconds < cold_seconds
+    artifact_sink(
+        "campaign_tiered",
+        f"workload: 8 x {cell_seconds}s cells, 1 worker, loopback TCP\n"
+        f"cold fleet run:  {cold_seconds:.2f}s "
+        f"({cold_stats['kwargs_frames']} kwargs frames shipped)\n"
+        f"warm fleet run:  {warm_seconds:.2f}s "
+        f"(0 kwargs frames, {warm_stats['shard_hits']} shard hits)\n"
+        f"speedup: {cold_seconds / warm_seconds:.1f}x\n")
+    bench_json_sink("campaign_tiered", {
+        "workload": f"8x{cell_seconds}s sleep cells, 1 worker",
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "cold_kwargs_frames": cold_stats["kwargs_frames"],
+        "warm_kwargs_frames": warm_stats["kwargs_frames"],
+        "warm_shard_hits": warm_stats["shard_hits"],
+        "speedup": cold_seconds / warm_seconds,
+    })

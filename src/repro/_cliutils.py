@@ -33,6 +33,11 @@ def add_backend_arguments(parser):
         "--workers", type=int, default=None, metavar="N",
         help="with --backend distributed: wait until N workers "
              "registered before dispatching cells (default 1)")
+    parser.add_argument(
+        "--secret", default=None, metavar="SECRET",
+        help="shared fleet secret: authenticate every scheduler/worker "
+             "frame with an HMAC trailer (default: $REPRO_SECRET; "
+             "unset = unauthenticated)")
 
 
 def make_executor_backend(args, err):
@@ -63,4 +68,4 @@ def make_executor_backend(args, err):
     return DistributedBackend(
         bind=args.bind if args.bind is not None else DEFAULT_BIND,
         min_workers=args.workers if args.workers is not None else 1,
-        on_event=on_event)
+        on_event=on_event, secret=getattr(args, "secret", None))

@@ -121,6 +121,13 @@ def timeout_envelope(elapsed, cell_timeout):
         f"cell exceeded {cell_timeout}s budget")
 
 
+def shard_hit_envelope(value, elapsed=0.0):
+    """The envelope for a cell answered from a worker's local shard
+    (the key-only probe came back ``hit``; no kwargs crossed the wire)."""
+    return {"ok": True, "value": value, "elapsed": elapsed,
+            "shard_hit": True}
+
+
 def cancelled_envelope(elapsed):
     """The envelope recorded for a cell cancelled before completion
     (its campaign was deleted through the service API)."""

@@ -6,10 +6,28 @@ JSON envelopes and places them onto remote ``repro-lock worker`` agents
 (:mod:`repro.campaign.wire`):
 
 * worker → scheduler: ``register`` (advertised cores), ``heartbeat``,
-  ``result`` (the cell's failure-capture envelope);
-* scheduler → worker: ``welcome`` (heartbeat interval), ``cell``
-  (fn path, canonical kwargs — spec strings included — cache key, salt,
-  width, cpu_share), ``cancel``, ``shutdown``.
+  ``need`` (no shard entry — ship me the job), ``hit`` (answered from
+  the worker's local read-through shard), ``result`` (the cell's
+  failure-capture envelope);
+* scheduler → worker: ``welcome`` (heartbeat interval), ``cell`` (the
+  key-only placement probe: cache key, label, width, cpu_share — no
+  kwargs), ``job`` (fn path + canonical kwargs, sent only after a
+  ``need``), ``cancel``, ``shutdown``.
+
+The two-step ``cell``/``need`` dance is the *two-tier cache*: a worker
+holding the key in its local shard answers ``hit`` without the kwargs
+ever crossing the wire, so warm-fleet reruns don't serialize every
+cell's parameters through one socket.  The scheduler stays the write
+authority — a shard ``hit`` flows through the normal deliver path into
+the authoritative :class:`~repro.campaign.store.ResultStore`.
+
+With a shared secret (``--secret``/``$REPRO_SECRET``) every connection
+is authenticated: both ends exchange HMAC hellos and every later frame
+carries a MAC over a receiver-issued nonce and a monotonic sequence
+number (:mod:`repro.campaign.wire`).  A peer that cannot produce valid
+MACs is dropped before any of its JSON reaches :meth:`Scheduler._handle`
+— unauthenticated or replayed ``result``/``hit`` frames never touch the
+result path.
 
 Placement is 2-D: every cell declares its in-cell width
 (``CellSpec.width()`` — the ``attack_jobs``/portfolio size), and the
@@ -56,12 +74,16 @@ from repro.campaign.backends import (
     SpecOrderReporter,
     cancelled_envelope,
     failure_envelope,
+    shard_hit_envelope,
     timeout_envelope,
 )
 from repro.campaign.wire import (
     MessageBuffer,
+    WireAuth,
+    WireSession,
     format_address,
     parse_hostport,
+    resolve_secret,
     send_message,
 )
 from repro.errors import CampaignError
@@ -82,7 +104,8 @@ def listen_socket(bind, what="scheduler"):
     ``"HOST:PORT"`` string; port 0 picks a free port)."""
     if isinstance(bind, str):
         bind = parse_hostport(bind, what=f"{what} bind address")
-    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    family = socket.AF_INET6 if ":" in str(bind[0]) else socket.AF_INET
+    sock = socket.socket(family, socket.SOCK_STREAM)
     sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
     try:
         sock.bind(bind)
@@ -133,10 +156,11 @@ class _Assignment:
 class _WorkerState:
     """Scheduler-side view of one connected worker."""
 
-    def __init__(self, sock, address):
+    def __init__(self, sock, address, auth=None):
         self.sock = sock
         self.address = address
-        self.buffer = MessageBuffer()
+        self.session = WireSession(auth)
+        self.buffer = MessageBuffer(self.session)
         self.name = format_address(address)
         self.cores = 0
         self.free = 0
@@ -207,7 +231,8 @@ class Scheduler:
 
     def __init__(self, listen_sock, *, min_workers=1,
                  heartbeat_timeout=DEFAULT_HEARTBEAT_TIMEOUT,
-                 cell_timeout=None, salt="", on_event=None, queue=None):
+                 cell_timeout=None, salt="", on_event=None, queue=None,
+                 auth=None):
         if min_workers < 1:
             raise CampaignError(
                 f"min_workers must be >= 1, got {min_workers}")
@@ -216,7 +241,13 @@ class Scheduler:
         self.heartbeat_timeout = heartbeat_timeout
         self.cell_timeout = cell_timeout
         self.salt = salt
+        self._auth = auth
         self._on_event = on_event
+        #: Tiered-cache traffic counters (loop thread only): how many
+        #: cells actually shipped their kwargs (a ``need`` answered with
+        #: a ``job``) vs. were answered from a worker's local shard.
+        self.kwargs_frames = 0
+        self.shard_hits = 0
         self._workers = {}          # sock -> _WorkerState
         self._queue = queue if queue is not None else FifoTaskQueue()
         self._next_id = 0
@@ -383,6 +414,8 @@ class Scheduler:
             "queue_depths": dict(self._queue.depths()),
             "outstanding": self._outstanding,
             "dispatching": self._dispatching,
+            "kwargs_frames": self.kwargs_frames,
+            "shard_hits": self.shard_hits,
         }
 
     # ------------------------------------------------------------------
@@ -405,9 +438,13 @@ class Scheduler:
         except OSError:  # pragma: no cover - accept raced a reset
             return
         sock.setblocking(True)
-        worker = _WorkerState(sock, address)
+        worker = _WorkerState(sock, address, self._auth)
         self._workers[sock] = worker
         self._sel.register(sock, selectors.EVENT_READ, "worker")
+        if worker.session.enabled:
+            # Issue our nonce immediately; the peer cannot get a single
+            # frame past the MessageBuffer without MACing against it.
+            self._send(worker, worker.session.hello())
 
     def _service(self, worker):
         try:
@@ -446,6 +483,40 @@ class Scheduler:
             worker.free += item.consumed
             self._queue.finished(item.task, item.consumed)
             self._finish(item.task, message.get("envelope"))
+        elif kind == "need":
+            # The worker's shard had no entry for the probe — ship the
+            # actual job (fn + kwargs). This is the only frame that ever
+            # carries cell kwargs.
+            item = worker.assigned.get(message.get("id"))
+            if item is None:
+                return
+            self.kwargs_frames += 1
+            self._send(worker, {"type": "job", "id": message.get("id"),
+                                "fn": item.task.fn,
+                                "kwargs": item.task.kwargs,
+                                "salt": self.salt})
+        elif kind == "hit":
+            cell_id = message.get("id")
+            item = worker.assigned.get(cell_id)
+            if item is None:
+                return
+            value = message.get("value")
+            if value is None or message.get("key") != item.task.key:
+                # Unusable shard answer (stale key or the None miss
+                # sentinel) — fall back to shipping the job.
+                self.kwargs_frames += 1
+                self._send(worker, {"type": "job", "id": cell_id,
+                                    "fn": item.task.fn,
+                                    "kwargs": item.task.kwargs,
+                                    "salt": self.salt})
+                return
+            worker.assigned.pop(cell_id, None)
+            worker.free += item.consumed
+            self._queue.finished(item.task, item.consumed)
+            self.shard_hits += 1
+            # Flows through the normal deliver path, so the scheduler's
+            # authoritative store absorbs the value as usual.
+            self._finish(item.task, shard_hit_envelope(value))
         elif kind == "heartbeat":
             pass  # the recv itself refreshed last_seen
         else:
@@ -463,10 +534,15 @@ class Scheduler:
 
     def _send(self, worker, message):
         try:
-            send_message(worker.sock, message)
+            send_message(worker.sock, message, session=worker.session)
             return True
         except OSError:
             self._drop(worker, "send failed")
+            return False
+        except CampaignError as error:
+            # Signing impossible: the peer never completed the auth
+            # handshake — it has no business holding a connection.
+            self._drop(worker, str(error))
             return False
 
     def _drop(self, worker, reason):
@@ -585,13 +661,12 @@ class Scheduler:
         # worker converts it into REPRO_CPU_SHARE against its real host
         # CPU count, so solver auto-sizing sees exactly this many cores
         # even when --cores understates (or overstates) the hardware.
+        # The probe is key-only: kwargs ship later, and only if the
+        # worker's shard cannot answer the key (`need` -> `job`).
         sent = self._send(worker, {
             "type": "cell",
             "id": cell_id,
-            "fn": task.fn,
-            "kwargs": task.kwargs,
             "key": task.key,
-            "salt": self.salt,
             "label": task.label,
             "width": task.width,
             "cores": consumed,
@@ -610,9 +685,10 @@ class Scheduler:
     def _close_all(self):
         for worker in list(self._workers.values()):
             try:
-                send_message(worker.sock, {"type": "shutdown"}, timeout=2.0)
-            except OSError:
-                pass
+                send_message(worker.sock, {"type": "shutdown"},
+                             timeout=2.0, session=worker.session)
+            except (OSError, CampaignError):
+                pass  # gone, or never finished the auth handshake
             try:
                 self._sel.unregister(worker.sock)
             except (KeyError, ValueError):  # pragma: no cover
@@ -649,12 +725,18 @@ class DistributedBackend(ExecutorBackend):
     enforces_timeout = True
 
     def __init__(self, bind=DEFAULT_BIND, min_workers=1,
-                 heartbeat_timeout=DEFAULT_HEARTBEAT_TIMEOUT, on_event=None):
+                 heartbeat_timeout=DEFAULT_HEARTBEAT_TIMEOUT, on_event=None,
+                 secret=None):
         self._bind = parse_hostport(bind, what="scheduler bind address")
         self.min_workers = min_workers
         self.heartbeat_timeout = heartbeat_timeout
         self.on_event = on_event
+        secret = resolve_secret(secret)
+        self.auth = WireAuth(secret) if secret else None
         self._listen = None
+        #: Tiered-cache counters from the most recent ``execute`` call
+        #: ({"kwargs_frames", "shard_hits", "cells"}).
+        self.last_run_stats = None
 
     @property
     def address(self):
@@ -680,14 +762,21 @@ class DistributedBackend(ExecutorBackend):
             self._ensure_listening(), min_workers=self.min_workers,
             heartbeat_timeout=self.heartbeat_timeout,
             cell_timeout=campaign.cell_timeout, salt=campaign.salt,
-            on_event=self.on_event)
+            on_event=self.on_event, auth=self.auth)
 
         def deliver(index, envelope):
             results[index] = campaign.absorb(specs[index], keys[index],
                                              envelope)
             reporter.flush()
 
-        scheduler.run(tasks, deliver)
+        try:
+            scheduler.run(tasks, deliver)
+        finally:
+            self.last_run_stats = {
+                "cells": len(tasks),
+                "kwargs_frames": scheduler.kwargs_frames,
+                "shard_hits": scheduler.shard_hits,
+            }
         reporter.flush()
 
     def close(self):

@@ -18,6 +18,7 @@ import time
 import urllib.error
 import urllib.request
 
+from repro.campaign.wire import resolve_secret
 from repro.errors import CampaignError
 
 #: Client-side default endpoint: flag > $REPRO_SERVER > localhost.
@@ -32,17 +33,21 @@ def resolve_server(server=None):
 class ServiceClient:
     """Typed wrappers over the daemon's HTTP endpoints."""
 
-    def __init__(self, server=None, timeout=30.0):
+    def __init__(self, server=None, timeout=30.0, secret=None):
         server = resolve_server(server)
         if "://" not in server:
             server = f"http://{server}"
         self.base = server.rstrip("/")
         self.timeout = timeout
+        # The fleet secret doubles as the API bearer token.
+        self.secret = resolve_secret(secret)
 
     # ------------------------------------------------------------------
     def _request(self, method, path, payload=None):
         data = None
         headers = {"Accept": "application/json"}
+        if self.secret:
+            headers["Authorization"] = f"Bearer {self.secret}"
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"

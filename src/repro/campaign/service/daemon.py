@@ -41,7 +41,7 @@ from repro.campaign.service.jobs import (
     ServiceCounters,
 )
 from repro.campaign.service.metrics import MetricFamily, render_metrics
-from repro.campaign.wire import format_address
+from repro.campaign.wire import WireAuth, format_address, resolve_secret
 from repro.errors import CampaignError
 
 
@@ -50,9 +50,11 @@ class CampaignService:
 
     def __init__(self, store=None, scheduler_bind="127.0.0.1:0", *,
                  min_workers=1, heartbeat_timeout=DEFAULT_HEARTBEAT_TIMEOUT,
-                 cell_timeout=None, salt=CODE_VERSION, on_event=None):
+                 cell_timeout=None, salt=CODE_VERSION, on_event=None,
+                 secret=None):
         self.store = store
         self.salt = salt
+        self.secret = resolve_secret(secret)
         self._on_event = on_event
         self._lock = threading.RLock()
         self._jobs = {}
@@ -67,7 +69,8 @@ class CampaignService:
         self.scheduler = Scheduler(
             self._listen, min_workers=min_workers,
             heartbeat_timeout=heartbeat_timeout, cell_timeout=cell_timeout,
-            salt=salt, on_event=on_event, queue=self._queue)
+            salt=salt, on_event=on_event, queue=self._queue,
+            auth=WireAuth(self.secret) if self.secret else None)
         self._stop = threading.Event()
         self._thread = None
 
@@ -355,6 +358,15 @@ class CampaignService:
             "Cells handed to the worker fleet (cache hits never ship).")
         shipped_total.add(shipped)
 
+        shard_hits = MetricFamily(
+            "repro_shard_hits_total", "counter",
+            "Cells answered from a worker-local shard (key-only probe).")
+        shard_hits.add(snapshot.get("shard_hits", 0))
+        kwargs_frames = MetricFamily(
+            "repro_kwargs_frames_total", "counter",
+            "Cells whose kwargs actually crossed the wire (need -> job).")
+        kwargs_frames.add(snapshot.get("kwargs_frames", 0))
+
         workers = MetricFamily(
             "repro_workers_connected", "gauge",
             "Registered workers currently connected.")
@@ -383,8 +395,9 @@ class CampaignService:
         utilization.add(busy_cores / total_cores if total_cores else 0.0)
 
         families = [uptime, campaigns, queue_depth, running, cells_total,
-                    cell_seconds, shipped_total, workers, worker_cores,
-                    worker_free, worker_seen, utilization]
+                    cell_seconds, shipped_total, shard_hits, kwargs_frames,
+                    workers, worker_cores, worker_free, worker_seen,
+                    utilization]
         if self.store is not None:
             cache_ops = MetricFamily(
                 "repro_cache_ops_total", "counter",

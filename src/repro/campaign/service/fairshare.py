@@ -81,6 +81,7 @@ class FairShareQueue:
                 self._heaps[tenant] = kept
             else:
                 del self._heaps[tenant]
+            self._prune(tenant)
         return removed
 
     def started(self, task, cores):
@@ -95,6 +96,7 @@ class FairShareQueue:
             self._running[task.tenant] = left
         else:
             self._running.pop(task.tenant, None)
+        self._prune(task.tenant)
         if self.on_finished is not None:
             self.on_finished(task)
 
@@ -114,6 +116,20 @@ class FairShareQueue:
                 yield item[2]
 
     # ------------------------------------------------------------------
+    def _prune(self, tenant):
+        """Forget a tenant with no queued and no running work.
+
+        A long-lived daemon sees tenants come and go; without pruning,
+        ``_served`` (and ``_running`` on cancel paths) accumulate one
+        entry per tenant *ever seen*.  Dropping the bookkeeping resets
+        the tenant's fairness history, which is exactly right: an idle
+        tenant returning later competes as a newcomer.
+        """
+        if tenant in self._heaps or self._running.get(tenant):
+            return
+        self._running.pop(tenant, None)
+        self._served.pop(tenant, None)
+
     def _push(self, task, seq):
         heap = self._heaps.setdefault(task.tenant, [])
         heapq.heappush(heap, (-int(task.priority), seq, task))

@@ -25,12 +25,14 @@ its own locking.
 
 from __future__ import annotations
 
+import hmac
 import json
 import re
+import socket
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from repro.campaign.wire import parse_hostport
+from repro.campaign.wire import parse_hostport, resolve_secret
 from repro.errors import CampaignError, ReproError, SpecError
 
 #: Default bind for the HTTP API (the scheduler port is separate).
@@ -65,8 +67,23 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         if event is not None:
             event(f"http {self.address_string()} {format % args}")
 
+    def _authorized(self):
+        """Enforce the fleet secret as a bearer token when set."""
+        token = getattr(self.server, "token", None)
+        if not token:
+            return True
+        header = self.headers.get("Authorization") or ""
+        scheme, _, presented = header.partition(" ")
+        if scheme.lower() == "bearer" and \
+                hmac.compare_digest(presented.strip(), token):
+            return True
+        self._json(401, {"error": "missing or invalid bearer token"})
+        return False
+
     # ------------------------------------------------------------------
     def do_GET(self):
+        if not self._authorized():
+            return
         path = self.path.split("?", 1)[0]
         try:
             if path == "/" or path == "/info":
@@ -93,6 +110,8 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             self._json(400, {"error": str(error)})
 
     def do_POST(self):
+        if not self._authorized():
+            return
         path = self.path.split("?", 1)[0]
         try:
             if path == "/campaigns":
@@ -111,6 +130,8 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             self._json(400, {"error": str(error)})
 
     def do_DELETE(self):
+        if not self._authorized():
+            return
         path = self.path.split("?", 1)[0]
         match = _CAMPAIGN.match(path)
         try:
@@ -166,11 +187,17 @@ class ServiceHTTPServer(ThreadingHTTPServer):
     daemon_threads = True
     allow_reuse_address = True
 
-    def __init__(self, bind, service, on_event=None):
+    def __init__(self, bind, service, on_event=None, token=None):
         if isinstance(bind, str):
             bind = parse_hostport(bind, what="http bind address")
+        if ":" in str(bind[0]):
+            self.address_family = socket.AF_INET6
         self.service = service
         self.on_event = on_event
+        #: When set (explicitly or via $REPRO_SECRET), every request
+        #: must present ``Authorization: Bearer <token>`` or it is
+        #: answered 401 before touching the service.
+        self.token = resolve_secret(token)
         super().__init__(bind, ServiceRequestHandler)
 
     @property

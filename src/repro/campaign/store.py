@@ -11,6 +11,21 @@ campaign never leaves a half-written entry; rerunning the campaign
 resumes from whatever completed.  Reads validate the envelope and the
 embedded key — corrupted or foreign files are evicted and counted as
 invalidations, then treated as misses.
+
+Packs
+-----
+``compact()`` (the ``repro-lock campaign compact`` command) moves cold
+loose entries into append-only *pack files* under ``<cache_dir>/packs/``
+so a million cells don't cost a million inodes::
+
+    packs/pack-<hex>.pack   concatenated JSON envelopes
+    packs/pack-<hex>.json   {"format": "trilock-pack-v1",
+                             "entries": {key: [offset, length], ...}}
+
+``get`` falls through loose-file → pack → miss.  Compaction writes the
+pack and its index *before* unlinking the loose files it absorbed, so a
+concurrent reader that loose-misses mid-compaction finds the key in the
+pack; new writes always land as loose files (packs are immutable).
 """
 
 from __future__ import annotations
@@ -22,6 +37,8 @@ import threading
 from dataclasses import dataclass, field
 
 ENTRY_FORMAT = "trilock-cell-v1"
+PACK_FORMAT = "trilock-pack-v1"
+PACK_SUBDIR = "packs"
 
 #: CLI fallback when neither ``--cache-dir`` nor the env var is given.
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -36,10 +53,12 @@ def default_cache_dir():
 class StoreStats:
     """Per-instance cache traffic counters.
 
-    Increments go through :meth:`record` under an internal lock: one
-    store is shared by every tenant of a ``repro-lock serve`` daemon, so
-    counters are bumped from the scheduler loop thread while HTTP
-    threads render them into ``/metrics``.
+    One store is shared by every tenant of a ``repro-lock serve``
+    daemon, so counters are bumped from the scheduler loop thread while
+    HTTP threads render them into ``/metrics``: *both* sides go through
+    the internal lock — :meth:`record` for increments, and the readers
+    (:meth:`hit_rate`/:meth:`as_dict`/:meth:`summary`) for consistent
+    snapshots.
     """
 
     hits: int = 0
@@ -55,16 +74,21 @@ class StoreStats:
 
     def hit_rate(self):
         """Fraction of lookups served from the cache (0.0 when idle)."""
-        lookups = self.hits + self.misses
-        return self.hits / lookups if lookups else 0.0
+        with self._lock:
+            lookups = self.hits + self.misses
+            return self.hits / lookups if lookups else 0.0
 
     def as_dict(self):
-        return {"hits": self.hits, "misses": self.misses,
-                "puts": self.puts, "invalidations": self.invalidations}
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "puts": self.puts,
+                    "invalidations": self.invalidations}
 
     def summary(self):
-        return (f"{self.hits} hits, {self.misses} misses, "
-                f"{self.puts} writes, {self.invalidations} invalidated")
+        snapshot = self.as_dict()
+        return (f"{snapshot['hits']} hits, {snapshot['misses']} misses, "
+                f"{snapshot['puts']} writes, "
+                f"{snapshot['invalidations']} invalidated")
 
 
 @dataclass
@@ -73,23 +97,34 @@ class ResultStore:
 
     cache_dir: str
     stats: StoreStats = field(default_factory=StoreStats)
+    # key -> (pack_path, offset, length); lazily loaded pack indexes.
+    _pack_map: dict = field(default_factory=dict, repr=False,
+                            compare=False)
+    _pack_loaded: set = field(default_factory=set, repr=False,
+                              compare=False)
+    _pack_lock: threading.Lock = field(default_factory=threading.Lock,
+                                       repr=False, compare=False)
 
     def path_of(self, key):
         return os.path.join(self.cache_dir, key[:2], f"{key}.json")
+
+    @property
+    def pack_dir(self):
+        return os.path.join(self.cache_dir, PACK_SUBDIR)
 
     def get(self, key):
         """The stored value for ``key``, or None on miss.
 
         A value of ``None`` is never stored (cells return dicts), so the
-        None sentinel is unambiguous.
+        None sentinel is unambiguous.  Lookup order is loose file, then
+        pack files, then miss.
         """
         path = self.path_of(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 entry = json.load(handle)
         except FileNotFoundError:
-            self.stats.record("misses")
-            return None
+            return self._get_packed(key)
         except (json.JSONDecodeError, OSError, UnicodeDecodeError):
             self._evict(path)
             self.stats.record("misses")
@@ -144,13 +179,156 @@ class ResultStore:
         self.stats.record("invalidations")
 
     # ------------------------------------------------------------------
+    # Packs
+    # ------------------------------------------------------------------
+    def _pack_index_paths(self):
+        try:
+            names = sorted(os.listdir(self.pack_dir))
+        except OSError:
+            return []
+        return [os.path.join(self.pack_dir, name) for name in names
+                if name.startswith("pack-") and name.endswith(".json")]
+
+    def _load_pack_indexes(self):
+        """Absorb any pack indexes not yet in the in-memory map."""
+        for index_path in self._pack_index_paths():
+            if index_path in self._pack_loaded:
+                continue
+            pack_path = index_path[:-len(".json")] + ".pack"
+            try:
+                with open(index_path, "r", encoding="utf-8") as handle:
+                    index = json.load(handle)
+            except (json.JSONDecodeError, OSError, UnicodeDecodeError):
+                continue
+            if (not isinstance(index, dict)
+                    or index.get("format") != PACK_FORMAT
+                    or not isinstance(index.get("entries"), dict)):
+                continue
+            for key, span in index["entries"].items():
+                if (isinstance(span, (list, tuple)) and len(span) == 2):
+                    self._pack_map.setdefault(
+                        key, (pack_path, int(span[0]), int(span[1])))
+            self._pack_loaded.add(index_path)
+
+    def _get_packed(self, key):
+        with self._pack_lock:
+            if key not in self._pack_map:
+                # A compactor (possibly another process) may have packed
+                # this key after our last scan — pick up new indexes.
+                self._load_pack_indexes()
+            span = self._pack_map.get(key)
+        if span is None:
+            self.stats.record("misses")
+            return None
+        pack_path, offset, length = span
+        try:
+            with open(pack_path, "rb") as handle:
+                handle.seek(offset)
+                blob = handle.read(length)
+            entry = json.loads(blob)
+        except (json.JSONDecodeError, OSError, UnicodeDecodeError):
+            entry = None
+        if (not isinstance(entry, dict)
+                or entry.get("format") != ENTRY_FORMAT
+                or entry.get("key") != key
+                or "value" not in entry):
+            with self._pack_lock:
+                self._pack_map.pop(key, None)
+            self.stats.record("invalidations")
+            self.stats.record("misses")
+            return None
+        self.stats.record("hits")
+        return entry["value"]
+
+    def compact(self):
+        """Pack every valid loose entry into one new pack file.
+
+        Returns ``{"packed": n, "evicted": m, "pack": path-or-None}``.
+        The pack and its index are fully written (atomic replace) before
+        any loose file is unlinked, so concurrent readers fall through
+        loose-miss → pack-hit without a window where the key is gone.
+        """
+        packed = {}
+        blobs = []
+        evicted = 0
+        offset = 0
+        for path in list(self._entry_paths()):
+            try:
+                with open(path, "rb") as handle:
+                    blob = handle.read()
+                entry = json.loads(blob)
+            except (json.JSONDecodeError, OSError, UnicodeDecodeError):
+                self._evict(path)
+                evicted += 1
+                continue
+            key = os.path.basename(path)[:-len(".json")]
+            if (not isinstance(entry, dict)
+                    or entry.get("format") != ENTRY_FORMAT
+                    or entry.get("key") != key
+                    or "value" not in entry):
+                self._evict(path)
+                evicted += 1
+                continue
+            packed[key] = (path, offset, len(blob))
+            blobs.append(blob)
+            offset += len(blob)
+        if not packed:
+            return {"packed": 0, "evicted": evicted, "pack": None}
+
+        os.makedirs(self.pack_dir, exist_ok=True)
+        stem = f"pack-{os.urandom(8).hex()}"
+        pack_path = os.path.join(self.pack_dir, f"{stem}.pack")
+        index_path = os.path.join(self.pack_dir, f"{stem}.json")
+        self._write_atomic(pack_path, b"".join(blobs))
+        index = {
+            "format": PACK_FORMAT,
+            "entries": {key: [span[1], span[2]]
+                        for key, span in packed.items()},
+        }
+        self._write_atomic(
+            index_path,
+            json.dumps(index, separators=(",", ":")).encode("utf-8"))
+        with self._pack_lock:
+            for key, (_, off, length) in packed.items():
+                self._pack_map.setdefault(key, (pack_path, off, length))
+            self._pack_loaded.add(index_path)
+        # Only now is it safe to drop the loose files.
+        for key, (path, _, _) in packed.items():
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        return {"packed": len(packed), "evicted": evicted,
+                "pack": pack_path}
+
+    @staticmethod
+    def _write_atomic(path, data):
+        handle = tempfile.NamedTemporaryFile(
+            "wb", dir=os.path.dirname(path),
+            prefix=f".{os.path.basename(path)}.", suffix=".tmp",
+            delete=False)
+        try:
+            with handle:
+                handle.write(data)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
     # Inspection (the `campaign status` command)
     # ------------------------------------------------------------------
     def _entry_paths(self):
-        """Every ``*.json`` path under the cache dir, readable or not."""
+        """Every loose ``*.json`` path under the cache dir, readable or
+        not (pack contents are not included)."""
         if not os.path.isdir(self.cache_dir):
             return
         for shard in sorted(os.listdir(self.cache_dir)):
+            if shard == PACK_SUBDIR:
+                continue
             shard_dir = os.path.join(self.cache_dir, shard)
             if not os.path.isdir(shard_dir):
                 continue
@@ -173,11 +351,28 @@ class ResultStore:
                 entry = None
             yield path, entry if isinstance(entry, dict) else None
 
+    def packed_entries(self):
+        """Iterate over (pack_path, envelope-or-None) for every packed
+        entry, straight from the indexes on disk."""
+        with self._pack_lock:
+            self._load_pack_indexes()
+            spans = list(self._pack_map.items())
+        for _, (pack_path, offset, length) in spans:
+            try:
+                with open(pack_path, "rb") as handle:
+                    handle.seek(offset)
+                    entry = json.loads(handle.read(length))
+            except (json.JSONDecodeError, OSError, UnicodeDecodeError):
+                entry = None
+            yield pack_path, entry if isinstance(entry, dict) else None
+
     def status(self):
-        """Summary dict: entry/byte totals plus per-experiment counts."""
+        """Summary dict: entry/byte totals plus per-experiment counts
+        (loose and packed entries both counted)."""
         n_entries = 0
         n_bytes = 0
         by_experiment = {}
+        sized = set()
         for path, entry in self.entries():
             n_entries += 1
             try:
@@ -189,21 +384,51 @@ class ResultStore:
             else:
                 name = entry.get("experiment") or "(unlabelled)"
             by_experiment[name] = by_experiment.get(name, 0) + 1
+        n_packed = 0
+        for pack_path, entry in self.packed_entries():
+            n_packed += 1
+            if pack_path not in sized:
+                sized.add(pack_path)
+                try:
+                    n_bytes += os.path.getsize(pack_path)
+                except OSError:
+                    pass
+            if entry is None:
+                name = "(unreadable)"
+            else:
+                name = entry.get("experiment") or "(unlabelled)"
+            by_experiment[name] = by_experiment.get(name, 0) + 1
         return {
             "cache_dir": os.path.abspath(self.cache_dir),
-            "entries": n_entries,
+            "entries": n_entries + n_packed,
+            "packed": n_packed,
+            "packs": len(sized),
             "bytes": n_bytes,
             "by_experiment": dict(sorted(by_experiment.items())),
         }
 
     def clear(self):
-        """Delete every entry file (even unreadable ones); returns how
-        many were removed."""
+        """Delete every entry file (even unreadable ones) and every
+        pack; returns how many entries were removed."""
         removed = 0
         for path in list(self._entry_paths()):
             try:
                 os.unlink(path)
                 removed += 1
+            except OSError:
+                pass
+        with self._pack_lock:
+            self._load_pack_indexes()
+            removed += len(self._pack_map)
+            self._pack_map.clear()
+            self._pack_loaded.clear()
+        try:
+            names = os.listdir(self.pack_dir)
+        except OSError:
+            names = []
+        for name in names:
+            try:
+                os.unlink(os.path.join(self.pack_dir, name))
             except OSError:
                 pass
         return removed
@@ -214,6 +439,10 @@ def render_status(status):
     lines = [f"cache dir: {status['cache_dir']}",
              f"entries:   {status['entries']} "
              f"({status['bytes'] / 1024:.1f} KiB)"]
+    packed = status.get("packed", 0)
+    if packed:
+        lines.append(f"packed:    {packed} cells in "
+                     f"{status.get('packs', 0)} pack(s)")
     for name, count in status["by_experiment"].items():
         lines.append(f"  {name}: {count} cells")
     if not status["by_experiment"]:

@@ -215,6 +215,15 @@ def build_parser():
                             help="seconds to retry the initial connect, "
                                  "so workers may start before the "
                                  "scheduler (default %(default)s)")
+    worker_cmd.add_argument("--secret", default=None, metavar="SECRET",
+                            help="shared fleet secret (default "
+                                 "$REPRO_SECRET); must match the "
+                                 "scheduler's")
+    worker_cmd.add_argument("--shard-dir", default=None, metavar="DIR",
+                            help="local read-through cache shard: answer "
+                                 "key-only cell probes from DIR and "
+                                 "populate it with every result (default "
+                                 "$REPRO_WORKER_SHARD; unset = no shard)")
 
     serve_cmd = commands.add_parser(
         "serve", help="run the long-lived campaign service daemon "
@@ -249,6 +258,11 @@ def build_parser():
     serve_cmd.add_argument("--heartbeat-timeout", type=float, default=None,
                            help="seconds of silence before a worker is "
                                 "declared dead")
+    serve_cmd.add_argument("--secret", default=None, metavar="SECRET",
+                           help="shared fleet secret: authenticates every "
+                                "scheduler/worker frame and doubles as "
+                                "the HTTP API bearer token (default "
+                                "$REPRO_SECRET; unset = open)")
 
     submit_cmd = commands.add_parser(
         "submit", help="submit a scheme x attack matrix to a serve "
@@ -256,6 +270,8 @@ def build_parser():
     submit_cmd.add_argument("--server", default=None, metavar="HOST:PORT",
                             help="service endpoint (default $REPRO_SERVER "
                                  "or 127.0.0.1:8765)")
+    submit_cmd.add_argument("--secret", default=None, metavar="SECRET",
+                            help="API bearer token (default $REPRO_SECRET)")
     submit_cmd.add_argument("--tenant", default="default",
                             help="fair-share accounting bucket")
     submit_cmd.add_argument("--priority", type=int, default=0,
@@ -280,6 +296,8 @@ def build_parser():
     status_cmd.add_argument("id", nargs="?", default=None,
                             help="campaign id (omit to list all)")
     status_cmd.add_argument("--server", default=None, metavar="HOST:PORT")
+    status_cmd.add_argument("--secret", default=None, metavar="SECRET",
+                            help="API bearer token (default $REPRO_SECRET)")
     status_cmd.add_argument("--json", action="store_true")
 
     results_cmd = commands.add_parser(
@@ -287,20 +305,25 @@ def build_parser():
                         "(newline-delimited JSON)")
     results_cmd.add_argument("id", help="campaign id")
     results_cmd.add_argument("--server", default=None, metavar="HOST:PORT")
+    results_cmd.add_argument("--secret", default=None, metavar="SECRET",
+                             help="API bearer token (default $REPRO_SECRET)")
 
     cancel_cmd = commands.add_parser(
         "cancel", help="cancel a campaign on a serve daemon")
     cancel_cmd.add_argument("id", help="campaign id")
     cancel_cmd.add_argument("--server", default=None, metavar="HOST:PORT")
+    cancel_cmd.add_argument("--secret", default=None, metavar="SECRET",
+                            help="API bearer token (default $REPRO_SECRET)")
 
     campaign_cmd = commands.add_parser(
         "campaign", help="inspect the experiment-campaign result cache")
     campaign_sub = campaign_cmd.add_subparsers(dest="action", required=True)
-    for action in ("status", "clear"):
-        action_cmd = campaign_sub.add_parser(
-            action,
-            help="summarise cached cells" if action == "status"
-            else "delete every cached cell")
+    for action, text in (
+            ("status", "summarise cached cells"),
+            ("clear", "delete every cached cell"),
+            ("compact", "pack loose cached cells into an append-only "
+                        "pack file (fewer inodes, same lookups)")):
+        action_cmd = campaign_sub.add_parser(action, help=text)
         action_cmd.add_argument(
             "--cache-dir", default=None,
             help="cache directory (default $REPRO_CACHE_DIR or "
@@ -568,7 +591,8 @@ def cmd_worker(args, out):
 
     try:
         return run_worker(args.connect, cores=args.cores, name=args.name,
-                          retry_for=args.retry_for, out=out)
+                          retry_for=args.retry_for, out=out,
+                          secret=args.secret, shard_dir=args.shard_dir)
     except OSError as error:
         raise ReproError(
             f"cannot reach scheduler at {args.connect}: {error} "
@@ -594,21 +618,29 @@ def cmd_serve(args, out):
     service = CampaignService(
         store=store, scheduler_bind=args.bind,
         min_workers=args.min_workers, cell_timeout=args.cell_timeout,
-        on_event=event, **kwargs)
+        on_event=event, secret=args.secret, **kwargs)
     service.start()
+    from repro.campaign.wire import format_address
+
     host, port = service.scheduler_address
+    connect = format_address((host, port))
     workers = []
     for _ in range(args.local_workers):
         command = [sys.executable, "-m", "repro.cli", "worker",
-                   "--connect", f"{host}:{port}"]
+                   "--connect", connect]
         if args.worker_cores:
             command += ["--cores", str(args.worker_cores)]
-        workers.append(subprocess.Popen(command))
-    httpd = ServiceHTTPServer(args.http, service)
-    api_host, api_port = httpd.address
-    out.write(f"campaign service: http://{api_host}:{api_port} "
-              f"(scheduler {host}:{port}, cache "
+        # The secret travels by environment, not argv — `ps` must not
+        # leak it on a shared host.
+        env = dict(os.environ)
+        if service.secret:
+            env["REPRO_SECRET"] = service.secret
+        workers.append(subprocess.Popen(command, env=env))
+    httpd = ServiceHTTPServer(args.http, service, token=service.secret)
+    out.write(f"campaign service: http://{format_address(httpd.address)} "
+              f"(scheduler {connect}, cache "
               f"{store.cache_dir if store else 'off'}, "
+              f"{'secured, ' if service.secret else ''}"
               f"{len(workers)} local workers)\n")
     out.flush()
 
@@ -643,7 +675,7 @@ def _counts_line(counts):
 
 
 def cmd_submit(args, out):
-    client = ServiceClient(args.server)
+    client = ServiceClient(args.server, secret=args.secret)
     request = {
         "tenant": args.tenant,
         "priority": args.priority,
@@ -671,7 +703,7 @@ def cmd_submit(args, out):
 
 
 def cmd_status(args, out):
-    client = ServiceClient(args.server)
+    client = ServiceClient(args.server, secret=args.secret)
     if args.id is None:
         jobs = client.campaigns()
         if args.json:
@@ -706,14 +738,14 @@ def cmd_status(args, out):
 
 
 def cmd_results(args, out):
-    client = ServiceClient(args.server)
+    client = ServiceClient(args.server, secret=args.secret)
     for row in client.results(args.id):
         out.write(json.dumps(row) + "\n")
     return 0
 
 
 def cmd_cancel(args, out):
-    client = ServiceClient(args.server)
+    client = ServiceClient(args.server, secret=args.secret)
     summary = client.cancel(args.id)
     out.write(f"campaign {summary['id']}: {summary['status']}, "
               f"{_counts_line(summary['counts'])}\n")
@@ -727,6 +759,13 @@ def cmd_campaign(args, out):
         removed = store.clear()
         out.write(f"cleared {removed} cached cells from "
                   f"{os.path.abspath(store.cache_dir)}\n")
+        return 0
+    if args.action == "compact":
+        report = store.compact()
+        where = (f" into {os.path.basename(report['pack'])}"
+                 if report["pack"] else "")
+        out.write(f"packed {report['packed']} cells{where}, "
+                  f"evicted {report['evicted']} corrupt entries\n")
         return 0
     out.write(render_status(store.status()) + "\n")
     return 0

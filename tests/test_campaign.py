@@ -440,6 +440,25 @@ class TestExperimentCampaigns:
                          out=out) == 0
         assert "cleared 1 cached cells" in out.getvalue()
 
+    def test_lock_cli_campaign_compact(self, tmp_path):
+        from repro.cli import main as lock_main
+
+        cache = str(tmp_path / "cache")
+        campaign = Campaign(cache_dir=cache)
+        campaign.run([_spec()])
+        out = io.StringIO()
+        assert lock_main(["campaign", "compact", "--cache-dir", cache],
+                         out=out) == 0
+        assert "packed 1 cells into pack-" in out.getvalue()
+        out = io.StringIO()
+        assert lock_main(["campaign", "status", "--cache-dir", cache],
+                         out=out) == 0
+        assert "packed:    1 cells in 1 pack(s)" in out.getvalue()
+        # The packed cell still answers a warm rerun as a cache hit.
+        warm = Campaign(cache_dir=cache)
+        assert [r.ok for r in warm.run([_spec()])] == [True]
+        assert warm.store.stats.hits == 1
+
 
 class TestAttackEngineFlags:
     """Runner flags for the in-cell attack engine (PR 3): the serial

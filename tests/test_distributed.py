@@ -32,7 +32,12 @@ from repro.campaign.scheduler import (
     _Task,
     _WorkerState,
 )
-from repro.campaign.wire import MessageBuffer, parse_hostport, send_message
+from repro.campaign.wire import (
+    MessageBuffer,
+    format_address,
+    parse_hostport,
+    send_message,
+)
 from repro.campaign.worker import cpu_share_for, run_worker
 from repro.errors import CampaignError
 
@@ -59,6 +64,12 @@ def blob_cell(n_bytes):
     return {"blob": "x" * n_bytes}
 
 
+def touch_cell(path):
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("done")
+    return {"touched": True}
+
+
 def track_cell(outdir, tag, seconds, attack_jobs, portfolio=None):
     """Record this cell's execution window, host worker, and CPU share."""
     start = time.time()
@@ -83,13 +94,14 @@ def _add_spec(a, b=10):
                          label=f"add/{a}")
 
 
-def _start_workers(address, count, cores=2, heartbeat=None):
+def _start_workers(address, count, cores=2, heartbeat=None, **extra):
     host, port = address
     workers = []
     for i in range(count):
+        kwargs = {"cores": cores, "retry_for": 30.0, "name": f"tw{i}"}
+        kwargs.update(extra)
         process = multiprocessing.Process(
-            target=run_worker, args=(f"{host}:{port}",),
-            kwargs={"cores": cores, "retry_for": 30.0, "name": f"tw{i}"})
+            target=run_worker, args=(f"{host}:{port}",), kwargs=kwargs)
         process.start()
         workers.append(process)
     return workers
@@ -354,25 +366,41 @@ class TestTwoDimensionalPlacement:
                                     widths=[2, 1, 1], cores=2)
         by_width = {record["width"]: record["share"] for record in records}
         # The share divides the *real* host CPU count inside
-        # repro.sat.cpu_budget, so it is derived from real cores: a
-        # width-w grant must yield a budget of exactly w, however many
-        # cores the worker advertised.
+        # repro.sat.cpu_budget, so it is derived from real cores with
+        # ceiling division: the resulting budget never exceeds the
+        # grant, however many cores the worker advertised.
         real = host_cores()
-        assert by_width[2] == str(max(1, real // 2))
+        assert by_width[2] == str(max(1, -(-real // 2)))
         assert by_width[1] == str(real)
-        # And the resulting budgets equal the grants (when the host has
-        # the cores at all).
-        assert real // int(by_width[1]) == min(1, real)
-        assert real // int(by_width[2]) == min(2, real)
+        budget_1 = max(1, real // int(by_width[1]))
+        budget_2 = max(1, real // int(by_width[2]))
+        assert budget_1 == 1
+        assert 1 <= budget_2 <= 2
 
     def test_cpu_share_for_derives_from_real_cores(self):
         real = host_cores()
         assert cpu_share_for(1, 2) == real
-        assert cpu_share_for(2, 2) == max(1, real // 2)
+        assert cpu_share_for(2, 2) == max(1, -(-real // 2))
         # The grant is clamped to the worker's advertised capacity, and
         # malformed grants degrade to 1 core.
-        assert cpu_share_for(99, 2) == max(1, real // 2)
+        assert cpu_share_for(99, 2) == max(1, -(-real // 2))
         assert cpu_share_for(None, 4) == real
+
+    def test_cpu_share_never_oversubscribes_the_grant(self, monkeypatch):
+        # Regression: floor division rounded the share *down*, handing a
+        # 3-core grant on an 8-core host share 8//3=2 and therefore a
+        # budget of 8//2=4 cores — more than was granted.  The budget
+        # the worker-side solver derives (cpus // share) must never
+        # exceed the grant.
+        import repro.campaign.worker as worker_mod
+
+        monkeypatch.setattr(worker_mod, "host_cores", lambda: 8)
+        for granted in range(1, 9):
+            share = cpu_share_for(granted, 8)
+            budget = max(1, 8 // share)
+            assert budget <= granted, (
+                f"grant {granted}: share {share} yields budget {budget}")
+        assert cpu_share_for(3, 8) == 3  # the motivating case: 8//3=2 was wrong
 
     def test_pick_worker_packs_by_free_cores(self):
         listen = socket.socket()
@@ -475,6 +503,44 @@ class TestWire:
             with pytest.raises(CampaignError):
                 parse_hostport(bad)
 
+    def test_parse_hostport_ipv6(self):
+        # Bracketed IPv6 literals parse with the brackets stripped …
+        assert parse_hostport("[::1]:7764") == ("::1", 7764)
+        assert parse_hostport("[2001:db8::2]:80") == ("2001:db8::2", 80)
+        # … while unbracketed ones are rejected instead of being split
+        # at the wrong colon ("::1:7764" is NOT host "::1" port 7764).
+        for bad in ("::1:7764", "[]:7764", "[::1]:", "[::1]"):
+            with pytest.raises(CampaignError):
+                parse_hostport(bad)
+
+    def test_format_address_brackets_ipv6(self):
+        assert format_address(("127.0.0.1", 7764)) == "127.0.0.1:7764"
+        assert format_address(("::1", 7764)) == "[::1]:7764"
+        # round-trip
+        assert parse_hostport(format_address(("::1", 7764))) == ("::1", 7764)
+
+    def test_ipv6_scheduler_and_worker_end_to_end(self):
+        try:
+            backend = DistributedBackend(bind="[::1]:0", min_workers=1,
+                                         heartbeat_timeout=5.0)
+            backend.address  # binds
+        except CampaignError as error:
+            pytest.skip(f"IPv6 loopback unavailable: {error}")
+        specs = [_add_spec(a) for a in range(2)]
+        host, port = backend.address[:2]
+        workers = []
+        try:
+            process = multiprocessing.Process(
+                target=run_worker, args=(f"[{host}]:{port}",),
+                kwargs={"cores": 2, "retry_for": 30.0, "name": "v6"})
+            process.start()
+            workers.append(process)
+            results = Campaign(backend=backend).run(specs)
+            assert [r.value["sum"] for r in results] == [10, 11]
+        finally:
+            _stop_workers(workers)
+            backend.close()
+
     def test_message_buffer_reassembles_partial_frames(self):
         buffer = MessageBuffer()
         payload = b'{"type":"result","id":1}\n{"type":"heart'
@@ -514,3 +580,150 @@ def _kill_after(pid, delay):
         os.kill(pid, 9)
     except OSError:
         pass
+
+
+# ----------------------------------------------------------------------
+# Two-tier cache: worker-local shard read-through
+# ----------------------------------------------------------------------
+class TestWorkerShard:
+    def test_warm_fleet_rerun_is_answered_key_only(self, tmp_path):
+        from repro.campaign.store import ResultStore
+
+        shard = str(tmp_path / "shard")
+        backend = DistributedBackend(bind="127.0.0.1:0", min_workers=1,
+                                     heartbeat_timeout=5.0)
+        specs = [_add_spec(a) for a in range(4)]
+        try:
+            workers = _start_workers(backend.address, 1, shard_dir=shard)
+            try:
+                cold = Campaign(backend=backend,
+                                cache_dir=str(tmp_path / "authority1"))
+                assert all(r.ok for r in cold.run(specs))
+            finally:
+                _stop_workers(workers)
+            # Cold: every cell's kwargs crossed the wire exactly once.
+            assert backend.last_run_stats == {
+                "cells": 4, "kwargs_frames": 4, "shard_hits": 0}
+            # … and every computed result landed in the worker's shard.
+            shard_store = ResultStore(shard)
+            assert all(shard_store.get(spec.key()) is not None
+                       for spec in specs)
+
+            # Warm rerun against a FRESH authority store (so all four
+            # cells ship again) with a FRESH worker process on the same
+            # shard: everything is answered from the shard, key-only —
+            # zero kwargs frames cross the wire.
+            workers = _start_workers(backend.address, 1, shard_dir=shard)
+            try:
+                warm = Campaign(backend=backend,
+                                cache_dir=str(tmp_path / "authority2"))
+                results = warm.run(specs)
+            finally:
+                _stop_workers(workers)
+            assert [r.value["sum"] for r in results] == [10, 11, 12, 13]
+            assert backend.last_run_stats == {
+                "cells": 4, "kwargs_frames": 0, "shard_hits": 4}
+            # The scheduler stayed the write authority: the fresh store
+            # absorbed all four shard-answered values.
+            assert warm.store.stats.puts == 4
+        finally:
+            backend.close()
+
+    def test_shardless_worker_still_runs_every_cell(self, tmp_path):
+        backend = DistributedBackend(bind="127.0.0.1:0", min_workers=1,
+                                     heartbeat_timeout=5.0)
+        specs = [_add_spec(a) for a in range(3)]
+        try:
+            workers = _start_workers(backend.address, 1)
+            try:
+                results = Campaign(backend=backend).run(specs)
+            finally:
+                _stop_workers(workers)
+            assert [r.value["sum"] for r in results] == [10, 11, 12]
+            assert backend.last_run_stats == {
+                "cells": 3, "kwargs_frames": 3, "shard_hits": 0}
+        finally:
+            backend.close()
+
+
+class TestAuthenticatedFleet:
+    def test_authenticated_campaign_round_trip(self):
+        backend = DistributedBackend(bind="127.0.0.1:0", min_workers=1,
+                                     heartbeat_timeout=5.0,
+                                     secret="fleet-secret")
+        specs = [_add_spec(a) for a in range(3)]
+        try:
+            workers = _start_workers(backend.address, 1,
+                                     secret="fleet-secret")
+            try:
+                results = Campaign(backend=backend).run(specs)
+            finally:
+                _stop_workers(workers)
+            assert [r.value["sum"] for r in results] == [10, 11, 12]
+        finally:
+            backend.close()
+
+
+class TestWorkerShutdownDrain:
+    def test_orderly_shutdown_ships_finished_results_first(
+            self, tmp_path, monkeypatch):
+        """Regression: `shutdown` used to break out of the worker loop
+        and kill running cells *before* a final result pump, silently
+        dropping envelopes of cells that had already finished."""
+        import io
+        import threading
+
+        import repro.campaign.worker as worker_mod
+
+        # Freeze the poll loop: with a 30s recv timeout the worker only
+        # acts when the fake scheduler sends something, so the finished
+        # cell's envelope is provably sitting unshipped in the pipe
+        # when the shutdown frame arrives.
+        monkeypatch.setattr(worker_mod, "_POLL_SECONDS", 30.0)
+        listen = socket.socket()
+        listen.bind(("127.0.0.1", 0))
+        listen.listen(1)
+        host, port = listen.getsockname()
+        marker = tmp_path / "marker"
+        rc = {}
+        thread = threading.Thread(
+            target=lambda: rc.update(code=run_worker(
+                f"{host}:{port}", cores=1, name="drain",
+                out=io.StringIO())))
+        thread.start()
+        conn, _ = listen.accept()
+        conn.settimeout(30)
+        buffer = MessageBuffer()
+
+        def read_until(kind):
+            while True:
+                data = conn.recv(65536)
+                assert data, (f"worker closed the link before sending "
+                              f"a {kind!r} frame")
+                for message in buffer.feed(data):
+                    if message["type"] == kind:
+                        return message
+
+        try:
+            read_until("register")
+            send_message(conn, {"type": "welcome", "heartbeat": 60.0})
+            send_message(conn, {"type": "cell", "id": 0, "key": "k0",
+                                "label": "touch", "width": 1, "cores": 1})
+            read_until("need")
+            send_message(conn, {"type": "job", "id": 0,
+                                "fn": "tests.test_distributed:touch_cell",
+                                "kwargs": {"path": str(marker)}})
+            deadline = time.monotonic() + 30
+            while not marker.exists():
+                assert time.monotonic() < deadline, "cell never ran"
+                time.sleep(0.05)
+            time.sleep(0.5)  # envelope reaches the pipe; worker still blocked
+            send_message(conn, {"type": "shutdown"})
+            result = read_until("result")
+            assert result["id"] == 0 and result["envelope"]["ok"]
+            assert result["envelope"]["value"] == {"touched": True}
+        finally:
+            conn.close()
+            listen.close()
+            thread.join(timeout=30)
+        assert rc.get("code") == 0  # orderly shutdown, result shipped

@@ -16,6 +16,7 @@ import pytest
 
 from repro.campaign import ResultStore
 from repro.campaign.scheduler import _Task
+from repro.campaign.store import StoreStats
 from repro.campaign.service import (
     CampaignService,
     FairShareQueue,
@@ -375,3 +376,120 @@ class TestFairShareQueue:
         assert queue.running_cores() == {"a": 2}
         queue.finished(task, 2)
         assert queue.running_cores() == {}
+
+    def test_idle_tenants_are_pruned_from_fairness_state(self):
+        """Regression: ``_served``/``_running`` used to accumulate one
+        entry per tenant ever seen, unbounded over a daemon's life."""
+        queue = FairShareQueue()
+        for index, tenant in enumerate("abcde"):
+            queue.put(_task(index, tenant))
+            task = queue.pop_next()
+            queue.started(task, 1)
+            queue.finished(task, 1)
+        assert queue._served == {} and queue._running == {}
+
+    def test_cancelled_tenants_are_pruned_too(self):
+        queue = FairShareQueue()
+        queue.put(_task(0, "y"))
+        assert queue.pop_next() is not None     # records a served tick
+        queue.put(_task(1, "y"))
+        queue.remove_group("g")
+        assert "y" not in queue._served and "y" not in queue._running
+
+    def test_active_tenants_keep_their_fairness_state(self):
+        queue = FairShareQueue()
+        first, second = _task(0, "a"), _task(1, "a")
+        queue.put(first)
+        queue.put(second)
+        queue.started(queue.pop_next(), 1)
+        queue.started(queue.pop_next(), 1)
+        queue.finished(first, 1)
+        # One cell still running: history must survive the prune pass.
+        assert queue._running == {"a": 1}
+        assert "a" in queue._served
+
+
+# ----------------------------------------------------------------------
+# Bearer-token enforcement on the HTTP API
+# ----------------------------------------------------------------------
+class TestBearerToken:
+    def test_requests_without_the_token_are_401(self, farm, monkeypatch):
+        monkeypatch.delenv("REPRO_SECRET", raising=False)
+        httpd = ServiceHTTPServer(("127.0.0.1", 0), farm.service,
+                                  token="hunter2")
+        thread = threading.Thread(target=httpd.serve_forever,
+                                  kwargs={"poll_interval": 0.05},
+                                  daemon=True)
+        thread.start()
+        try:
+            server = "%s:%s" % httpd.address
+            naked = ServiceClient(server)
+            with pytest.raises(CampaignError, match="401"):
+                naked.info()
+            wrong = ServiceClient(server, secret="wrong-token")
+            with pytest.raises(CampaignError, match="401"):
+                wrong.campaigns()
+            # Mutating verbs are gated before routing: no 404 oracle.
+            with pytest.raises(CampaignError, match="401"):
+                naked.cancel("does-not-exist")
+            with pytest.raises(CampaignError, match="401"):
+                wrong.submit({"cells": _quick_cells("x", 1)})
+            good = ServiceClient(server, secret="hunter2")
+            assert good.info()["campaigns"] == 0
+            assert "repro_uptime_seconds" in good.metrics()
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+
+    def test_token_resolves_from_environment(self, farm, monkeypatch):
+        monkeypatch.setenv("REPRO_SECRET", "env-token")
+        httpd = ServiceHTTPServer(("127.0.0.1", 0), farm.service)
+        thread = threading.Thread(target=httpd.serve_forever,
+                                  kwargs={"poll_interval": 0.05},
+                                  daemon=True)
+        thread.start()
+        try:
+            server = "%s:%s" % httpd.address
+            # The client resolves the same environment variable.
+            assert ServiceClient(server).info() is not None
+            monkeypatch.delenv("REPRO_SECRET")
+            with pytest.raises(CampaignError, match="401"):
+                ServiceClient(server).info()
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+
+
+# ----------------------------------------------------------------------
+# StoreStats: readers must snapshot under the counter lock
+# ----------------------------------------------------------------------
+class _TrackingLock:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.acquisitions = 0
+
+    def __enter__(self):
+        self._lock.acquire()
+        self.acquisitions += 1
+        return self
+
+    def __exit__(self, *exc):
+        self._lock.release()
+
+
+class TestStoreStatsLocking:
+    def test_readers_acquire_the_counter_lock(self):
+        """Regression: ``hit_rate``/``as_dict`` used to read the
+        counters lock-free, so a /metrics render racing the scheduler
+        loop could see a torn hits/misses pair."""
+        stats = StoreStats()
+        tracker = _TrackingLock()
+        stats._lock = tracker
+        stats.record("hits")
+        assert tracker.acquisitions == 1
+        stats.hit_rate()
+        assert tracker.acquisitions == 2
+        stats.as_dict()
+        assert tracker.acquisitions == 3
+        stats.summary()
+        assert tracker.acquisitions == 4
