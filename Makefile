@@ -4,7 +4,7 @@ PY ?= python
 export PYTHONPATH := src
 
 .PHONY: test smoke test-attacks campaign-demo matrix-demo \
-	distributed-demo serve-demo bench
+	distributed-demo serve-demo bench bench-solver
 
 test:
 	$(PY) -m pytest -x -q
@@ -51,3 +51,9 @@ serve-demo:
 
 bench:
 	$(PY) -m pytest benchmarks -q
+
+# Attack hot-path microbench: arena vs legacy CDCL conflicts/sec,
+# vectorized fig3/fig7 sweeps vs per-vector loops, end-to-end comb_sat
+# wall-clock. Writes benchmarks/artifacts/BENCH_solver.json.
+bench-solver:
+	$(PY) -m pytest benchmarks/bench_solver.py -q

@@ -23,7 +23,9 @@ from repro.errors import CampaignError
 
 #: Code-version salt mixed into every cache key. Bump on any change that
 #: alters what a cell function computes for the same params.
-CODE_VERSION = "trilock-campaign-v2"
+#: v3: fig7 FC cells changed — per-depth seeds now derive via tuple
+#: mixing instead of the correlated ``seed + index`` arithmetic.
+CODE_VERSION = "trilock-campaign-v3"
 
 
 def canonical_json(value):

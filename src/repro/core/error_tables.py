@@ -16,6 +16,12 @@ from dataclasses import dataclass
 
 from repro.core.error_function import e_n
 from repro.errors import LockingError
+from repro.sim.bitvec import (
+    bits_array_to_word,
+    have_numpy,
+    numpy_module,
+    word_to_bits_array,
+)
 from repro.sim.seq import SequentialSimulator
 
 #: Hard cap on exhaustive enumeration: 2^(κ+b)|I| simulated pairs.
@@ -106,12 +112,103 @@ def naive_error_table(kappa, width, key_star, depth):
     return ErrorTable(width, kappa, depth, rows)
 
 
+def _pair_words_python(inputs, width, cycle, kappa, depth, n_pairs, n_keys):
+    """Seed per-pair packing loop (reference / numpy-less fallback)."""
+    words = {net: 0 for net in inputs}
+    for pair in range(n_pairs):
+        i_value, k_value = divmod(pair, n_keys)
+        if cycle < kappa:
+            word = (k_value >> ((kappa - 1 - cycle) * width))
+        else:
+            word = (i_value >> ((depth - 1 - (cycle - kappa)) * width))
+        word &= (1 << width) - 1
+        bit = 1 << pair
+        for position, net in enumerate(inputs):
+            if (word >> (width - 1 - position)) & 1:
+                words[net] |= bit
+    return words
+
+
+def _pair_words_numpy(inputs, width, cycle, kappa, depth, n_pairs, n_keys):
+    """Vectorized :func:`_pair_words_python`: one packbits per input."""
+    np = numpy_module()
+    pair = np.arange(n_pairs, dtype=np.uint64)
+    if cycle < kappa:
+        values = pair % np.uint64(n_keys)  # k_value
+        shift = (kappa - 1 - cycle) * width
+    else:
+        values = pair // np.uint64(n_keys)  # i_value
+        shift = (depth - 1 - (cycle - kappa)) * width
+    values = values >> np.uint64(shift)
+    return {
+        net: bits_array_to_word(
+            (values >> np.uint64(width - 1 - position)) & np.uint64(1))
+        for position, net in enumerate(inputs)
+    }
+
+
+def _input_words_python(inputs, width, cycle, depth, n_inputs):
+    """Seed per-input packing loop for the oracle run."""
+    words = {net: 0 for net in inputs}
+    for i_value in range(n_inputs):
+        word = (i_value >> ((depth - 1 - cycle) * width)) & ((1 << width) - 1)
+        bit = 1 << i_value
+        for position, net in enumerate(inputs):
+            if (word >> (width - 1 - position)) & 1:
+                words[net] |= bit
+    return words
+
+
+def _input_words_numpy(inputs, width, cycle, depth, n_inputs):
+    np = numpy_module()
+    values = np.arange(n_inputs, dtype=np.uint64) \
+        >> np.uint64((depth - 1 - cycle) * width)
+    return {
+        net: bits_array_to_word(
+            (values >> np.uint64(width - 1 - position)) & np.uint64(1))
+        for position, net in enumerate(inputs)
+    }
+
+
+def _expand_python(word, n_inputs, n_keys):
+    """Expand an input-space word to pair-space (key minor index)."""
+    expanded = 0
+    for i_value in range(n_inputs):
+        if (word >> i_value) & 1:
+            expanded |= ((1 << n_keys) - 1) << (i_value * n_keys)
+    return expanded
+
+
+def _expand_numpy(word, n_inputs, n_keys):
+    np = numpy_module()
+    bits = word_to_bits_array(word, n_inputs)
+    return bits_array_to_word(np.repeat(bits, n_keys))
+
+
+def _rows_python(mismatch, n_inputs, n_keys):
+    return [
+        [bool((mismatch >> (i_value * n_keys + k_value)) & 1)
+         for k_value in range(n_keys)]
+        for i_value in range(n_inputs)
+    ]
+
+
+def _rows_numpy(mismatch, n_inputs, n_keys):
+    bits = word_to_bits_array(mismatch, n_inputs * n_keys)
+    return bits.reshape(n_inputs, n_keys).astype(bool).tolist()
+
+
 def measured_error_table(locked, depth):
     """Exhaustive gate-level table of a :class:`LockedCircuit`.
 
     All ``2^{(κ+b)|I|}`` (input, key) pairs are packed into one
     bit-parallel sequential run of the locked netlist; the oracle runs
     once over the ``2^{b|I|}`` input sequences.
+
+    Stimulus packing, oracle-word expansion, and row extraction run
+    vectorized (numpy) when available; the seed per-pair loops are kept
+    as the fallback and differential reference (``REPRO_NO_NUMPY=1``
+    forces them).
     """
     spec = locked.spec
     width = spec.width
@@ -121,60 +218,36 @@ def measured_error_table(locked, depth):
     n_keys = 1 << (kappa * width)
     n_pairs = n_inputs * n_keys  # pattern index = i * n_keys + k
 
+    fast = have_numpy()
+    pair_words = _pair_words_numpy if fast else _pair_words_python
+    input_words = _input_words_numpy if fast else _input_words_python
+    expand = _expand_numpy if fast else _expand_python
+    extract_rows = _rows_numpy if fast else _rows_python
+
     # Locked run: per cycle, per input port, one packed word.
     locked_sim = SequentialSimulator(locked.netlist)
     inputs = locked.netlist.inputs
-    words_per_cycle = []
-    for cycle in range(kappa + depth):
-        words = {net: 0 for net in inputs}
-        for pair in range(n_pairs):
-            i_value, k_value = divmod(pair, n_keys)
-            if cycle < kappa:
-                word = (k_value >> ((kappa - 1 - cycle) * width))
-            else:
-                word = (i_value >> ((depth - 1 - (cycle - kappa)) * width))
-            word &= (1 << width) - 1
-            bit = 1 << pair
-            for position, net in enumerate(inputs):
-                if (word >> (width - 1 - position)) & 1:
-                    words[net] |= bit
-        words_per_cycle.append(words)
+    words_per_cycle = [
+        pair_words(inputs, width, cycle, kappa, depth, n_pairs, n_keys)
+        for cycle in range(kappa + depth)
+    ]
     locked_outputs, _ = locked_sim.run(words_per_cycle, n_pairs)
 
     # Oracle run over plain input sequences.
     oracle_sim = SequentialSimulator(locked.original)
-    oracle_words_per_cycle = []
-    for cycle in range(depth):
-        words = {net: 0 for net in inputs}
-        for i_value in range(n_inputs):
-            word = (i_value >> ((depth - 1 - cycle) * width)) & ((1 << width) - 1)
-            bit = 1 << i_value
-            for position, net in enumerate(inputs):
-                if (word >> (width - 1 - position)) & 1:
-                    words[net] |= bit
-        oracle_words_per_cycle.append(words)
+    oracle_words_per_cycle = [
+        input_words(inputs, width, cycle, depth, n_inputs)
+        for cycle in range(depth)
+    ]
     oracle_outputs, _ = oracle_sim.run(oracle_words_per_cycle, n_inputs)
 
     # Expand oracle words from input-space to pair-space (key minor).
-    def expand(word):
-        expanded = 0
-        for i_value in range(n_inputs):
-            if (word >> i_value) & 1:
-                expanded |= ((1 << n_keys) - 1) << (i_value * n_keys)
-        return expanded
-
     mismatch = 0
     for cycle in range(depth):
         locked_cycle = locked_outputs[kappa + cycle]
         oracle_cycle = oracle_outputs[cycle]
         for locked_word, oracle_word in zip(locked_cycle, oracle_cycle):
-            mismatch |= locked_word ^ expand(oracle_word)
+            mismatch |= locked_word ^ expand(oracle_word, n_inputs, n_keys)
 
-    rows = []
-    for i_value in range(n_inputs):
-        row = [
-            bool((mismatch >> (i_value * n_keys + k_value)) & 1)
-            for k_value in range(n_keys)
-        ]
-        rows.append(row)
+    rows = extract_rows(mismatch, n_inputs, n_keys)
     return ErrorTable(width, kappa, depth, rows)

@@ -60,6 +60,11 @@ class AttackError(ReproError):
     """An attack was invoked on an incompatible circuit or ran out of budget."""
 
 
+class ExtrapolationError(ReproError):
+    """A Table I cell cannot be extrapolated (no measured runs to fit a
+    time/DIP rate from) — raised instead of silently emitting NaN."""
+
+
 class TechError(ReproError):
     """Technology-library lookup failure (unknown cell, bad load, ...)."""
 

@@ -27,6 +27,7 @@ from repro.experiments.common import (
     ExperimentResult,
     engineering,
 )
+from repro.errors import ExtrapolationError
 from repro.metrics import extrapolated_resilience, measure_resilience
 from repro.metrics.resilience import ResilienceMeasurement
 from repro.sat import make_attack_solver, parse_portfolio
@@ -146,26 +147,37 @@ def assemble(measured, scale=DEFAULT_SCALE, effort="quick",
     measured_keys = {(m.circuit, m.kappa_s) for m in measured}
     finished = [m for m in measured if m.measured]
 
+    unextrapolatable = 0
     for name in suite_names():
         width = TABLE1_CIRCUITS[name][0]
         for kappa_s in kappa_s_values:
+            expected = ndip_trilock(kappa_s, width)
             if (name, kappa_s) in measured_keys:
                 cell = next(m for m in measured
                             if (m.circuit, m.kappa_s) == (name, kappa_s))
             else:
-                cell = extrapolated_resilience(name, kappa_s, width,
-                                               finished)
-            expected = ndip_trilock(kappa_s, width)
+                try:
+                    cell = extrapolated_resilience(name, kappa_s, width,
+                                                   finished)
+                except ExtrapolationError:
+                    # No measured run to fit a time/DIP rate from:
+                    # ndip is still exact (solver-independent), but the
+                    # runtime column is explicitly unextrapolatable
+                    # rather than a silent NaN.
+                    unextrapolatable += 1
+                    cell = None
             paper_ndip, paper_seconds = PAPER_TABLE1[kappa_s][name]
             rows.append({
                 "circuit": name,
                 "|I|": width,
                 "kappa_s": kappa_s,
-                "ndip": engineering(cell.ndip),
-                "ndip==2^(ks|I|)": cell.ndip == expected,
-                "T(s)": engineering(cell.seconds),
-                "measured": cell.measured,
-                "key_ok": cell.key_correct if cell.measured else "",
+                "ndip": engineering(expected if cell is None else cell.ndip),
+                "ndip==2^(ks|I|)": cell is None or cell.ndip == expected,
+                "T(s)": "unextrapolatable" if cell is None
+                        else engineering(cell.seconds),
+                "measured": False if cell is None else cell.measured,
+                "key_ok": cell.key_correct
+                          if cell is not None and cell.measured else "",
                 "paper_ndip": engineering(paper_ndip),
                 "paper_T(s)": engineering(paper_seconds),
             })
@@ -185,6 +197,10 @@ def assemble(measured, scale=DEFAULT_SCALE, effort="quick",
         notes.append(
             f"cells failed or timed out and fell back to extrapolation: "
             f"{sorted(failed_cells)}")
+    if unextrapolatable:
+        notes.append(
+            f"{unextrapolatable} cells are unextrapolatable (no measured "
+            "run finished to fit a time/DIP rate from)")
     return ExperimentResult(
         experiment="table1",
         title="SAT-attack resilience of TriLock",

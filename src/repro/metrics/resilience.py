@@ -9,6 +9,7 @@ from dataclasses import dataclass
 
 from repro.attacks.seq_sat import attack_locked_circuit
 from repro.core.analytic import ndip_trilock
+from repro.errors import ExtrapolationError
 
 
 @dataclass
@@ -67,11 +68,17 @@ def extrapolated_resilience(circuit, kappa_s, width, finished):
     """Predict a cell from finished runs (constant time/DIP, Table I).
 
     ``finished`` is a list of :class:`ResilienceMeasurement` with
-    ``measured=True``.
+    ``measured=True``.  Raises :class:`ExtrapolationError` when no run
+    yields a usable time/DIP rate — previously this silently produced
+    ``seconds=nan``, which flowed into rendered Table I cells unmarked.
     """
     ndip = ndip_trilock(kappa_s, width)
     rates = [m.seconds / m.ndip for m in finished if m.measured and m.ndip]
-    per_dip = max(rates) if rates else float("nan")
+    if not rates:
+        raise ExtrapolationError(
+            f"cannot extrapolate {circuit}/ks={kappa_s}: no measured "
+            f"run with ndip > 0 among {len(finished)} finished cells")
+    per_dip = max(rates)
     return ResilienceMeasurement(
         circuit=circuit,
         kappa_s=kappa_s,

@@ -1,0 +1,563 @@
+"""The original object-graph CDCL solver, kept as a baseline.
+
+This is the pre-arena implementation of :mod:`repro.sat.solver`, frozen
+here verbatim (clauses as Python objects, watches as dicts of clause
+lists).  It exists for two reasons:
+
+* ``benchmarks/bench_solver.py`` measures the arena engine *against*
+  this implementation, so the speedup claim in ``BENCH_solver.json`` is
+  a real A/B number rather than folklore;
+* the differential test grid runs it next to the arena solver and the
+  DPLL oracle, so a behavioural regression in the rewrite shows up as a
+  three-way disagreement.
+
+It is registered in the backend registry as ``legacy-cdcl`` and shares
+the exact ``Solver`` surface (same constructor knobs, ``stats()`` shape,
+``interrupt`` protocol).  Do not optimise this file — its job is to stay
+what the seed solver was.
+
+Literals are non-zero signed ints over variables ``1..n`` (DIMACS style).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.errors import SolverError
+
+_TRUE, _FALSE, _UNASSIGNED = 1, 0, -1
+
+#: How many conflicts pass between interrupt-callback polls.
+_INTERRUPT_GRANULARITY = 64
+
+
+class _Interrupted(Exception):
+    """Internal signal: the interrupt callback asked the search to stop."""
+
+
+class _Clause:
+    """Clause with watch-order literals; positions 0 and 1 are watched."""
+
+    __slots__ = ("lits", "learnt", "activity")
+
+    def __init__(self, lits, learnt=False):
+        self.lits = lits
+        self.learnt = learnt
+        self.activity = 0.0
+
+
+class LegacySolver:
+    """Incremental CDCL solver (seed implementation, object-graph core).
+
+    The keyword arguments are the tunable search heuristics exposed to
+    the portfolio layer; the defaults reproduce the original fixed
+    behaviour exactly.
+    """
+
+    def __init__(self, var_decay=0.95, clause_decay=0.999, restart_base=64,
+                 phase_default=False, learnt_cap=4000):
+        if not 0.0 < var_decay <= 1.0 or not 0.0 < clause_decay <= 1.0:
+            raise SolverError("activity decays must be in (0, 1]")
+        if restart_base < 1:
+            raise SolverError("restart_base must be >= 1")
+        self._num_vars = 0
+        self._clauses = []        # problem clauses
+        self._learnts = []        # learnt clauses
+        self._watches = {}        # literal -> list of clauses watching it
+        self._bin_watches = {}    # literal -> list of (clause, other_lit)
+        self._assign = [ _UNASSIGNED ]  # var-indexed (index 0 unused)
+        self._level = [0]
+        self._reason = [None]
+        self._phase = [bool(phase_default)]
+        self._activity = [0.0]
+        self._order = []          # lazy max-heap of (-activity, var)
+        self._trail = []
+        self._trail_lim = []
+        self._qhead = 0
+        self._unsat = False
+        self._model = None
+        self._var_inc = 1.0
+        self._var_decay = 1.0 / var_decay
+        self._cla_inc = 1.0
+        self._cla_decay = 1.0 / clause_decay
+        self._restart_base = int(restart_base)
+        self._phase_default = bool(phase_default)
+        self._learnt_cap = int(learnt_cap)
+        #: Optional zero-argument callable polled during search; when it
+        #: returns true, ``solve`` stops and returns ``None`` (unknown).
+        self.interrupt = None
+        # statistics
+        self.num_conflicts = 0
+        self.num_decisions = 0
+        self.num_propagations = 0
+        self.num_restarts = 0
+        self.num_solve_calls = 0
+
+    # ------------------------------------------------------------------
+    # Problem construction
+    # ------------------------------------------------------------------
+    def new_var(self):
+        """Allocate a fresh variable and return it."""
+        self._num_vars += 1
+        var = self._num_vars
+        self._assign.append(_UNASSIGNED)
+        self._level.append(0)
+        self._reason.append(None)
+        self._phase.append(self._phase_default)
+        self._activity.append(0.0)
+        heapq.heappush(self._order, (0.0, var))
+        return var
+
+    def ensure_vars(self, up_to):
+        """Allocate variables until ``up_to`` exists."""
+        while self._num_vars < up_to:
+            self.new_var()
+
+    @property
+    def num_vars(self):
+        return self._num_vars
+
+    def add_clause(self, literals):
+        """Add a problem clause; returns False if the solver became UNSAT."""
+        if self._unsat:
+            return False
+        self._cancel_until(0)
+        seen = set()
+        clause = []
+        for lit in literals:
+            lit = int(lit)
+            if lit == 0 or abs(lit) > self._num_vars:
+                raise SolverError(f"bad literal {lit} (allocate variables first)")
+            if -lit in seen:
+                return True  # tautology: trivially satisfied
+            if lit in seen:
+                continue
+            value = self._value(lit)
+            if value == _TRUE and self._level[abs(lit)] == 0:
+                return True  # already satisfied at root
+            if value == _FALSE and self._level[abs(lit)] == 0:
+                continue  # literal dead at root
+            seen.add(lit)
+            clause.append(lit)
+
+        if not clause:
+            self._unsat = True
+            return False
+        if len(clause) == 1:
+            if not self._enqueue(clause[0], None):
+                self._unsat = True
+                return False
+            if self._propagate() is not None:
+                self._unsat = True
+                return False
+            return True
+        stored = _Clause(clause)
+        self._clauses.append(stored)
+        self._watch(stored)
+        return True
+
+    def add_cnf(self, cnf):
+        """Load a :class:`repro.cnf.formula.Cnf`."""
+        self.ensure_vars(cnf.num_vars)
+        for clause in cnf.clauses:
+            if not self.add_clause(clause):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    def solve(self, assumptions=()):
+        """True iff satisfiable under ``assumptions`` (list of literals).
+
+        Returns ``None`` — *unknown*, not falsy-UNSAT — when the
+        :attr:`interrupt` callback fired mid-search; the solver keeps its
+        clause store (and learnt clauses) and may be solved again.
+        """
+        self.num_solve_calls += 1
+        if self._unsat:
+            return False
+        self._cancel_until(0)
+        if self._propagate() is not None:
+            self._unsat = True
+            return False
+        assumptions = [int(lit) for lit in assumptions]
+        for lit in assumptions:
+            if lit == 0 or abs(lit) > self._num_vars:
+                raise SolverError(f"bad assumption literal {lit}")
+
+        restart = 0
+        while True:
+            if self.interrupt is not None and self.interrupt():
+                self._cancel_until(0)
+                self._model = None  # a prior solve's model must not leak
+                return None
+            threshold = self._restart_base * _luby(restart)
+            try:
+                status = self._search(threshold, assumptions)
+            except _Interrupted:
+                self._cancel_until(0)
+                self._model = None
+                return None
+            restart += 1
+            if status is None:
+                self.num_restarts += 1
+                continue
+            if status:
+                self._model = list(self._assign)
+                self._cancel_until(0)
+                return True
+            self._cancel_until(0)
+            return False
+
+    def model_value(self, var):
+        """Truth value of ``var`` in the last satisfying model."""
+        if self._model is None:
+            raise SolverError("no model available (last solve was not SAT)")
+        value = self._model[var]
+        if value == _UNASSIGNED:
+            # Variable was never constrained; default polarity.
+            return False
+        return value == _TRUE
+
+    def model(self):
+        """Whole model as a dict var -> bool."""
+        if self._model is None:
+            raise SolverError("no model available (last solve was not SAT)")
+        return {
+            var: self.model_value(var) for var in range(1, self._num_vars + 1)
+        }
+
+    def stats(self):
+        return {
+            # Uniform across backends: CdclConfig.build() stamps the
+            # registered name; a bare LegacySolver() is the legacy config.
+            "backend": getattr(self, "backend_name", "legacy-cdcl"),
+            "vars": self._num_vars,
+            "clauses": len(self._clauses),
+            "learnts": len(self._learnts),
+            "conflicts": self.num_conflicts,
+            "decisions": self.num_decisions,
+            "propagations": self.num_propagations,
+            "restarts": self.num_restarts,
+            "solve_calls": self.num_solve_calls,
+        }
+
+    # ------------------------------------------------------------------
+    # Core search
+    # ------------------------------------------------------------------
+    def _search(self, conflict_budget, assumptions):
+        """Run until SAT (True), UNSAT (False), or restart (None)."""
+        conflicts_here = 0
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.num_conflicts += 1
+                conflicts_here += 1
+                if (self.interrupt is not None
+                        and self.num_conflicts % _INTERRUPT_GRANULARITY == 0
+                        and self.interrupt()):
+                    raise _Interrupted
+                if self._decision_level() == 0:
+                    self._unsat = True
+                    return False
+                back_level, learnt = self._analyze(conflict)
+                self._cancel_until(back_level)
+                self._record(learnt)
+                self._decay_activities()
+                continue
+
+            if conflicts_here >= conflict_budget:
+                self._cancel_until(0)
+                return None  # restart
+            if (len(self._learnts) >= self._learnt_cap + len(self._clauses) // 2
+                    and self._decision_level() >= len(assumptions)):
+                self._reduce_learnts()
+
+            # Plant pending assumptions, one decision level each.
+            next_lit = None
+            while self._decision_level() < len(assumptions):
+                lit = assumptions[self._decision_level()]
+                value = self._value(lit)
+                if value == _TRUE:
+                    self._new_level()  # dummy level keeps alignment
+                elif value == _FALSE:
+                    return False  # assumptions unsatisfiable
+                else:
+                    next_lit = lit
+                    break
+
+            if next_lit is None:
+                next_lit = self._pick_branch()
+                if next_lit is None:
+                    return True  # complete assignment
+                self.num_decisions += 1
+            self._new_level()
+            self._enqueue(next_lit, None)
+
+    def _propagate(self):
+        """Unit propagation; returns a conflicting clause or None."""
+        watches = self._watches
+        bin_watches = self._bin_watches
+        assign = self._assign
+        while self._qhead < len(self._trail):
+            lit = self._trail[self._qhead]
+            self._qhead += 1
+            self.num_propagations += 1
+            false_lit = -lit
+
+            # Binary clauses: no watch migration, just check the partner.
+            for clause, other in bin_watches.get(false_lit, ()):
+                other_var = other if other > 0 else -other
+                other_assign = assign[other_var]
+                if other_assign == _UNASSIGNED:
+                    self._enqueue(other, clause)
+                elif (other_assign == _TRUE) != (other > 0):
+                    self._qhead = len(self._trail)
+                    return clause
+
+            watchers = watches.get(false_lit)
+            if not watchers:
+                continue
+            keep_index = 0
+            i = 0
+            count = len(watchers)
+            while i < count:
+                clause = watchers[i]
+                i += 1
+                lits = clause.lits
+                if lits[0] == false_lit:
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = lits[0]
+                first_var = first if first > 0 else -first
+                first_assign = assign[first_var]
+                if first_assign != _UNASSIGNED and \
+                        (first_assign == _TRUE) == (first > 0):
+                    watchers[keep_index] = clause
+                    keep_index += 1
+                    continue
+                moved = False
+                for k in range(2, len(lits)):
+                    other = lits[k]
+                    other_var = other if other > 0 else -other
+                    other_assign = assign[other_var]
+                    if other_assign == _UNASSIGNED or \
+                            (other_assign == _TRUE) == (other > 0):
+                        lits[1], lits[k] = lits[k], lits[1]
+                        watches.setdefault(lits[1], []).append(clause)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                # Unit or conflict.
+                watchers[keep_index] = clause
+                keep_index += 1
+                if first_assign != _UNASSIGNED:
+                    # conflict: keep remaining watchers and bail out
+                    while i < count:
+                        watchers[keep_index] = watchers[i]
+                        keep_index += 1
+                        i += 1
+                    del watchers[keep_index:]
+                    self._qhead = len(self._trail)
+                    return clause
+                self._enqueue(first, clause)
+            del watchers[keep_index:]
+        return None
+
+    def _analyze(self, conflict):
+        """First-UIP learning; returns (backtrack_level, learnt_lits)."""
+        seen = bytearray(self._num_vars + 1)
+        learnt = []
+        path_count = 0
+        lit = None
+        index = len(self._trail) - 1
+        current_level = self._decision_level()
+
+        while True:
+            if conflict.learnt:
+                self._bump_clause(conflict)
+            for q in conflict.lits:
+                if q == lit:
+                    continue  # the literal this clause propagated
+                var = abs(q)
+                if not seen[var] and self._level[var] > 0:
+                    seen[var] = 1
+                    self._bump_var(var)
+                    if self._level[var] >= current_level:
+                        path_count += 1
+                    else:
+                        learnt.append(q)
+            while not seen[abs(self._trail[index])]:
+                index -= 1
+            lit = self._trail[index]
+            var = abs(lit)
+            conflict = self._reason[var]
+            seen[var] = 0
+            index -= 1
+            path_count -= 1
+            if path_count == 0:
+                break
+
+        learnt.insert(0, -lit)
+
+        # Self-subsumption minimisation (conservative, one pass).
+        minimized = [learnt[0]]
+        for q in learnt[1:]:
+            reason = self._reason[abs(q)]
+            if reason is None:
+                minimized.append(q)
+                continue
+            redundant = True
+            for other in reason.lits:
+                if other == -q:
+                    continue  # the literal the reason clause propagated
+                var = abs(other)
+                if not seen[var] and self._level[var] > 0:
+                    redundant = False
+                    break
+            if not redundant:
+                minimized.append(q)
+        learnt = minimized
+
+        if len(learnt) == 1:
+            return 0, learnt
+        # Move the highest-level non-asserting literal into slot 1.
+        best = 1
+        for k in range(2, len(learnt)):
+            if self._level[abs(learnt[k])] > self._level[abs(learnt[best])]:
+                best = k
+        learnt[1], learnt[best] = learnt[best], learnt[1]
+        return self._level[abs(learnt[1])], learnt
+
+    def _record(self, learnt_lits):
+        if len(learnt_lits) == 1:
+            self._enqueue(learnt_lits[0], None)
+            return
+        clause = _Clause(learnt_lits, learnt=True)
+        clause.activity = self._cla_inc
+        self._learnts.append(clause)
+        self._watch(clause)
+        self._enqueue(learnt_lits[0], clause)
+
+    def _reduce_learnts(self):
+        """Drop the less active half of unlocked learnt clauses."""
+        locked = {id(self._reason[abs(self._trail[k])])
+                  for k in range(len(self._trail))
+                  if self._reason[abs(self._trail[k])] is not None}
+        self._learnts.sort(key=lambda c: c.activity)
+        keep_from = len(self._learnts) // 2
+        kept, dropped = [], set()
+        for position, clause in enumerate(self._learnts):
+            if position >= keep_from or id(clause) in locked or len(clause.lits) <= 2:
+                kept.append(clause)
+            else:
+                dropped.add(id(clause))
+        if not dropped:
+            return
+        self._learnts = kept
+        for watchers in self._watches.values():
+            watchers[:] = [c for c in watchers if id(c) not in dropped]
+
+    # ------------------------------------------------------------------
+    # Assignment bookkeeping
+    # ------------------------------------------------------------------
+    def _decision_level(self):
+        return len(self._trail_lim)
+
+    def _new_level(self):
+        self._trail_lim.append(len(self._trail))
+
+    def _value(self, lit):
+        value = self._assign[lit if lit > 0 else -lit]
+        if value == _UNASSIGNED:
+            return _UNASSIGNED
+        return _TRUE if (value == _TRUE) == (lit > 0) else _FALSE
+
+    def _enqueue(self, lit, reason):
+        var = abs(lit)
+        current = self._assign[var]
+        if current != _UNASSIGNED:
+            return (current == _TRUE) == (lit > 0)
+        self._assign[var] = _TRUE if lit > 0 else _FALSE
+        self._level[var] = self._decision_level()
+        self._reason[var] = reason
+        self._trail.append(lit)
+        return True
+
+    def _cancel_until(self, level):
+        if self._decision_level() <= level:
+            return
+        boundary = self._trail_lim[level]
+        order = self._order
+        for k in range(len(self._trail) - 1, boundary - 1, -1):
+            lit = self._trail[k]
+            var = abs(lit)
+            self._phase[var] = lit > 0
+            self._assign[var] = _UNASSIGNED
+            self._reason[var] = None
+            heapq.heappush(order, (-self._activity[var], var))
+        del self._trail[boundary:]
+        del self._trail_lim[level:]
+        self._qhead = len(self._trail)
+
+    def _pick_branch(self):
+        order = self._order
+        assign = self._assign
+        while order:
+            _, var = heapq.heappop(order)
+            if assign[var] == _UNASSIGNED:
+                return var if self._phase[var] else -var
+        return None
+
+    def _watch(self, clause):
+        lits = clause.lits
+        if len(lits) == 2:
+            self._bin_watches.setdefault(lits[0], []).append((clause, lits[1]))
+            self._bin_watches.setdefault(lits[1], []).append((clause, lits[0]))
+            return
+        self._watches.setdefault(lits[0], []).append(clause)
+        self._watches.setdefault(lits[1], []).append(clause)
+
+    # ------------------------------------------------------------------
+    # Activities
+    # ------------------------------------------------------------------
+    def _bump_var(self, var):
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            self._rescale_var_activity()
+        if self._assign[var] == _UNASSIGNED:
+            heapq.heappush(self._order, (-self._activity[var], var))
+
+    def _rescale_var_activity(self):
+        for var in range(1, self._num_vars + 1):
+            self._activity[var] *= 1e-100
+        self._var_inc *= 1e-100
+        self._order = [(-self._activity[var], var)
+                       for var in range(1, self._num_vars + 1)
+                       if self._assign[var] == _UNASSIGNED]
+        heapq.heapify(self._order)
+
+    def _bump_clause(self, clause):
+        clause.activity += self._cla_inc
+        if clause.activity > 1e100:
+            for learnt in self._learnts:
+                learnt.activity *= 1e-100
+            self._cla_inc *= 1e-100
+
+    def _decay_activities(self):
+        self._var_inc *= self._var_decay
+        self._cla_inc *= self._cla_decay
+
+
+def _luby(index):
+    """Luby restart sequence (0-based): 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ..."""
+    size, seq = 1, 0
+    while size < index + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != index:
+        size = (size - 1) // 2
+        seq -= 1
+        index %= size
+    return 1 << seq

@@ -1,0 +1,412 @@
+"""Optional native solver backend ("escape Python").
+
+The registry always lists ``native``; what you get from the factory
+depends on the host:
+
+1. **python-sat** (``pysat``) importable — :class:`PySatBackend`, an
+   in-process incremental engine (Minisat22 by default, override with
+   ``REPRO_PYSAT_SOLVER``).  Assumptions map straight through;
+   cooperative interrupt is implemented by solving in conflict-budget
+   slices and polling the callback between slices.
+2. **$REPRO_SAT_BINARY** set — :class:`DimacsSubprocessBackend`, which
+   re-emits the accumulated clause set as DIMACS on every ``solve`` and
+   runs the user-supplied binary (kissat, cadical, minisat, ...).  The
+   value is ``shlex``-split, so it may carry arguments.  Two calling
+   conventions are supported via ``REPRO_SAT_STYLE``:
+
+   * ``competition`` (default): ``<cmd> <input.cnf>``, answer as
+     SAT-competition ``s``/``v`` lines on stdout (kissat, cadical,
+     glucose ``-model``, picosat, and ``python -m
+     repro.sat.dimacs_engine``);
+   * ``minisat``: ``<cmd> <input.cnf> <result.txt>``, answer in the
+     result file (MiniSat's classic interface).
+
+   Assumptions become per-solve unit clauses (the formula file is
+   rebuilt each call, so they never pollute later solves); interrupt is
+   polled while the subprocess runs and kills it on trigger.
+3. Neither — :class:`NativeUnavailableBackend`, a stub that satisfies
+   the backend surface (so the registry can list it and ``stats()``
+   works) but raises an actionable :class:`~repro.errors.SolverError`
+   from every solving entry point.
+
+All three keep the incremental contract of
+:class:`repro.sat.backend.SolverBackend`: ``add_clause`` between
+``solve`` calls, assumptions honored per call, ``solve`` returning
+``None`` when interrupted.
+"""
+
+from __future__ import annotations
+
+import os
+import shlex
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.errors import SolverError
+
+#: Conflicts per pysat solve slice between interrupt polls.
+_PYSAT_SLICE_CONFLICTS = 256
+
+#: Seconds between interrupt polls while a subprocess engine runs.
+_SUBPROCESS_POLL_SECONDS = 0.01
+
+
+def engine_probe():
+    """Discover the best available native engine.
+
+    Returns ``(kind, detail)`` where ``kind`` is ``"pysat"``,
+    ``"dimacs"`` or ``None``; for ``"dimacs"`` the detail is the argv
+    prefix, for ``None`` it is a human-readable reason.
+    """
+    try:
+        import pysat.solvers  # noqa: F401
+    except ImportError:
+        pass
+    else:
+        return "pysat", None
+    binary = os.environ.get("REPRO_SAT_BINARY", "").strip()
+    if binary:
+        return "dimacs", tuple(shlex.split(binary))
+    return None, ("no native engine: python-sat is not importable and "
+                  "REPRO_SAT_BINARY is unset")
+
+
+def make_native_backend():
+    """Factory registered as the ``native`` backend."""
+    kind, detail = engine_probe()
+    if kind == "pysat":
+        return PySatBackend()
+    if kind == "dimacs":
+        style = os.environ.get("REPRO_SAT_STYLE", "competition").strip()
+        return DimacsSubprocessBackend(detail, style=style)
+    return NativeUnavailableBackend(detail)
+
+
+class _ClauseStoreMixin:
+    """Shared literal bookkeeping for the native backends.
+
+    Keeps the same validation surface as the in-tree backends: literals
+    must reference allocated variables, the empty clause flips the
+    store root-UNSAT, and ``add_clause`` reports ``False`` from then on.
+    """
+
+    def __init__(self):
+        self._num_vars = 0
+        self._root_unsat = False
+        self._model = None
+        self.num_solve_calls = 0
+        self.interrupt = None
+
+    def new_var(self):
+        self._num_vars += 1
+        return self._num_vars
+
+    def ensure_vars(self, up_to):
+        while self._num_vars < up_to:
+            self.new_var()
+
+    @property
+    def num_vars(self):
+        return self._num_vars
+
+    def _check_clause(self, literals):
+        clause = [int(lit) for lit in literals]
+        for lit in clause:
+            if lit == 0 or abs(lit) > self._num_vars:
+                raise SolverError(
+                    f"bad literal {lit} (allocate variables first)")
+        return clause
+
+    def add_cnf(self, cnf):
+        self.ensure_vars(cnf.num_vars)
+        for clause in cnf.clauses:
+            if not self.add_clause(clause):
+                return False
+        return True
+
+    def model_value(self, var):
+        if self._model is None:
+            raise SolverError("no model available (last solve was not SAT)")
+        return bool(self._model.get(var, False))
+
+    def model(self):
+        if self._model is None:
+            raise SolverError("no model available (last solve was not SAT)")
+        return {var: self.model_value(var)
+                for var in range(1, self._num_vars + 1)}
+
+
+class PySatBackend(_ClauseStoreMixin):
+    """python-sat behind the backend surface (in-process, incremental)."""
+
+    backend_name = "native"
+
+    def __init__(self, solver_name=None):
+        super().__init__()
+        from pysat.solvers import Solver as _PySatSolver
+
+        name = solver_name or os.environ.get("REPRO_PYSAT_SOLVER",
+                                             "minisat22")
+        try:
+            self._engine = _PySatSolver(name=name)
+        except Exception as exc:
+            raise SolverError(f"pysat solver {name!r} unavailable: {exc}")
+        self._engine_name = name
+        self._num_clauses = 0
+
+    def add_clause(self, literals):
+        if self._root_unsat:
+            return False
+        clause = self._check_clause(literals)
+        if not clause:
+            self._root_unsat = True
+            return False
+        self._engine.add_clause(clause)
+        self._num_clauses += 1
+        return True
+
+    def solve(self, assumptions=()):
+        self.num_solve_calls += 1
+        self._model = None
+        if self._root_unsat:
+            return False
+        assumptions = [int(lit) for lit in assumptions]
+        interrupt = self.interrupt
+        if interrupt is None:
+            answer = self._engine.solve(assumptions=assumptions)
+        else:
+            # Slice the search so the cooperative interrupt contract
+            # holds: budget a few conflicts, poll, repeat.
+            answer = None
+            while True:
+                if interrupt():
+                    return None
+                self._engine.conf_budget(_PYSAT_SLICE_CONFLICTS)
+                answer = self._engine.solve_limited(
+                    assumptions=assumptions, expect_interrupt=False)
+                if answer is not None:
+                    break
+        if answer:
+            self._model = {abs(lit): lit > 0
+                           for lit in (self._engine.get_model() or ())}
+        return bool(answer)
+
+    def stats(self):
+        return {
+            "backend": self.backend_name,
+            "engine": f"pysat:{self._engine_name}",
+            "vars": self._num_vars,
+            "clauses": self._num_clauses,
+            "solve_calls": self.num_solve_calls,
+        }
+
+
+class DimacsSubprocessBackend(_ClauseStoreMixin):
+    """A user-supplied DIMACS binary behind the backend surface.
+
+    Incrementality is emulated: the accumulated clause set (plus the
+    call's assumptions as unit clauses) is serialized to a fresh DIMACS
+    file on every ``solve``.  That is O(formula) per call — fine for
+    the DIP loop's clause-growing pattern, and the only contract a
+    stateless external binary can offer.
+    """
+
+    backend_name = "native"
+
+    def __init__(self, argv_prefix, style="competition"):
+        super().__init__()
+        if not argv_prefix:
+            raise SolverError("empty REPRO_SAT_BINARY")
+        if style not in ("competition", "minisat"):
+            raise SolverError(
+                f"bad REPRO_SAT_STYLE {style!r} "
+                "(expected 'competition' or 'minisat')")
+        self._argv = tuple(argv_prefix)
+        self._style = style
+        self._clauses = []
+
+    def add_clause(self, literals):
+        if self._root_unsat:
+            return False
+        clause = self._check_clause(literals)
+        if not clause:
+            self._root_unsat = True
+            return False
+        self._clauses.append(clause)
+        return True
+
+    # -- DIMACS plumbing ------------------------------------------------
+    def _write_dimacs(self, path, assumptions):
+        units = [[int(lit)] for lit in assumptions]
+        with open(path, "w", encoding="ascii") as handle:
+            handle.write(f"p cnf {self._num_vars} "
+                         f"{len(self._clauses) + len(units)}\n")
+            for clause in self._clauses:
+                handle.write(" ".join(map(str, clause)) + " 0\n")
+            for unit in units:
+                handle.write(f"{unit[0]} 0\n")
+
+    def _run(self, argv):
+        """Run the engine, polling the interrupt callback.
+
+        Returns the completed process, or ``None`` when interrupted
+        (the engine is killed first).
+        """
+        interrupt = self.interrupt
+        try:
+            proc = subprocess.Popen(argv, stdout=subprocess.PIPE,
+                                    stderr=subprocess.DEVNULL, text=True)
+        except OSError as exc:
+            raise SolverError(
+                f"native engine {argv[0]!r} failed to start: {exc}")
+        while True:
+            if proc.poll() is not None:
+                break
+            if interrupt is not None and interrupt():
+                proc.kill()
+                proc.wait()
+                return None
+            time.sleep(_SUBPROCESS_POLL_SECONDS)
+        return proc
+
+    @staticmethod
+    def _parse_answer(text):
+        """Parse SAT-competition style output: s-line plus v-lines."""
+        answer = None
+        model = {}
+        for line in text.splitlines():
+            line = line.strip()
+            if line.startswith("s "):
+                token = line[2:].strip().upper()
+                if token.startswith("UNSAT"):
+                    answer = False
+                elif token.startswith("SAT"):
+                    answer = True
+            elif line.startswith("v "):
+                for tok in line[2:].split():
+                    lit = int(tok)
+                    if lit:
+                        model[abs(lit)] = lit > 0
+            elif line in ("SATISFIABLE", "UNSATISFIABLE"):
+                answer = not line.startswith("UN")
+        return answer, model
+
+    def solve(self, assumptions=()):
+        self.num_solve_calls += 1
+        self._model = None
+        if self._root_unsat:
+            return False
+        with tempfile.TemporaryDirectory(prefix="repro-native-") as tmp:
+            cnf_path = os.path.join(tmp, "formula.cnf")
+            self._write_dimacs(cnf_path, assumptions)
+            argv = list(self._argv) + [cnf_path]
+            out_path = None
+            if self._style == "minisat":
+                out_path = os.path.join(tmp, "result.txt")
+                argv.append(out_path)
+            proc = self._run(argv)
+            if proc is None:
+                return None
+            text = proc.stdout.read() if proc.stdout else ""
+            if out_path and os.path.exists(out_path):
+                with open(out_path, "r", encoding="ascii") as handle:
+                    # MiniSat result files: SAT\n<model> / UNSAT
+                    body = handle.read().split()
+                if body:
+                    verdict = body[0].upper()
+                    text += ("\ns UNSATISFIABLE" if verdict == "UNSAT"
+                             else "\ns SATISFIABLE\nv "
+                             + " ".join(body[1:]))
+        answer, model = self._parse_answer(text)
+        if answer is None:
+            # Fall back on the SAT-competition exit-code convention.
+            if proc.returncode == 10:
+                answer = True
+            elif proc.returncode == 20:
+                answer = False
+            else:
+                raise SolverError(
+                    f"native engine {self._argv[0]!r} produced no "
+                    f"verdict (exit code {proc.returncode})")
+        if answer and not model:
+            raise SolverError(
+                f"native engine {self._argv[0]!r} reported SAT without "
+                "a model (v-lines); the attacks need model extraction "
+                "-- use an engine/flag that prints the assignment")
+        if answer:
+            self._model = model
+        return answer
+
+    def stats(self):
+        return {
+            "backend": self.backend_name,
+            "engine": "dimacs:" + " ".join(self._argv),
+            "style": self._style,
+            "vars": self._num_vars,
+            "clauses": len(self._clauses),
+            "solve_calls": self.num_solve_calls,
+        }
+
+
+class NativeUnavailableBackend:
+    """Placeholder that keeps ``native`` listed when no engine exists.
+
+    Implements the whole backend surface so registry introspection
+    (``implemented_by``, ``stats``) works, but every solving entry
+    point raises a :class:`SolverError` that says how to get a real
+    engine.
+    """
+
+    backend_name = "native"
+
+    def __init__(self, reason):
+        self._reason = reason
+        self.interrupt = None
+
+    def _unavailable(self):
+        raise SolverError(
+            f"native backend unavailable ({self._reason}); install "
+            "python-sat or point REPRO_SAT_BINARY at a DIMACS solver "
+            "(e.g. kissat); see README 'Attack engine'")
+
+    def new_var(self):
+        self._unavailable()
+
+    def ensure_vars(self, up_to):
+        self._unavailable()
+
+    @property
+    def num_vars(self):
+        return 0
+
+    def add_clause(self, literals):
+        self._unavailable()
+
+    def add_cnf(self, cnf):
+        self._unavailable()
+
+    def solve(self, assumptions=()):
+        self._unavailable()
+
+    def model_value(self, var):
+        self._unavailable()
+
+    def model(self):
+        self._unavailable()
+
+    def stats(self):
+        return {
+            "backend": self.backend_name,
+            "engine": None,
+            "available": False,
+            "vars": 0,
+            "clauses": 0,
+            "solve_calls": 0,
+        }
+
+
+def in_tree_engine_argv():
+    """argv prefix for the bundled DIMACS engine (tests, smoke runs)."""
+    return (sys.executable, "-m", "repro.sat.dimacs_engine")

@@ -5,6 +5,22 @@ evaluates any number of pattern-packed stimulus words against it. Flop Q
 nets are treated as additional sources, so the same engine serves purely
 combinational circuits, unrolled circuits, and one clock phase of the
 sequential simulator.
+
+The program is compiled to integer indices: every net gets a slot in a
+flat value list and each step is ``(slot, opcode, input_slots)``, so the
+inner loop does list indexing instead of per-gate dict lookups. The same
+program drives two value representations:
+
+* **bigint words** (the historical path) — one arbitrary-precision int
+  per net, bit ``j`` = pattern ``j``;
+* **numpy limb arrays** (:meth:`evaluate_slots_array`) — one little-
+  endian ``uint64`` array per net, used by the sequential simulator for
+  wide sweeps when numpy is available.
+
+Bitwise ops never mix bit positions, so the two representations agree
+bit-for-bit on the low ``n_patterns`` bits; high garbage bits in the
+array path are masked at extraction time
+(:func:`repro.sim.bitvec.array_to_word`).
 """
 
 from __future__ import annotations
@@ -12,6 +28,17 @@ from __future__ import annotations
 from repro.errors import SimulationError
 from repro.netlist.gates import GateOp
 from repro.sim.bitvec import mask_for
+
+#: Compiled opcodes (list indices beat enum identity checks in the loop).
+_CONST0, _CONST1, _BUF, _NOT, _AND, _NAND, _OR, _NOR, _XOR, _XNOR = range(10)
+
+_OPCODE = {
+    GateOp.CONST0: _CONST0, GateOp.CONST1: _CONST1,
+    GateOp.BUF: _BUF, GateOp.NOT: _NOT,
+    GateOp.AND: _AND, GateOp.NAND: _NAND,
+    GateOp.OR: _OR, GateOp.NOR: _NOR,
+    GateOp.XOR: _XOR, GateOp.XNOR: _XNOR,
+}
 
 
 class CombSimulator:
@@ -21,16 +48,99 @@ class CombSimulator:
         netlist.validate()
         self.netlist = netlist
         self._sources = list(netlist.inputs) + list(netlist.flops)
-        # Pre-compile (net, op, inputs) triples in evaluation order.
-        self._program = [
-            (net, netlist.gate(net).op, netlist.gate(net).inputs)
-            for net in netlist.topo_order()
-        ]
+        # Slot assignment: sources first, then gates in topo order.
+        slot_of = {net: slot for slot, net in enumerate(self._sources)}
+        program = []
+        for net in netlist.topo_order():
+            gate = netlist.gate(net)
+            in_slots = tuple(slot_of[src] for src in gate.inputs)
+            slot_of[net] = len(slot_of)
+            program.append((slot_of[net], _OPCODE[gate.op], in_slots))
+        self._slot_of = slot_of
+        self._program = program
+        self._n_slots = len(slot_of)
+        self._source_slots = [slot_of[net] for net in self._sources]
+        self._output_slots = [slot_of[net] for net in netlist.outputs]
 
     @property
     def sources(self):
         """Nets that must be supplied: primary inputs then flop Qs."""
         return tuple(self._sources)
+
+    def slot(self, net):
+        """Value-list index of ``net`` for the slot-level API."""
+        try:
+            return self._slot_of[net]
+        except KeyError:
+            raise SimulationError(f"net {net!r} is not driven or sourced")
+
+    def make_slots(self):
+        """Fresh value list sized for :meth:`evaluate_slots`."""
+        return [0] * self._n_slots
+
+    def evaluate_slots(self, slots, mask):
+        """Run the compiled program over bigint words in ``slots``.
+
+        Source slots must already hold masked stimulus words; gate slots
+        are overwritten. Returns ``slots``.
+        """
+        for slot, op, ins in self._program:
+            if op >= _AND:
+                if op < _OR:  # AND / NAND
+                    acc = mask
+                    for src in ins:
+                        acc &= slots[src]
+                    slots[slot] = acc if op == _AND else ~acc & mask
+                elif op < _XOR:  # OR / NOR
+                    acc = 0
+                    for src in ins:
+                        acc |= slots[src]
+                    slots[slot] = acc if op == _OR else ~acc & mask
+                else:  # XOR / XNOR
+                    acc = 0
+                    for src in ins:
+                        acc ^= slots[src]
+                    slots[slot] = acc if op == _XOR else ~acc & mask
+            elif op == _NOT:
+                slots[slot] = ~slots[ins[0]] & mask
+            elif op == _BUF:
+                slots[slot] = slots[ins[0]]
+            else:
+                slots[slot] = 0 if op == _CONST0 else mask
+        return slots
+
+    def evaluate_slots_array(self, slots, ones):
+        """Run the compiled program over numpy ``uint64`` limb arrays.
+
+        ``ones`` is the all-ones limb array (CONST1 / complement mask).
+        Gate slots receive fresh arrays; ``~`` on ``uint64`` is the
+        bitwise complement, so no per-step masking is needed — bits
+        above the pattern count carry garbage that extraction masks off.
+        """
+        for slot, op, ins in self._program:
+            if op >= _AND:
+                if op < _OR:  # AND / NAND
+                    acc = slots[ins[0]]
+                    for src in ins[1:]:
+                        acc = acc & slots[src]
+                    slots[slot] = acc if op == _AND else ~acc
+                elif op < _XOR:  # OR / NOR
+                    acc = slots[ins[0]]
+                    for src in ins[1:]:
+                        acc = acc | slots[src]
+                    slots[slot] = acc if op == _OR else ~acc
+                else:  # XOR / XNOR
+                    acc = slots[ins[0]]
+                    for src in ins[1:]:
+                        acc = acc ^ slots[src]
+                    slots[slot] = acc if op == _XOR else ~acc
+            elif op == _NOT:
+                slots[slot] = ~slots[ins[0]]
+            elif op == _BUF:
+                slots[slot] = slots[ins[0]]
+            else:
+                slots[slot] = (ones ^ ones) if op == _CONST0 else ones
+        return slots
 
     def evaluate(self, source_words, n_patterns):
         """Evaluate all gates; returns ``{net: word}`` for every driven net.
@@ -39,43 +149,26 @@ class CombSimulator:
         Q net. Bits above ``n_patterns`` are ignored (masked).
         """
         mask = mask_for(n_patterns)
-        values = {}
-        for net in self._sources:
+        slots = self.make_slots()
+        for net, slot in zip(self._sources, self._source_slots):
             try:
-                values[net] = source_words[net] & mask
+                slots[slot] = source_words[net] & mask
             except KeyError:
                 raise SimulationError(f"missing stimulus for source net {net!r}")
-
-        for net, op, inputs in self._program:
-            if op is GateOp.CONST0:
-                values[net] = 0
-            elif op is GateOp.CONST1:
-                values[net] = mask
-            elif op is GateOp.BUF:
-                values[net] = values[inputs[0]]
-            elif op is GateOp.NOT:
-                values[net] = ~values[inputs[0]] & mask
-            elif op is GateOp.AND or op is GateOp.NAND:
-                acc = mask
-                for src in inputs:
-                    acc &= values[src]
-                values[net] = acc if op is GateOp.AND else ~acc & mask
-            elif op is GateOp.OR or op is GateOp.NOR:
-                acc = 0
-                for src in inputs:
-                    acc |= values[src]
-                values[net] = acc if op is GateOp.OR else ~acc & mask
-            else:  # XOR / XNOR
-                acc = 0
-                for src in inputs:
-                    acc ^= values[src]
-                values[net] = acc if op is GateOp.XOR else ~acc & mask
-        return values
+        self.evaluate_slots(slots, mask)
+        return {net: slots[slot] for net, slot in self._slot_of.items()}
 
     def evaluate_outputs(self, source_words, n_patterns):
         """Words for the primary outputs only, in declaration order."""
-        values = self.evaluate(source_words, n_patterns)
-        return [values[net] for net in self.netlist.outputs]
+        mask = mask_for(n_patterns)
+        slots = self.make_slots()
+        for net, slot in zip(self._sources, self._source_slots):
+            try:
+                slots[slot] = source_words[net] & mask
+            except KeyError:
+                raise SimulationError(f"missing stimulus for source net {net!r}")
+        self.evaluate_slots(slots, mask)
+        return [slots[slot] for slot in self._output_slots]
 
     def evaluate_pattern(self, assignment):
         """Single-pattern convenience: ``{net: bool} -> {net: bool}``."""

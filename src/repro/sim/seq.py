@@ -13,8 +13,22 @@ pass for the functional-corruptibility experiments.
 from __future__ import annotations
 
 from repro.errors import SimulationError
-from repro.sim.bitvec import mask_for, pack_patterns, unpack_patterns
+from repro.sim.bitvec import (
+    array_to_word,
+    have_numpy,
+    mask_for,
+    numpy_module,
+    pack_patterns,
+    unpack_patterns,
+    word_to_array,
+)
 from repro.sim.comb import CombSimulator
+
+#: Pattern count past which the numpy limb-array path engages. CPython
+#: bigints do bitwise ops in C over 30-bit digits, so the crossover is
+#: late: below this the per-gate ndarray overhead is a net loss, above
+#: it the limb arrays pull ahead on the widest exhaustive sweeps.
+NUMPY_MIN_PATTERNS = 1 << 16
 
 
 class SequentialSimulator:
@@ -24,6 +38,11 @@ class SequentialSimulator:
         self.netlist = netlist
         self._comb = CombSimulator(netlist)
         self._flops = list(netlist.flops.items())
+        comb = self._comb
+        self._input_slots = [(net, comb.slot(net)) for net in netlist.inputs]
+        self._output_slots = [comb.slot(net) for net in netlist.outputs]
+        self._flop_slots = [(comb.slot(q), comb.slot(flop.d))
+                            for q, flop in self._flops]
 
     def reset_state(self, n_patterns):
         """Initial ``{q: word}`` state from flop init values."""
@@ -44,20 +63,75 @@ class SequentialSimulator:
         if set(state) != set(self.netlist.flops):
             raise SimulationError("initial_state must cover exactly the flop Q nets")
 
+        if have_numpy() and n_patterns >= NUMPY_MIN_PATTERNS:
+            return self._run_array(input_words_per_cycle, n_patterns, state)
+
+        mask = mask_for(n_patterns)
+        comb = self._comb
+        slots = comb.make_slots()
+        for (q, _flop), (q_slot, _d_slot) in zip(self._flops,
+                                                 self._flop_slots):
+            slots[q_slot] = state[q] & mask
         outputs_per_cycle = []
         for cycle, input_words in enumerate(input_words_per_cycle):
-            source_words = dict(state)
-            for net in self.netlist.inputs:
+            for net, slot in self._input_slots:
                 try:
-                    source_words[net] = input_words[net]
+                    slots[slot] = input_words[net] & mask
                 except KeyError:
                     raise SimulationError(
                         f"cycle {cycle}: missing stimulus for input {net!r}"
                     )
-            values = self._comb.evaluate(source_words, n_patterns)
-            outputs_per_cycle.append([values[net] for net in self.netlist.outputs])
-            state = {q: values[flop.d] for q, flop in self._flops}
+            comb.evaluate_slots(slots, mask)
+            outputs_per_cycle.append([slots[slot]
+                                      for slot in self._output_slots])
+            # Clock edge: all flops capture simultaneously — snapshot
+            # the D values before writing any Q slot (a flop's D may be
+            # another flop's Q).
+            captured = [slots[d_slot] for _q, d_slot in self._flop_slots]
+            for (q_slot, _d), value in zip(self._flop_slots, captured):
+                slots[q_slot] = value
+        state = {q: slots[q_slot] for (q, _flop), (q_slot, _d)
+                 in zip(self._flops, self._flop_slots)}
         return outputs_per_cycle, state
+
+    def _run_array(self, input_words_per_cycle, n_patterns, state):
+        """Wide-sweep fast path: whole run on numpy ``uint64`` limbs.
+
+        Word <-> limb conversion happens only at the boundary (stimulus
+        in, captured outputs and final state out); flop state stays in
+        limb form across cycles. Bit-for-bit equal to the bigint path.
+        """
+        np = numpy_module()
+        n_limbs = (n_patterns + 63) // 64
+        ones = np.full(n_limbs, np.uint64(0xFFFFFFFFFFFFFFFF), dtype="<u8")
+        comb = self._comb
+        slots = [None] * len(comb.make_slots())
+        for (q, _flop), (q_slot, _d_slot) in zip(self._flops,
+                                                 self._flop_slots):
+            slots[q_slot] = word_to_array(state[q], n_patterns)
+        outputs_per_cycle = []
+        for cycle, input_words in enumerate(input_words_per_cycle):
+            for net, slot in self._input_slots:
+                try:
+                    word = input_words[net]
+                except KeyError:
+                    raise SimulationError(
+                        f"cycle {cycle}: missing stimulus for input {net!r}"
+                    )
+                slots[slot] = word_to_array(word & mask_for(n_patterns),
+                                            n_patterns)
+            comb.evaluate_slots_array(slots, ones)
+            outputs_per_cycle.append([
+                array_to_word(slots[slot], n_patterns)
+                for slot in self._output_slots
+            ])
+            captured = [slots[d_slot] for _q, d_slot in self._flop_slots]
+            for (q_slot, _d), value in zip(self._flop_slots, captured):
+                slots[q_slot] = value
+        final = {q: array_to_word(slots[q_slot], n_patterns)
+                 for (q, _flop), (q_slot, _d)
+                 in zip(self._flops, self._flop_slots)}
+        return outputs_per_cycle, final
 
     def run_vectors(self, vectors, initial_state=None):
         """Single-pattern convenience API.
