@@ -4,7 +4,7 @@ PY ?= python
 export PYTHONPATH := src
 
 .PHONY: test smoke test-attacks campaign-demo matrix-demo \
-	distributed-demo serve-demo bench bench-solver
+	scaling-demo distributed-demo serve-demo bench bench-solver
 
 test:
 	$(PY) -m pytest -x -q
@@ -24,18 +24,36 @@ campaign-demo:
 	$(PY) -m repro.experiments table1 --jobs 4 --cache-dir .repro-cache
 	$(PY) -m repro.experiments status --cache-dir .repro-cache
 
-# A 2-scheme x 2-attack grid through the campaign executor, cold then
-# warm (the rerun is pure cache hits) — the plugin-matrix story end to
-# end on the embedded s27 bench circuit.
+# A circuit x scheme x attack grid through the campaign executor, cold
+# then warm (the rerun is pure cache hits) — the three-axis matrix story
+# end to end: an embedded bench circuit plus a parametric synth circuit,
+# TriLock plus a baseline and a rival scheme.
 matrix-demo:
-	$(PY) -m repro.cli matrix --circuit s27 \
+	$(PY) -m repro.cli matrix \
+	    --circuit s27 --circuit "synth?gates=120&ffs=8&pis=4&pos=3" \
 	    --scheme "trilock?kappa_s=1..2" --scheme "harpoon?kappa=2" \
+	    --scheme "sarlock?g=1" \
 	    --attack seq-sat --attack removal \
 	    --max-dips 512 --jobs 2 --cache-dir .repro-cache
-	$(PY) -m repro.cli matrix --circuit s27 \
+	$(PY) -m repro.cli matrix \
+	    --circuit s27 --circuit "synth?gates=120&ffs=8&pis=4&pos=3" \
 	    --scheme "trilock?kappa_s=1..2" --scheme "harpoon?kappa=2" \
+	    --scheme "sarlock?g=1" \
 	    --attack seq-sat --attack removal \
 	    --max-dips 512 --jobs 2 --cache-dir .repro-cache
+
+# Attack-cost scaling laws on a tiny 3-point synth sweep, cold then
+# warm: fits T(s) and ndip ~ gates^e per scheme at fixed interface
+# width and writes benchmarks/artifacts/BENCH_scaling.json.
+scaling-demo:
+	$(PY) -m repro.cli scaling --gates "80|160|320" \
+	    --scheme "trilock?kappa_s=1&s_pairs=4" --scheme sarlock \
+	    --ffs 8 --pis 5 --pos 4 --max-dips 64 \
+	    --jobs 2 --cache-dir .repro-cache
+	$(PY) -m repro.cli scaling --gates "80|160|320" \
+	    --scheme "trilock?kappa_s=1&s_pairs=4" --scheme sarlock \
+	    --ffs 8 --pis 5 --pos 4 --max-dips 64 \
+	    --jobs 2 --cache-dir .repro-cache
 
 # Scale-out smoke: the same matrix grid through the local pool and
 # through the TCP scheduler + two loopback `repro-lock worker` agents,

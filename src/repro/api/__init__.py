@@ -1,17 +1,21 @@
-"""First-class schemes and attacks: registries, spec strings, matrices.
+"""First-class circuits, schemes and attacks: registries, spec strings,
+matrices.
 
 The plugin layer that makes the paper's evaluation matrix programmable:
 
-* :data:`SCHEMES` / :data:`ATTACKS` — registries of named defenses and
-  adversaries with declared parameter schemas;
-* :func:`register_scheme` / :func:`register_attack` — the decorator
-  door third-party code uses to join the same matrix;
-* spec strings (``"trilock?kappa_s=3&alpha=0.5"``) — the canonical,
-  shell-safe, cache-key-stable wire format for a configured plugin,
-  with ``lo..hi`` / ``a|b`` grid expansion;
-* :func:`matrix_cells` — a scheme x attack grid as campaign cells,
-  executed through :class:`repro.campaign.Campaign` like any other
-  experiment (``repro-lock matrix`` is the CLI front-end).
+* :data:`CIRCUITS` / :data:`SCHEMES` / :data:`ATTACKS` — registries of
+  named circuit families, defenses and adversaries with declared
+  parameter schemas;
+* :func:`register_circuit` / :func:`register_scheme` /
+  :func:`register_attack` — the decorator door third-party code uses to
+  join the same matrix;
+* spec strings (``"trilock?kappa_s=3&alpha=0.5"``,
+  ``"synth?gates=800&ffs=32"``) — the canonical, shell-safe,
+  cache-key-stable wire format for a configured plugin, with
+  ``lo..hi`` / ``a|b`` grid expansion;
+* :func:`matrix_cells` — a circuit x scheme x attack grid as campaign
+  cells, executed through :class:`repro.campaign.Campaign` like any
+  other experiment (``repro-lock matrix`` is the CLI front-end).
 """
 
 import importlib
@@ -32,6 +36,15 @@ from repro.api.cells import (
     matrix_cells,
     resolve_attack_spec,
     resolve_scheme_spec,
+)
+from repro.api.circuits import (
+    CIRCUITS,
+    CircuitProvider,
+    canonical_circuit_spec,
+    circuit_label,
+    load_circuit,
+    register_circuit,
+    resolve_circuit_spec,
 )
 from repro.api.registry import Param, Plugin, Registry
 from repro.api.schemes import SCHEMES, Scheme, register_scheme
@@ -82,21 +95,28 @@ __all__ = [
     "Attack",
     "AttackBudget",
     "AttackOutcome",
+    "CIRCUITS",
+    "CircuitProvider",
     "Param",
     "Plugin",
     "Registry",
     "SCHEMES",
     "Scheme",
     "canonical_attack_spec",
+    "canonical_circuit_spec",
     "canonical_scheme_spec",
+    "circuit_label",
     "expand_grid",
     "format_spec",
+    "load_circuit",
     "load_plugin_modules",
     "matrix_cell",
     "matrix_cells",
     "parse_spec",
     "register_attack",
+    "register_circuit",
     "register_scheme",
     "resolve_attack_spec",
+    "resolve_circuit_spec",
     "resolve_scheme_spec",
 ]

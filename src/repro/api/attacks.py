@@ -268,20 +268,32 @@ def _attack_bmc(locked, oracle, budget, depth, wrong_keys):
         "anchor_tries": Param("int", 3, "candidate anchor SCCs attempted"),
         "include_trivial": Param("bool", False, "count isolated registers "
                                                 "as their own SCCs"),
+        "strip": Param("bool", True, "attempt the strip-and-solve phase "
+                                     "(false = SCC census only)"),
     })
 def _attack_removal(locked, oracle, budget, depth, anchor_tries,
-                    include_trivial):
+                    include_trivial, strip):
     """Success = the lock was stripped and tie constants reproduce the
-    oracle without any key (the S = 0 failure mode of Table II)."""
+    oracle without any key (the S = 0 failure mode of Table II).
+    ``strip=false`` reports just the SCC census — the cheap structural
+    reconnaissance pass Table II's O/E/M/PM columns are made of."""
     report = scc_report(locked, include_trivial=include_trivial)
+    census = {"O": report.o_sccs, "E": report.e_sccs,
+              "M": report.m_sccs, "PM": report.pm_percent,
+              "pairs_applied": len(locked.reencoded_pairs)}
+    if not strip:
+        return AttackOutcome(
+            attack="removal", success=False, seconds=0.0,
+            metrics={**census, "stripped": 0, "n_dips": 0},
+            details={"reason": "strip disabled (census only)",
+                     "verified": False})
     attempt = attempt_removal(
         locked, depth=depth,
         max_dips=budget.max_dips if budget.max_dips is not None else 256,
         time_budget=budget.time_budget, anchor_tries=anchor_tries)
     return AttackOutcome(
         attack="removal", success=attempt.success, seconds=0.0,
-        metrics={"O": report.o_sccs, "E": report.e_sccs,
-                 "M": report.m_sccs, "PM": report.pm_percent,
+        metrics={**census,
                  "stripped": len(attempt.stripped_registers),
                  "n_dips": attempt.n_dips},
         details={"reason": attempt.reason,

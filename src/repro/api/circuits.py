@@ -1,0 +1,173 @@
+"""Circuit providers: the third plugin axis of the evaluation matrix.
+
+Schemes and attacks became first-class plugins in PR 4; this module does
+the same for the *circuits* they run on.  A provider is a named plugin
+with a :class:`~repro.api.registry.Param` schema whose ``load`` verb
+returns a fresh :class:`~repro.netlist.netlist.Netlist`, so campaigns
+address circuits by canonical spec string (``suite:s9234?scale=0.1``,
+``synth?gates=800&ffs=32``) exactly like scheme/attack specs — including
+``lo..hi``/``|`` grid expansion and cache-key canonicalisation.
+
+Built-in providers:
+
+- one per embedded real netlist (``s27``),
+- ``suite:<name>`` for each Table I stand-in (knobs: ``scale``/``seed``),
+- ``synth`` — the fully parametric synthetic family (gate/flop/interface
+  counts plus gate-type-mix and fan-in knobs).
+
+Bare suite names (``b12``) keep working everywhere a circuit spec is
+accepted: they normalise to ``suite:b12``.  Third-party families use the
+same decorator door as schemes/attacks::
+
+    from repro.api import Param, register_circuit
+
+    @register_circuit("ripple", description="ripple-carry adder family",
+                      params={"bits": Param("int", 8, "adder width")})
+    def load_ripple(bits):
+        return build_adder_netlist(bits)
+"""
+
+from __future__ import annotations
+
+import difflib
+
+from repro.api.registry import Param, Plugin, Registry
+from repro.api.spec import parse_spec
+from repro.bench.iscas import embedded_names, load_embedded
+from repro.bench.suite import TABLE1_CIRCUITS, load_suite_circuit
+from repro.bench.synth import CircuitSpec, generate
+from repro.errors import SpecError
+
+CIRCUITS = Registry("circuit")
+
+
+class CircuitProvider(Plugin):
+    """A registered circuit family: ``load(**params) -> Netlist``."""
+
+    kind = "circuit"
+
+    def load(self, **params):
+        return self._fn(**self.resolve_params(params))
+
+
+def register_circuit(name, description="", params=None, replace=False):
+    """Decorator: register ``fn(**params) -> Netlist`` as a provider."""
+    def decorate(fn):
+        CIRCUITS.add(CircuitProvider(name, fn, params=params,
+                                     description=description),
+                     replace=replace)
+        return fn
+    return decorate
+
+
+def _suite_alias(name):
+    """``b12`` -> ``suite:b12`` when that provider exists, else None."""
+    qualified = f"suite:{name}"
+    return qualified if qualified in CIRCUITS else None
+
+
+def get_provider(name):
+    """Provider lookup accepting bare suite aliases, with did-you-mean."""
+    if name in CIRCUITS:
+        return CIRCUITS.get(name)
+    alias = _suite_alias(name)
+    if alias:
+        return CIRCUITS.get(alias)
+    aliases = {reg.partition(":")[2]: reg for reg in CIRCUITS.names()
+               if reg.startswith("suite:")}
+    candidates = list(CIRCUITS.names()) + sorted(aliases)
+    hint = ""
+    close = difflib.get_close_matches(str(name), candidates, n=1, cutoff=0.5)
+    if close:
+        hint = f" — did you mean {aliases.get(close[0], close[0])!r}?"
+    known = ", ".join(CIRCUITS.names()) or "(none registered)"
+    raise SpecError(
+        f"unknown circuit {name!r} (registered: {known}){hint}")
+
+
+def resolve_circuit_spec(text):
+    """``(CircuitProvider, resolved params)`` for a circuit spec string."""
+    name, params = parse_spec(text)
+    provider = get_provider(name)
+    return provider, provider.resolve_params(params)
+
+
+def canonical_circuit_spec(text, defaults=None):
+    """Canonical form of a circuit spec (validated, defaults filled).
+
+    ``defaults`` maps parameter names to fallback values applied when
+    the provider declares that parameter and the spec text omits it —
+    this is how matrix-level ``--scale``/``--seed`` fold into circuit
+    specs without overriding anything spelled out explicitly (and
+    without inventing parameters on providers that lack the knob).
+    """
+    name, params = parse_spec(text)
+    provider = get_provider(name)
+    merged = dict(params)
+    for key, value in (defaults or {}).items():
+        if key in provider.params_schema and key not in merged:
+            merged[key] = value
+    return provider.spec(**merged)
+
+
+def load_circuit(text):
+    """Load the :class:`Netlist` a circuit spec string describes."""
+    provider, params = resolve_circuit_spec(text)
+    return provider.load(**params)
+
+
+def circuit_label(text):
+    """Short display form of a circuit spec: default-valued parameters
+    trimmed and the ``suite:`` prefix dropped (``suite:b12?scale=0.08&
+    seed=0`` at default seed -> ``b12?scale=0.08``)."""
+    name, params = parse_spec(text)
+    provider = get_provider(name)
+    short = provider.short_spec(**params)
+    return short[6:] if short.startswith("suite:") else short
+
+
+def _register_builtins():
+    for name in embedded_names():
+        def load_fixed(_name=name):
+            return load_embedded(_name)
+        CIRCUITS.add(CircuitProvider(
+            name, load_fixed, params={},
+            description=f"embedded ISCAS netlist {name}"))
+
+    for name, (n_pi, n_po, n_ff, n_gates) in TABLE1_CIRCUITS.items():
+        def load_suite(scale, seed, _name=name):
+            return load_suite_circuit(_name, scale=scale, seed=seed)
+        CIRCUITS.add(CircuitProvider(
+            f"suite:{name}", load_suite,
+            params={
+                "scale": Param("float", 1.0,
+                               "flop/gate scale (interface never scales)"),
+                "seed": Param("int", 0, "generator seed"),
+            },
+            description=(f"Table I stand-in {name} "
+                         f"(PI={n_pi} PO={n_po} FF={n_ff} "
+                         f"gates={n_gates})")))
+
+
+_register_builtins()
+
+
+@register_circuit(
+    "synth",
+    description="parametric synthetic sequential family (see bench/synth)",
+    params={
+        "gates": Param("int", 800, "target gate count"),
+        "ffs": Param("int", 32, "flop count"),
+        "pis": Param("int", 8, "primary inputs (sets the key word width)"),
+        "pos": Param("int", 8, "primary outputs"),
+        "seed": Param("int", 0, "generator seed"),
+        "fanin3": Param("float", 0.3, "probability of 3-input gates"),
+        "xor_share": Param("float", 0.1, "XOR/XNOR fraction of the mix"),
+        "inv_share": Param("float", 0.2, "NOT/BUF fraction of the mix"),
+    })
+def _load_synth(gates, ffs, pis, pos, seed, fanin3, xor_share, inv_share):
+    spec = CircuitSpec(
+        name=f"synth_g{gates}_f{ffs}",
+        n_inputs=pis, n_outputs=pos, n_flops=ffs, n_gates=gates,
+        seed=seed, fanin3=fanin3, xor_share=xor_share, inv_share=inv_share)
+    return generate(spec).netlist

@@ -26,6 +26,7 @@ from repro.core.baselines import lock_harpoon_like, lock_naive, \
     lock_sink_cluster
 from repro.core.config import TriLockConfig
 from repro.core.locker import lock
+from repro.core.rivals import lock_sarlock, lock_sublock
 
 #: The global scheme registry.
 SCHEMES = Registry("scheme")
@@ -122,3 +123,31 @@ def _lock_harpoon(netlist, seed, kappa, n_output_flips):
 def _lock_sink(netlist, seed, kappa, sink_size, n_output_flips):
     return lock_sink_cluster(netlist, kappa=kappa, sink_size=sink_size,
                              n_output_flips=n_output_flips, seed=seed)
+
+
+@register_scheme(
+    "sarlock",
+    description="SARLock-style generalized point function (Zhou & Zhang "
+                "2019): each wrong key corrupts only g trap minterms",
+    params={
+        "kappa": Param("int", 1, "key cycle length"),
+        "g": Param("int", 1, "trap minterms per wrong key (per-DIP key "
+                             "elimination bound)"),
+        "n_output_flips": Param("int", None, "outputs the trap inverts "
+                                             "(null = half)"),
+    })
+def _lock_sarlock(netlist, seed, kappa, g, n_output_flips):
+    return lock_sarlock(netlist, kappa=kappa, g=g,
+                        n_output_flips=n_output_flips, seed=seed)
+
+
+@register_scheme(
+    "sublock",
+    description="SubLock-style sub-circuit replacement (Rathor et al. "
+                "2024): wrong keys swap gates for perturbed twins",
+    params={
+        "kappa": Param("int", 2, "key cycle length"),
+        "n_subs": Param("int", 4, "gates replaced by key-gated twins"),
+    })
+def _lock_sublock(netlist, seed, kappa, n_subs):
+    return lock_sublock(netlist, kappa=kappa, n_subs=n_subs, seed=seed)

@@ -10,8 +10,10 @@ tractable in pure Python.
 
 from __future__ import annotations
 
+import difflib
+
 from repro.bench.iscas import embedded_names, load_embedded
-from repro.bench.synth import CircuitSpec, generate
+from repro.bench.synth import CircuitSpec, check_scale, generate
 from repro.errors import BenchmarkError
 
 #: name -> (PI, PO, FF, gates), exactly as printed in Table I.
@@ -34,14 +36,25 @@ def suite_names():
     return list(TABLE1_CIRCUITS)
 
 
+def unknown_benchmark(name, available):
+    """A :class:`BenchmarkError` with a difflib did-you-mean hint (the
+    same style :class:`repro.errors.SpecError` gives scheme/attack
+    names)."""
+    close = difflib.get_close_matches(str(name), list(available), n=1,
+                                      cutoff=0.5)
+    hint = f" — did you mean {close[0]!r}?" if close else ""
+    return BenchmarkError(
+        f"unknown benchmark {name!r} (available: "
+        f"{', '.join(available)}){hint}")
+
+
 def suite_spec(name, scale=1.0, seed=0):
     """The (optionally scaled) :class:`CircuitSpec` for a suite circuit."""
+    scale = check_scale(scale)
     try:
         n_pi, n_po, n_ff, n_gates = TABLE1_CIRCUITS[name]
     except KeyError:
-        raise BenchmarkError(
-            f"unknown suite circuit {name!r}; available: {suite_names()}"
-        )
+        raise unknown_benchmark(name, suite_names())
     spec = CircuitSpec(name, n_pi, n_po, n_ff, n_gates, seed=seed)
     if scale != 1.0:
         spec = spec.scaled(scale)
@@ -55,8 +68,11 @@ def load_suite_circuit(name, scale=1.0, seed=0):
 
 def load_benchmark(name, scale=1.0, seed=0):
     """Load any benchmark: embedded real circuit or suite stand-in."""
+    check_scale(scale)
     if name in embedded_names():
         return load_embedded(name)
+    if name not in TABLE1_CIRCUITS:
+        raise unknown_benchmark(name, available_benchmarks())
     return load_suite_circuit(name, scale=scale, seed=seed)
 
 

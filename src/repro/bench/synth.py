@@ -25,6 +25,7 @@ Construction outline (all draws from one seeded RNG):
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.errors import BenchmarkError
@@ -33,9 +34,34 @@ from repro.netlist.netlist import Netlist
 from repro.sim.random_vectors import make_rng
 
 
+def check_scale(scale):
+    """Validate a flop/gate scale factor; returns it as a float.
+
+    ``scale <= 0`` used to slip through here unchecked and NaN/inf still
+    did until PR 9 — both crash deep inside generation with untyped
+    ``ValueError``/``OverflowError`` instead of a :class:`BenchmarkError`
+    naming the bad knob.
+    """
+    if isinstance(scale, bool) or not isinstance(scale, (int, float)):
+        raise BenchmarkError(
+            f"scale must be a positive finite number, got {scale!r}")
+    if not math.isfinite(scale) or scale <= 0:
+        raise BenchmarkError(
+            f"scale must be a positive finite number, got {scale!r}")
+    return float(scale)
+
+
 @dataclass(frozen=True)
 class CircuitSpec:
-    """Requested shape of a synthetic circuit."""
+    """Requested shape of a synthetic circuit.
+
+    The mix knobs make the family fully parametric: ``xor_share`` /
+    ``inv_share`` set the fraction of XOR-family and inverter/buffer
+    gates (the remainder is AND/OR-family), and ``fanin3`` is the
+    probability that a multi-input gate takes three inputs instead of
+    two.  The defaults reproduce the historic fixed gate-type pool
+    byte-for-byte.
+    """
 
     name: str
     n_inputs: int
@@ -43,6 +69,9 @@ class CircuitSpec:
     n_flops: int
     n_gates: int
     seed: int = 0
+    fanin3: float = 0.3
+    xor_share: float = 0.10
+    inv_share: float = 0.20
 
     def scaled(self, scale):
         """Spec with flop/gate counts scaled down (interface unchanged).
@@ -50,8 +79,7 @@ class CircuitSpec:
         Interface widths (PI/PO) are what the paper's security formulas
         depend on, so they are never scaled.
         """
-        if scale <= 0:
-            raise BenchmarkError(f"scale must be positive, got {scale}")
+        scale = check_scale(scale)
         n_flops = max(4, round(self.n_flops * scale))
         floor_gates = 2 * (n_flops + self.n_outputs)
         return CircuitSpec(
@@ -61,6 +89,9 @@ class CircuitSpec:
             n_flops=n_flops,
             n_gates=max(floor_gates, round(self.n_gates * scale)),
             seed=self.seed,
+            fanin3=self.fanin3,
+            xor_share=self.xor_share,
+            inv_share=self.inv_share,
         )
 
 
@@ -73,11 +104,39 @@ class SynthCircuit:
     clusters: list = field(default_factory=list)  # lists of flop Q nets
 
 
-_OP_POOL = (
-    [GateOp.AND] * 22 + [GateOp.NAND] * 14 + [GateOp.OR] * 20
-    + [GateOp.NOR] * 14 + [GateOp.XOR] * 6 + [GateOp.XNOR] * 4
-    + [GateOp.NOT] * 12 + [GateOp.BUF] * 8
-)
+def _op_pool(xor_share, inv_share):
+    """100-slot weighted gate-type pool from the mix shares.
+
+    At the default shares (0.10/0.20) this reproduces the historic
+    fixed pool exactly: AND 22, NAND 14, OR 20, NOR 14, XOR 6, XNOR 4,
+    NOT 12, BUF 8 — in that order, so ``rng.choice`` draws are
+    byte-identical for legacy specs.
+    """
+    for label, share in (("xor_share", xor_share), ("inv_share", inv_share)):
+        if isinstance(share, bool) or not isinstance(share, (int, float)) \
+                or not math.isfinite(share) or share < 0 or share > 1:
+            raise BenchmarkError(
+                f"{label} must be a number in [0, 1], got {share!r}")
+    xor_n = round(100 * xor_share)
+    inv_n = round(100 * inv_share)
+    if xor_n + inv_n > 100:
+        raise BenchmarkError(
+            f"xor_share + inv_share must not exceed 1.0, got "
+            f"{xor_share!r} + {inv_share!r}")
+    and_or_n = 100 - xor_n - inv_n
+    # AND/OR family keeps the historic 22:14:20:14 internal ratio.
+    and_n = round(and_or_n * 22 / 70)
+    nand_n = round(and_or_n * 14 / 70)
+    or_n = round(and_or_n * 20 / 70)
+    nor_n = and_or_n - and_n - nand_n - or_n
+    xor_x = round(xor_n * 0.6)
+    not_n = round(inv_n * 0.6)
+    return (
+        [GateOp.AND] * and_n + [GateOp.NAND] * nand_n + [GateOp.OR] * or_n
+        + [GateOp.NOR] * max(0, nor_n) + [GateOp.XOR] * xor_x
+        + [GateOp.XNOR] * (xor_n - xor_x) + [GateOp.NOT] * not_n
+        + [GateOp.BUF] * (inv_n - not_n)
+    )
 
 
 def _cluster_sizes(rng, n_flops):
@@ -114,6 +173,14 @@ def generate(spec):
         raise BenchmarkError("need at least one input and one output")
     if spec.n_flops < 1:
         raise BenchmarkError("synthetic circuits are sequential: n_flops >= 1")
+    if spec.n_gates < 1:
+        raise BenchmarkError(f"n_gates must be >= 1, got {spec.n_gates!r}")
+    if isinstance(spec.fanin3, bool) or not isinstance(spec.fanin3, (int, float)) \
+            or not math.isfinite(spec.fanin3) \
+            or not 0 <= spec.fanin3 <= 1:
+        raise BenchmarkError(
+            f"fanin3 must be a number in [0, 1], got {spec.fanin3!r}")
+    op_pool = _op_pool(spec.xor_share, spec.inv_share)
     rng = make_rng(("synth", spec.name, spec.seed))
 
     netlist = Netlist(spec.name)
@@ -143,11 +210,11 @@ def generate(spec):
         """Emit ``n_gates`` gates over ``source_pool``; returns root net."""
         local = []
         for position in range(n_gates):
-            op = rng.choice(_OP_POOL)
+            op = rng.choice(op_pool)
             if op in (GateOp.NOT, GateOp.BUF):
                 arity = 1
             else:
-                arity = 2 if rng.random() < 0.7 else 3
+                arity = 2 if rng.random() < (1.0 - spec.fanin3) else 3
             chosen = []
             if position == 0:
                 if forced_first_input is not None:
@@ -193,24 +260,44 @@ def generate(spec):
 
 def _splice_unused_inputs(netlist, rng, pis):
     """Replace random gate inputs so every PI drives something."""
-    used = set()
+    uses = {}
     for gate in netlist.gates.values():
-        used.update(gate.inputs)
+        for net in gate.inputs:
+            uses[net] = uses.get(net, 0) + 1
     for flop in netlist.flops.values():
-        used.add(flop.d)
-    unused = [net for net in pis if net not in used]
-    if not unused:
+        uses[flop.d] = uses.get(flop.d, 0) + 1
+    queue = [net for net in pis if net not in uses]
+    if not queue:
         return
+    pi_set = set(pis)
     candidates = [net for net, gate in netlist.gates.items() if gate.arity >= 2]
     rng.shuffle(candidates)
-    for pi, victim in zip(unused, candidates):
+    for victim in candidates:
+        if not queue:
+            break
         gate = netlist.gate(victim)
         inputs = list(gate.inputs)
-        inputs[rng.randrange(len(inputs))] = pi
+        # Input 0 is the structural backbone (the forced ring edge in a
+        # region's first gate, the chain edge in every later one) —
+        # replacing it can disconnect a cluster ring.  Likewise a slot
+        # holding the last use of another PI would just move the hole,
+        # so only multiply-used or non-PI nets give up their slot.
+        slots = [k for k in range(1, len(inputs))
+                 if inputs[k] not in pi_set or uses[inputs[k]] > 1]
+        if not slots:
+            continue
+        pi = queue.pop(0)
+        slot = rng.choice(slots)
+        uses[inputs[slot]] -= 1
+        inputs[slot] = pi
+        uses[pi] = uses.get(pi, 0) + 1
         netlist.replace_gate(victim, gate.op, inputs)
 
 
-def generate_circuit(name, n_inputs, n_outputs, n_flops, n_gates, seed=0):
+def generate_circuit(name, n_inputs, n_outputs, n_flops, n_gates, seed=0,
+                     fanin3=0.3, xor_share=0.10, inv_share=0.20):
     """Convenience wrapper returning just the netlist."""
-    spec = CircuitSpec(name, n_inputs, n_outputs, n_flops, n_gates, seed)
+    spec = CircuitSpec(name, n_inputs, n_outputs, n_flops, n_gates, seed,
+                       fanin3=fanin3, xor_share=xor_share,
+                       inv_share=inv_share)
     return generate(spec).netlist

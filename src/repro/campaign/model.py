@@ -23,9 +23,10 @@ from repro.errors import CampaignError
 
 #: Code-version salt mixed into every cache key. Bump on any change that
 #: alters what a cell function computes for the same params.
-#: v3: fig7 FC cells changed — per-depth seeds now derive via tuple
-#: mixing instead of the correlated ``seed + index`` arithmetic.
-CODE_VERSION = "trilock-campaign-v3"
+#: v4: circuits became a plugin axis — matrix cells address circuits by
+#: canonical provider spec string instead of (name, scale) pairs, and
+#: the experiment grids were rebuilt on matrix cells.
+CODE_VERSION = "trilock-campaign-v4"
 
 
 def canonical_json(value):
@@ -80,11 +81,12 @@ class CellSpec:
     @staticmethod
     def matrix(circuit, scheme, attack, scale=1.0, seed=0, max_dips=None,
                time_budget=None):
-        """One generic ``(circuit, scheme_spec, attack_spec)`` cell.
+        """One generic ``(circuit_spec, scheme_spec, attack_spec)`` cell.
 
-        ``scheme``/``attack`` are :mod:`repro.api` spec strings; they are
-        canonicalised (defaults filled, keys sorted) before entering the
-        params so equivalent spellings address the same cache entry.
+        All three axes are :mod:`repro.api` spec strings (``circuit``
+        also accepts bare benchmark names); they are canonicalised
+        (defaults filled, keys sorted) before entering the params so
+        equivalent spellings address the same cache entry.
         """
         from repro.api.cells import matrix_cells
 

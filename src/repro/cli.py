@@ -22,12 +22,23 @@ Report security/cost metrics::
 
     repro-lock report design.bench locked.bench design.key
 
-Discover the plugin registries and run a scheme x attack matrix::
+Discover the plugin registries and run a circuit x scheme x attack
+matrix (circuits are provider specs — bare benchmark names, suite
+circuits with a scale, or fully parametric ``synth`` families)::
 
+    repro-lock circuits
     repro-lock schemes
     repro-lock attacks
-    repro-lock matrix --circuit s27 --scheme "trilock?kappa_s=1..2" \
+    repro-lock matrix --circuit s27 \
+        --circuit "synth?gates=200&ffs=8" \
+        --scheme "trilock?kappa_s=1..2" --scheme sarlock \
         --attack seq-sat --attack removal --jobs 4
+
+Fit attack-cost scaling laws over synthetic circuit size (writes
+``benchmarks/artifacts/BENCH_scaling.json``)::
+
+    repro-lock scaling --gates "150|400|1100" --scheme trilock \
+        --scheme sarlock --max-dips 256
 
 Scale a matrix out over distributed workers (start any number of
 workers, on this or other hosts; the scheduler requeues the cells of a
@@ -64,7 +75,8 @@ import sys
 
 from repro._cliutils import add_backend_arguments, attack_jobs_arg, \
     make_executor_backend
-from repro.api import ATTACKS, SCHEMES, matrix_cells, parse_spec
+from repro.api import ATTACKS, CIRCUITS, SCHEMES, circuit_label, \
+    expand_grid, matrix_cells, parse_spec
 from repro.api.spec import format_spec
 from repro.attacks import bounded_equivalence, scc_report, sequential_sat_attack
 from repro.attacks.oracle import SimulationOracle
@@ -153,22 +165,25 @@ def build_parser():
     report_cmd.add_argument("--fc-depth", type=int, default=4)
     report_cmd.add_argument("--fc-samples", type=int, default=800)
 
-    for kind in ("schemes", "attacks"):
-        listing_cmd = commands.add_parser(
-            kind,
-            help="list the registered locking schemes" if kind == "schemes"
-            else "list the registered attacks")
+    for kind, text in (
+            ("circuits", "list the registered circuit providers"),
+            ("schemes", "list the registered locking schemes"),
+            ("attacks", "list the registered attacks")):
+        listing_cmd = commands.add_parser(kind, help=text)
         listing_cmd.add_argument(
             "--json", action="store_true",
             help="machine-readable listing: name, description, and the "
                  "full parameter schema with defaults")
 
     matrix_cmd = commands.add_parser(
-        "matrix", help="run a scheme x attack grid through the campaign "
-                       "executor")
+        "matrix", help="run a circuit x scheme x attack grid through "
+                       "the campaign executor")
     matrix_cmd.add_argument("--circuit", action="append", default=None,
-                            help="benchmark name (repeatable; embedded "
-                                 "or suite circuit; default s27)")
+                            help="circuit provider spec, may be gridded "
+                                 "(bare benchmark names, "
+                                 "\"suite:b12?scale=0.1\", "
+                                 "\"synth?gates=200&ffs=8\"); repeatable; "
+                                 "default s27")
     matrix_cmd.add_argument("--scheme", action="append", required=True,
                             help="scheme spec, may be gridded "
                                  "(kappa_s=1..3, alpha=0.3|0.6); "
@@ -196,6 +211,56 @@ def build_parser():
                                  "backends only — the inline backend "
                                  "cannot interrupt a cell and warns")
     add_backend_arguments(matrix_cmd)
+
+    scaling_cmd = commands.add_parser(
+        "scaling", help="sweep synth circuit size per scheme, attack "
+                        "every point, and fit attack-cost power laws")
+    scaling_cmd.add_argument("--scheme", action="append", default=None,
+                             help="scheme spec, may be gridded; repeatable "
+                                  "(default: trilock?kappa_s=1&s_pairs=4, "
+                                  "sarlock, sublock)")
+    scaling_cmd.add_argument("--attack", default=None,
+                             help="attack spec every point runs "
+                                  "(default seq-sat)")
+    scaling_cmd.add_argument("--gates", default="150|400|1100",
+                             help="gate-count sweep as grid syntax "
+                                  "('150|400|1100' or '100..104'; "
+                                  "default %(default)s)")
+    scaling_cmd.add_argument("--ffs", type=int, default=12,
+                             help="flop count, fixed across the sweep "
+                                  "(default %(default)s)")
+    scaling_cmd.add_argument("--pis", type=int, default=6,
+                             help="primary inputs — the interface width "
+                                  "|I| every scheme keys on; fixed so "
+                                  "ndip isolates from circuit size "
+                                  "(default %(default)s)")
+    scaling_cmd.add_argument("--pos", type=int, default=6,
+                             help="primary outputs (default %(default)s)")
+    scaling_cmd.add_argument("--seed", type=int, default=0)
+    scaling_cmd.add_argument("--max-dips", type=int, default=256,
+                             help="per-cell DIP budget "
+                                  "(default %(default)s)")
+    scaling_cmd.add_argument("--time-budget", type=float, default=None,
+                             help="per-cell attack time budget (seconds)")
+    scaling_cmd.add_argument("--jobs", type=int, default=1,
+                             help="worker processes for independent cells")
+    scaling_cmd.add_argument("--cache-dir", default=None,
+                             help="campaign result cache (default "
+                                  "$REPRO_CACHE_DIR or .repro-cache)")
+    scaling_cmd.add_argument("--no-cache", action="store_true",
+                             help="recompute every cell")
+    scaling_cmd.add_argument("--cell-timeout", type=float, default=None,
+                             help="seconds one cell may run; enforced by "
+                                  "the pool (--jobs >= 2) and distributed "
+                                  "backends only")
+    scaling_cmd.add_argument("--artifact",
+                             default=os.path.join("benchmarks", "artifacts",
+                                                  "BENCH_scaling.json"),
+                             help="JSON report path (default %(default)s)")
+    scaling_cmd.add_argument("--no-artifact", action="store_true",
+                             help="print the fitted report only; write "
+                                  "nothing")
+    add_backend_arguments(scaling_cmd)
 
     worker_cmd = commands.add_parser(
         "worker", help="join a distributed campaign scheduler and "
@@ -277,7 +342,8 @@ def build_parser():
     submit_cmd.add_argument("--priority", type=int, default=0,
                             help="within-tenant priority (higher wins)")
     submit_cmd.add_argument("--circuit", action="append", default=None,
-                            help="benchmark name (repeatable; default s27)")
+                            help="circuit provider spec, may be gridded "
+                                 "(repeatable; default s27)")
     submit_cmd.add_argument("--scheme", action="append", required=True,
                             help="scheme spec, may be gridded; repeatable")
     submit_cmd.add_argument("--attack", action="append", required=True,
@@ -507,6 +573,10 @@ def cmd_report(args, out):
     return 0
 
 
+def cmd_circuits(args, out):
+    return _list_registry(CIRCUITS, out, as_json=args.json)
+
+
 def cmd_schemes(args, out):
     return _list_registry(SCHEMES, out, as_json=args.json)
 
@@ -564,7 +634,7 @@ def cmd_matrix(args, out):
     for result in results:
         params = result.spec.kwargs()
         row = {
-            "circuit": params["circuit"],
+            "circuit": circuit_label(params["circuit"]),
             "scheme": _short_spec(SCHEMES, params["scheme"]),
             "attack": _short_spec(ATTACKS, params["attack"]),
             "status": result.status,
@@ -584,6 +654,47 @@ def cmd_matrix(args, out):
     if stats is not None:
         out.write(f"[cache: {stats.summary()}]\n")
     return 0 if all(result.ok for result in results) else 1
+
+
+def _parse_sizes(text):
+    """``--gates`` grid syntax -> positive gate counts, via the same
+    expansion spec parameters use."""
+    sizes = []
+    for spec in expand_grid(f"synth?gates={text}"):
+        _, params = parse_spec(spec)
+        value = params["gates"]
+        if not isinstance(value, int) or isinstance(value, bool) \
+                or value < 1:
+            raise ReproError(
+                f"--gates wants positive integers, got {value!r}")
+        sizes.append(value)
+    return sizes
+
+
+def cmd_scaling(args, out):
+    from repro.experiments import scaling
+
+    sizes = _parse_sizes(args.gates)
+    schemes = args.scheme if args.scheme else list(scaling.DEFAULT_SCHEMES)
+    attack = args.attack if args.attack else scaling.DEFAULT_ATTACK
+    store = None if args.no_cache else ResultStore(
+        args.cache_dir if args.cache_dir else default_cache_dir())
+    campaign = Campaign(jobs=args.jobs, store=store,
+                        cell_timeout=args.cell_timeout,
+                        backend=make_executor_backend(args, sys.stderr))
+    artifact = None if args.no_artifact else args.artifact
+    result = scaling.run(
+        sizes=sizes, schemes=schemes, attack=attack, ffs=args.ffs,
+        pis=args.pis, pos=args.pos, seed=args.seed,
+        max_dips=args.max_dips, time_budget=args.time_budget,
+        campaign=campaign, artifact_path=artifact)
+    out.write(result.render() + "\n")
+    if artifact:
+        out.write(f"[artifact: {artifact}]\n")
+    stats = campaign.stats()
+    if stats is not None:
+        out.write(f"[cache: {stats.summary()}]\n")
+    return 0 if all(row["T(s)"] != "failed" for row in result.rows) else 1
 
 
 def cmd_worker(args, out):
@@ -776,9 +887,11 @@ _COMMANDS = {
     "verify": cmd_verify,
     "attack": cmd_attack,
     "report": cmd_report,
+    "circuits": cmd_circuits,
     "schemes": cmd_schemes,
     "attacks": cmd_attacks,
     "matrix": cmd_matrix,
+    "scaling": cmd_scaling,
     "worker": cmd_worker,
     "serve": cmd_serve,
     "submit": cmd_submit,

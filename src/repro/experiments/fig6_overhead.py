@@ -9,8 +9,8 @@ overhead is the flattest of the three.
 
 from __future__ import annotations
 
-from repro.api import SCHEMES
-from repro.bench.suite import load_suite_circuit, suite_names
+from repro.api import SCHEMES, canonical_circuit_spec, load_circuit
+from repro.bench.suite import suite_names
 from repro.campaign import Campaign, CellSpec
 from repro.experiments.common import (
     DEFAULT_SCALE,
@@ -21,10 +21,10 @@ from repro.metrics import locking_overhead
 KAPPA_S_RANGE = (1, 2, 3, 4, 5)
 
 
-def overhead_cell(circuit, scale, seed, kappa_s, kappa_f, alpha, s_pairs):
-    """One Fig. 6 point: lock (via the scheme registry) + ADP overhead
-    report."""
-    netlist = load_suite_circuit(circuit, scale=scale, seed=seed)
+def overhead_cell(circuit, seed, kappa_s, kappa_f, alpha, s_pairs):
+    """One Fig. 6 point: load the circuit-provider spec, lock (via the
+    scheme registry), and report ADP overhead."""
+    netlist = load_circuit(circuit)
     locked = SCHEMES.get("trilock").lock(
         netlist, seed=seed, kappa_s=kappa_s, kappa_f=kappa_f, alpha=alpha,
         s_pairs=s_pairs)
@@ -38,12 +38,16 @@ def overhead_cell(circuit, scale, seed, kappa_s, kappa_f, alpha, s_pairs):
 
 def cells(scale=DEFAULT_SCALE, names=None, kappa_s_values=KAPPA_S_RANGE,
           kappa_f=1, alpha=0.6, s_pairs=10, seed=0):
-    """One cell per (circuit, kappa_s)."""
+    """One cell per (circuit, kappa_s); circuits enter as canonical
+    provider specs (bare suite names accepted)."""
     selected = names if names is not None else suite_names()
+    circuit_defaults = {"scale": scale, "seed": seed}
     return [
         CellSpec.make(
             "repro.experiments.fig6_overhead:overhead_cell",
-            {"circuit": name, "scale": scale, "seed": seed,
+            {"circuit": canonical_circuit_spec(name,
+                                               defaults=circuit_defaults),
+             "seed": seed,
              "kappa_s": kappa_s, "kappa_f": kappa_f, "alpha": alpha,
              "s_pairs": s_pairs},
             experiment="fig6", label=f"fig6/{name}/ks={kappa_s}")

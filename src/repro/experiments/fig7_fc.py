@@ -7,8 +7,8 @@ simulated FC tracks Eq. (15) within ±0.05.
 
 from __future__ import annotations
 
-from repro.api import SCHEMES
-from repro.bench.suite import load_suite_circuit, suite_names
+from repro.api import SCHEMES, canonical_circuit_spec, load_circuit
+from repro.bench.suite import suite_names
 from repro.campaign import Campaign, CellSpec
 from repro.core import fc_trilock
 from repro.experiments.common import (
@@ -26,11 +26,12 @@ ALPHAS = (0.0, 0.3, 0.6, 0.9)
 KAPPA_FS = (1, 2, 3)
 
 
-def fc_cell(circuit, scale, seed, kappa_s, kappa_f, alpha, n_samples,
+def fc_cell(circuit, seed, kappa_s, kappa_f, alpha, n_samples,
             depth_span):
-    """One Fig. 7 point: lock (via the scheme registry) + simulated FC
-    averaged over the paper's depth window."""
-    netlist = load_suite_circuit(circuit, scale=scale, seed=seed)
+    """One Fig. 7 point: load the circuit-provider spec, lock (via the
+    scheme registry), and average simulated FC over the paper's depth
+    window."""
+    netlist = load_circuit(circuit)
     locked = SCHEMES.get("trilock").lock(
         netlist, seed=seed, kappa_s=kappa_s, kappa_f=kappa_f, alpha=alpha)
     depths = paper_depth_range(kappa_s, span=depth_span)
@@ -41,12 +42,16 @@ def fc_cell(circuit, scale, seed, kappa_s, kappa_f, alpha, n_samples,
 
 def cells(scale=DEFAULT_SCALE, names=None, alphas=ALPHAS, kappa_fs=KAPPA_FS,
           kappa_s=KAPPA_S, n_samples=PAPER_FC_SAMPLES, depth_span=5, seed=0):
-    """One cell per (circuit, kappa_f, alpha)."""
+    """One cell per (circuit, kappa_f, alpha); circuits enter as
+    canonical provider specs (bare suite names accepted)."""
     selected = names if names is not None else suite_names()
+    circuit_defaults = {"scale": scale, "seed": seed}
     return [
         CellSpec.make(
             "repro.experiments.fig7_fc:fc_cell",
-            {"circuit": name, "scale": scale, "seed": seed,
+            {"circuit": canonical_circuit_spec(name,
+                                               defaults=circuit_defaults),
+             "seed": seed,
              "kappa_s": kappa_s, "kappa_f": kappa_f, "alpha": alpha,
              "n_samples": n_samples, "depth_span": depth_span},
             experiment="fig7", label=f"fig7/{name}/kf={kappa_f}/a={alpha}")

@@ -39,6 +39,7 @@ from repro.experiments import (
     fig4_tradeoff,
     fig6_overhead,
     fig7_fc,
+    scaling,
     table1_sat_resilience,
     table2_removal,
 )
@@ -62,6 +63,12 @@ EXPERIMENTS = {
     "fig6": lambda args, campaign: fig6_overhead.run(
         scale=args.scale, names=args.circuits, seed=args.seed,
         campaign=campaign),
+    # Tiny sweep by default so `repro-experiments all` stays tractable;
+    # the full-size sweep (and the JSON artifact) lives behind
+    # `repro-lock scaling`.
+    "scaling": lambda args, campaign: scaling.run(
+        sizes=(60, 120, 240), ffs=10, pis=5, pos=5, seed=args.seed,
+        max_dips=128, campaign=campaign),
 }
 
 

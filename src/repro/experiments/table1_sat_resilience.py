@@ -18,9 +18,11 @@ Protocol, mirroring the paper's own:
 
 from __future__ import annotations
 
-from repro.api import SCHEMES
-from repro.bench.suite import TABLE1_CIRCUITS, load_suite_circuit, suite_names
-from repro.campaign import Campaign, CellSpec
+from dataclasses import replace
+
+from repro.api import format_spec, matrix_cells
+from repro.bench.suite import TABLE1_CIRCUITS, suite_names
+from repro.campaign import Campaign
 from repro.core import ndip_trilock
 from repro.experiments.common import (
     DEFAULT_SCALE,
@@ -28,7 +30,7 @@ from repro.experiments.common import (
     engineering,
 )
 from repro.errors import ExtrapolationError
-from repro.metrics import extrapolated_resilience, measure_resilience
+from repro.metrics import extrapolated_resilience
 from repro.metrics.resilience import ResilienceMeasurement
 from repro.sat import make_attack_solver, parse_portfolio
 
@@ -62,47 +64,26 @@ MEASURED_CELLS = {
 }
 
 
-def resilience_cell(circuit, scale, seed, kappa_s, kappa_f, alpha, s_pairs,
-                    time_budget, dip_batch=1, portfolio=None, attack_jobs=1):
-    """One measured Table I cell: lock + real sequential SAT attack.
-
-    The attack-engine knobs (``dip_batch``, ``portfolio``,
-    ``attack_jobs``) are part of the cell's parameter set, hence of its
-    campaign cache key — changing how a cell is attacked invalidates its
-    cached value even though ``ndip`` itself is solver-independent.
-
-    Locking goes through the :mod:`repro.api` scheme registry (the
-    ``trilock`` plugin wraps :func:`repro.core.lock` one-to-one, so the
-    cell value — and with it the cache key and rendered table — is
-    unchanged from the pre-registry code)."""
-    netlist = load_suite_circuit(circuit, scale=scale, seed=seed)
-    locked = SCHEMES.get("trilock").lock(
-        netlist, seed=seed, kappa_s=kappa_s, kappa_f=kappa_f, alpha=alpha,
-        s_pairs=s_pairs)
-    cell = measure_resilience(locked, time_budget=time_budget,
-                              dip_batch=dip_batch, portfolio=portfolio,
-                              attack_jobs=attack_jobs)
-    return {
-        "circuit": cell.circuit,
-        "kappa_s": cell.kappa_s,
-        "width": cell.width,
-        "ndip": cell.ndip,
-        "seconds": cell.seconds,
-        "measured": cell.measured,
-        "attack_succeeded": cell.attack_succeeded,
-        "key_correct": cell.key_correct,
-    }
+def measured_pairs(effort, kappa_s_values=(1, 2, 3)):
+    """The (circuit, kappa_s) pairs attacked for real at this effort."""
+    return [(name, kappa_s) for name, kappa_s in MEASURED_CELLS[effort]
+            if kappa_s in kappa_s_values]
 
 
 def cells(scale=DEFAULT_SCALE, effort="quick", kappa_s_values=(1, 2, 3),
           seed=0, time_budget_per_cell=None, dip_batch=1, portfolio=None,
           attack_jobs=1):
-    """One cell per attacked (circuit, kappa_s) of the effort level.
+    """One matrix cell per attacked (circuit, kappa_s) of the effort
+    level.
 
-    The attack-engine knobs are normalized through
-    :func:`repro.sat.parse_portfolio` before entering the params, so
-    equivalent spellings of the same portfolio (``None`` vs
-    ``"default"`` vs ``"cdcl"``) address the same cached cell."""
+    The grid is built from :func:`repro.api.matrix_cells` (one generic
+    ``circuit x scheme x attack`` cell per entry) instead of a
+    hand-written cell list, so Table I cells share cache entries with
+    any equivalent ``repro-lock matrix`` run.  The attack-engine knobs
+    are normalized through :func:`repro.sat.parse_portfolio` before
+    entering the attack spec, so equivalent spellings of the same
+    portfolio (``None`` vs ``"default"`` vs ``"cdcl"``) address the
+    same cached cell."""
     portfolio_names = list(parse_portfolio(portfolio))
     # Validate the engine combination eagerly (workers spawn lazily, so
     # this is cheap) — a misconfigured portfolio/jobs pair should fail
@@ -110,18 +91,19 @@ def cells(scale=DEFAULT_SCALE, effort="quick", kappa_s_values=(1, 2, 3),
     probe = make_attack_solver(portfolio=portfolio, attack_jobs=attack_jobs)
     if hasattr(probe, "close"):
         probe.close()
-    return [
-        CellSpec.make(
-            "repro.experiments.table1_sat_resilience:resilience_cell",
-            {"circuit": name, "scale": scale, "seed": seed,
-             "kappa_s": kappa_s, "kappa_f": 1, "alpha": 0.6, "s_pairs": 10,
-             "time_budget": time_budget_per_cell,
-             "dip_batch": dip_batch, "portfolio": portfolio_names,
-             "attack_jobs": attack_jobs},
-            experiment="table1", label=f"table1/{name}/ks={kappa_s}")
-        for name, kappa_s in MEASURED_CELLS[effort]
-        if kappa_s in kappa_s_values
-    ]
+    attack = format_spec("seq-sat", {
+        "dip_batch": dip_batch, "portfolio": ",".join(portfolio_names),
+        "attack_jobs": attack_jobs})
+    specs = []
+    for name, kappa_s in measured_pairs(effort, kappa_s_values):
+        scheme = (f"trilock?kappa_s={kappa_s}&kappa_f=1&alpha=0.6"
+                  f"&s_pairs=10")
+        (spec,) = matrix_cells([name], [scheme], [attack], scale=scale,
+                               seed=seed,
+                               time_budget=time_budget_per_cell)
+        specs.append(replace(spec, experiment="table1",
+                             label=f"table1/{name}/ks={kappa_s}"))
+    return specs
 
 
 def run(scale=DEFAULT_SCALE, effort="quick", kappa_s_values=(1, 2, 3),
@@ -135,8 +117,21 @@ def run(scale=DEFAULT_SCALE, effort="quick", kappa_s_values=(1, 2, 3),
     results = campaign.run(specs)
     # A failed or timed-out attack cell degrades to extrapolation (the
     # paper's own protocol for unfinished cells) instead of aborting.
-    measured = [ResilienceMeasurement(**r.value) for r in results if r.ok]
-    failed = [r.spec.describe() for r in results if not r.ok]
+    measured, failed = [], []
+    pairs = measured_pairs(effort, kappa_s_values)
+    for (name, kappa_s), result in zip(pairs, results, strict=True):
+        if not result.ok:
+            failed.append(result.spec.describe())
+            continue
+        value = result.value
+        metrics = value["metrics"]
+        measured.append(ResilienceMeasurement(
+            circuit=name, kappa_s=kappa_s,
+            width=TABLE1_CIRCUITS[name][0],
+            ndip=metrics["n_dips"], seconds=value["seconds"],
+            measured=bool(value["success"]),
+            attack_succeeded=bool(value["success"]),
+            key_correct=bool(metrics["key_ok"])))
     return assemble(measured, scale=scale, effort=effort,
                     kappa_s_values=kappa_s_values, failed_cells=failed)
 

@@ -12,10 +12,11 @@ percentage of registers inside M-SCCs. The paper's qualitative claims:
 
 from __future__ import annotations
 
-from repro.api import SCHEMES
-from repro.attacks import scc_report
-from repro.bench.suite import load_suite_circuit, suite_names
-from repro.campaign import Campaign, CellSpec
+from dataclasses import replace
+
+from repro.api import matrix_cells
+from repro.bench.suite import suite_names
+from repro.campaign import Campaign
 from repro.experiments.common import (
     DEFAULT_SCALE,
     ExperimentResult,
@@ -40,37 +41,28 @@ PAPER_TABLE2 = {
 S_VALUES = (0, 10, 30)
 
 
-def scc_cell(circuit, scale, seed, kappa_s, kappa_f, alpha, s_pairs,
-             include_trivial):
-    """One Table II cell: lock (via the scheme registry) + SCC
-    clustering statistics."""
-    netlist = load_suite_circuit(circuit, scale=scale, seed=seed)
-    locked = SCHEMES.get("trilock").lock(
-        netlist, seed=seed, kappa_s=kappa_s, kappa_f=kappa_f, alpha=alpha,
-        s_pairs=s_pairs)
-    report = scc_report(locked, include_trivial=include_trivial)
-    return {
-        "O": report.o_sccs,
-        "E": report.e_sccs,
-        "M": report.m_sccs,
-        "PM": report.pm_percent,
-        "pairs_applied": len(locked.reencoded_pairs),
-    }
-
-
 def cells(scale=DEFAULT_SCALE, names=None, s_values=S_VALUES, kappa_s=3,
           kappa_f=1, alpha=0.6, seed=0, include_trivial=False):
-    """One cell per (circuit, S)."""
+    """One matrix cell per (circuit, S).
+
+    Built from :func:`repro.api.matrix_cells` over an ``s_pairs`` grid
+    and the census-only removal attack (``removal?strip=false`` — the
+    O/E/M/PM columns come from the SCC report, no strip-and-solve), so
+    Table II shares cache entries with equivalent matrix runs."""
     selected = names if names is not None else suite_names()
-    return [
-        CellSpec.make(
-            "repro.experiments.table2_removal:scc_cell",
-            {"circuit": name, "scale": scale, "seed": seed,
-             "kappa_s": kappa_s, "kappa_f": kappa_f, "alpha": alpha,
-             "s_pairs": s_pairs, "include_trivial": include_trivial},
-            experiment="table2", label=f"table2/{name}/S={s_pairs}")
-        for name in selected for s_pairs in s_values
-    ]
+    s_grid = "|".join(str(s) for s in s_values)
+    scheme = (f"trilock?kappa_s={kappa_s}&kappa_f={kappa_f}"
+              f"&alpha={alpha}&s_pairs={s_grid}")
+    attack = ("removal?strip=false&include_trivial="
+              + ("true" if include_trivial else "false"))
+    specs = []
+    for name in selected:
+        grid = matrix_cells([name], [scheme], [attack], scale=scale,
+                            seed=seed)
+        for spec, s_pairs in zip(grid, s_values, strict=True):
+            specs.append(replace(spec, experiment="table2",
+                                 label=f"table2/{name}/S={s_pairs}"))
+    return specs
 
 
 def run(scale=DEFAULT_SCALE, names=None, s_values=S_VALUES, kappa_s=3,
@@ -91,16 +83,20 @@ def assemble(values, scale=DEFAULT_SCALE, names=None, s_values=S_VALUES,
     for (name, s_pairs), cell in zip(
             ((n, s) for n in selected for s in s_values), values,
             strict=True):
-        paper = PAPER_TABLE2[name][s_pairs]
+        # Matrix cells return the full AttackOutcome payload; the SCC
+        # census lives in its metrics.
+        census = cell.get("metrics", cell)
+        paper = PAPER_TABLE2.get(name, {}).get(s_pairs)
         rows.append({
             "circuit": name,
             "S": s_pairs,
-            "O": cell["O"],
-            "E": cell["E"],
-            "M": cell["M"],
-            "PM": cell["PM"],
-            "pairs_applied": cell["pairs_applied"],
-            "paper_O/E/M/PM": "/".join(str(v) for v in paper),
+            "O": census["O"],
+            "E": census["E"],
+            "M": census["M"],
+            "PM": census["PM"],
+            "pairs_applied": census["pairs_applied"],
+            "paper_O/E/M/PM": "/".join(str(v) for v in paper)
+                              if paper else "—",
         })
 
     def average_reduction(kind_index, s_pairs):

@@ -1,0 +1,150 @@
+"""The circuit-provider registry: the third plugin axis."""
+
+import pytest
+
+from repro.api import (
+    CIRCUITS,
+    Param,
+    canonical_circuit_spec,
+    circuit_label,
+    load_circuit,
+    matrix_cell,
+    matrix_cells,
+    register_circuit,
+    resolve_circuit_spec,
+)
+from repro.bench import load_benchmark, load_suite_circuit, suite_names
+from repro.errors import BenchmarkError, SpecError
+
+pytestmark = pytest.mark.smoke
+
+
+class TestBuiltinProviders:
+    def test_listing_covers_embedded_suite_and_synth(self):
+        names = CIRCUITS.names()
+        assert "s27" in names
+        assert "synth" in names
+        for suite in suite_names():
+            assert f"suite:{suite}" in names
+
+    def test_every_provider_has_description_and_schema(self):
+        for plugin in CIRCUITS:
+            name, description, schema = plugin.describe_row()
+            assert name and description
+            assert schema
+
+    def test_embedded_load_matches_load_benchmark(self):
+        via_registry = load_circuit("s27")
+        direct = load_benchmark("s27")
+        assert via_registry.stats() == direct.stats()
+        assert sorted(via_registry.nets()) == sorted(direct.nets())
+
+    def test_suite_load_matches_load_suite_circuit(self):
+        via_registry = load_circuit("suite:b12?scale=0.05&seed=0")
+        direct = load_suite_circuit("b12", scale=0.05, seed=0)
+        assert via_registry.stats() == direct.stats()
+        assert sorted(via_registry.gates) == sorted(direct.gates)
+
+    def test_synth_is_deterministic_and_parametric(self):
+        spec = "synth?gates=60&ffs=6&pis=4&pos=3&seed=1"
+        a, b = load_circuit(spec), load_circuit(spec)
+        assert a.gates == b.gates and a.flops == b.flops
+        stats = a.stats()
+        assert stats["inputs"] == 4 and stats["outputs"] == 3
+        assert stats["flops"] == 6
+        other = load_circuit("synth?gates=60&ffs=6&pis=4&pos=3&seed=2")
+        assert other.gates != a.gates
+
+    def test_scale_validation_travels_through_the_provider(self):
+        with pytest.raises(BenchmarkError):
+            load_circuit("suite:b12?scale=-1")
+
+
+class TestCanonicalisation:
+    def test_bare_suite_name_folds_defaults(self):
+        assert canonical_circuit_spec(
+            "b12", defaults={"scale": 0.05, "seed": 0}) == \
+            "suite:b12?scale=0.05&seed=0"
+
+    def test_embedded_name_ignores_defaults_it_does_not_declare(self):
+        assert canonical_circuit_spec(
+            "s27", defaults={"scale": 0.05, "seed": 0}) == "s27"
+
+    def test_explicit_params_beat_defaults(self):
+        assert canonical_circuit_spec(
+            "suite:b12?scale=0.3", defaults={"scale": 0.05, "seed": 1}) \
+            == "suite:b12?scale=0.3&seed=1"
+
+    def test_synth_canonical_sorts_all_params(self):
+        canonical = canonical_circuit_spec("synth?gates=100")
+        assert canonical == ("synth?fanin3=0.3&ffs=32&gates=100"
+                             "&inv_share=0.2&pis=8&pos=8&seed=0"
+                             "&xor_share=0.1")
+
+    def test_labels_trim_defaults_and_suite_prefix(self):
+        assert circuit_label("suite:b12?scale=0.05&seed=0") == \
+            "b12?scale=0.05"
+        assert circuit_label("s27") == "s27"
+        assert circuit_label(canonical_circuit_spec("synth?gates=60")) == \
+            "synth?gates=60"
+
+    def test_resolve_returns_provider_and_resolved_params(self):
+        provider, params = resolve_circuit_spec("synth?gates=60&ffs=6")
+        assert provider.name == "synth"
+        assert params["gates"] == 60 and params["ffs"] == 6
+        assert params["pis"] == 8  # default filled
+
+
+class TestLookupErrors:
+    def test_unknown_provider_gets_did_you_mean(self):
+        with pytest.raises(SpecError) as excinfo:
+            load_circuit("synht?gates=60")
+        assert "did you mean 'synth'?" in str(excinfo.value)
+
+    def test_transposed_suite_name_hints_qualified_name(self):
+        with pytest.raises(SpecError) as excinfo:
+            load_circuit("s9324")
+        assert "suite:s9234" in str(excinfo.value)
+
+    def test_bad_param_is_a_spec_error(self):
+        with pytest.raises(SpecError):
+            load_circuit("synth?gates=sixty")
+        with pytest.raises(SpecError):
+            load_circuit("synth?bogus_knob=1")
+
+
+class TestThirdPartyProvider:
+    def test_register_and_drive_through_the_matrix(self):
+        """The README's extension story on the circuit axis: a custom
+        family joins the registry and runs through matrix cells."""
+        from repro.bench.synth import generate_circuit
+
+        @register_circuit(
+            "test-ring", description="ring of n stages",
+            params={"stages": Param("int", 8, "flop count")},
+            replace=True)
+        def provide_ring(stages):
+            return generate_circuit(f"ring{stages}", n_inputs=2,
+                                    n_outputs=2, n_flops=stages,
+                                    n_gates=4 * stages, seed=0)
+
+        try:
+            assert "test-ring" in CIRCUITS
+            assert canonical_circuit_spec("test-ring") == \
+                "test-ring?stages=8"
+            netlist = load_circuit("test-ring?stages=5")
+            assert netlist.stats()["flops"] == 5
+            value = matrix_cell("test-ring?stages=5", 0,
+                                "trilock?kappa_s=1", "removal?strip=false")
+            assert value["circuit"] == "test-ring?stages=5"
+            assert "O" in value["metrics"]
+        finally:
+            CIRCUITS._entries.pop("test-ring", None)
+
+    def test_circuit_grid_expansion_in_matrix_cells(self):
+        specs = matrix_cells(
+            ["synth?gates=60..62&ffs=6&pis=4&pos=3"],
+            ["trilock?kappa_s=1"], ["removal"])
+        assert len(specs) == 3
+        gates = [spec.kwargs()["circuit"] for spec in specs]
+        assert "gates=60" in gates[0] and "gates=62" in gates[2]

@@ -1,9 +1,8 @@
-"""The scheme x attack campaign matrix, end to end."""
+"""The circuit x scheme x attack campaign matrix, end to end."""
 
 import pytest
 
 from repro.api import ATTACKS, SCHEMES, matrix_cell, matrix_cells
-from repro.bench import load_benchmark
 from repro.campaign import Campaign, ResultStore
 
 
@@ -42,7 +41,7 @@ class TestMatrixCells:
         ("harpoon?kappa=2", "removal"),
     ])
     def test_every_attack_produces_a_uniform_outcome(self, scheme, attack):
-        value = matrix_cell("s27", 1.0, 0, scheme, attack, max_dips=64)
+        value = matrix_cell("s27", 0, scheme, attack, max_dips=64)
         assert set(value) == {"attack", "success", "seconds", "metrics",
                               "details", "attack_spec", "scheme_spec",
                               "scheme", "circuit"}
@@ -57,15 +56,15 @@ class TestMatrixCells:
         only beats designs whose lock is separable (S = 0), and the sink
         scheme carries the STG signature TriLock does not introduce by
         construction."""
-        removal_s0 = matrix_cell("b12", 0.05, 0, "trilock?kappa_s=1",
-                                 "removal")
-        removal_s10 = matrix_cell("b12", 0.05, 0,
+        removal_s0 = matrix_cell("suite:b12?scale=0.05", 0,
+                                 "trilock?kappa_s=1", "removal")
+        removal_s10 = matrix_cell("suite:b12?scale=0.05", 0,
                                   "trilock?kappa_s=1&s_pairs=10",
                                   "removal")
         assert removal_s0["success"] and not removal_s10["success"]
         assert removal_s10["metrics"]["M"] >= 1
         assert removal_s10["metrics"]["stripped"] == 0
-        sink_stg = matrix_cell("s27", 1.0, 0, "sink?kappa=2&sink_size=3",
+        sink_stg = matrix_cell("s27", 0, "sink?kappa=2&sink_size=3",
                                "stg?max_states=3000")
         assert sink_stg["success"]
         assert sink_stg["metrics"]["terminal_clusters"] > \
@@ -118,14 +117,74 @@ class TestMatrixThroughCampaign:
         assert result.error["type"] == "AttackError"
 
 
-class TestSuiteCircuits:
+class TestCircuitAxis:
     def test_matrix_on_a_scaled_suite_circuit(self):
-        value = matrix_cell("b12", 0.05, 0, "trilock?kappa_s=1",
+        value = matrix_cell("suite:b12?scale=0.05", 0, "trilock?kappa_s=1",
                             "removal")
-        assert value["circuit"] == "b12"
+        assert value["circuit"] == "suite:b12?scale=0.05"
         assert {"O", "E", "M", "PM"} <= set(value["metrics"])
 
-    def test_scale_only_affects_suite_circuits(self):
-        a = matrix_cell("s27", 1.0, 0, "harpoon?kappa=2", "bmc")
-        b = matrix_cell("s27", 0.5, 0, "harpoon?kappa=2", "bmc")
-        assert a["metrics"] == b["metrics"]
+    def test_matrix_on_a_synth_circuit(self):
+        value = matrix_cell("synth?gates=60&ffs=6&pis=4&pos=3", 0,
+                            "trilock?kappa_s=1", "removal?strip=false")
+        assert value["circuit"] == "synth?gates=60&ffs=6&pis=4&pos=3"
+        assert {"O", "E", "M", "PM"} <= set(value["metrics"])
+
+    def test_scale_only_folds_into_circuits_that_declare_it(self):
+        # Embedded circuits have no scale knob: the matrix-level scale
+        # must not leak into their cell identity.
+        a = matrix_cells(["s27"], ["harpoon?kappa=2"], ["bmc"], scale=1.0)
+        b = matrix_cells(["s27"], ["harpoon?kappa=2"], ["bmc"], scale=0.5)
+        assert [spec.key() for spec in a] == [spec.key() for spec in b]
+        # Suite circuits declare it, so it becomes part of the spec.
+        (c,) = matrix_cells(["b12"], ["harpoon?kappa=2"], ["bmc"],
+                            scale=0.5)
+        assert c.kwargs()["circuit"] == "suite:b12?scale=0.5&seed=0"
+
+    def test_circuit_axis_may_be_gridded(self):
+        specs = matrix_cells(
+            ["synth?gates=60|120&ffs=6&pis=4&pos=3", "s27"],
+            ["trilock?kappa_s=1"], ["removal"])
+        assert len(specs) == 3
+        circuits = [spec.kwargs()["circuit"] for spec in specs]
+        assert circuits == [
+            "synth?fanin3=0.3&ffs=6&gates=60&inv_share=0.2&pis=4&pos=3"
+            "&seed=0&xor_share=0.1",
+            "synth?fanin3=0.3&ffs=6&gates=120&inv_share=0.2&pis=4&pos=3"
+            "&seed=0&xor_share=0.1",
+            "s27",
+        ]
+
+
+class TestThreeAxisAcceptance:
+    def test_full_matrix_serial_parallel_and_cache(self, tmp_path):
+        """The PR's acceptance scenario: >= 2 circuits (one synth) x
+        >= 3 schemes (both rivals) x >= 2 attacks, serial == parallel
+        byte-identical modulo wall-clock, warm rerun all cache hits."""
+        specs = matrix_cells(
+            ["s27", "synth?gates=60&ffs=6&pis=4&pos=3"],
+            ["trilock?kappa_s=1", "sarlock?g=1", "sublock?n_subs=2"],
+            ["removal?strip=false", "seq-sat"], max_dips=64)
+        assert len(specs) == 2 * 3 * 2
+        store = ResultStore(str(tmp_path / "cells"))
+        serial = Campaign(store=store).run(specs)
+        assert all(result.ok for result in serial)
+        assert [result.cached for result in serial] == [False] * 12
+        parallel = Campaign(jobs=2).run(specs)
+
+        def stripped(result):
+            return {key: value for key, value in result.value.items()
+                    if key != "seconds"}
+
+        assert [stripped(r) for r in serial] == \
+            [stripped(r) for r in parallel]
+        warm = Campaign(store=store).run(specs)
+        assert [result.cached for result in warm] == [True] * 12
+        # The rivals show their signature SAT profiles: sublock falls in
+        # one DIP, sarlock's point function costs ~2^|I| DIPs.
+        by_label = {result.spec.label: result.value for result in warm}
+        assert by_label["matrix/s27/sublock/seq-sat"]["success"]
+        assert by_label["matrix/s27/sublock/seq-sat"]["metrics"][
+            "n_dips"] == 1
+        sar = by_label["matrix/s27/sarlock/seq-sat"]
+        assert sar["success"] and sar["metrics"]["n_dips"] >= 2

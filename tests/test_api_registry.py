@@ -23,7 +23,8 @@ pytestmark = pytest.mark.smoke
 
 class TestBuiltins:
     def test_scheme_names(self):
-        assert SCHEMES.names() == ("harpoon", "naive", "sink", "trilock")
+        assert SCHEMES.names() == ("harpoon", "naive", "sarlock", "sink",
+                                   "sublock", "trilock")
 
     def test_attack_names(self):
         assert ATTACKS.names() == ("bmc", "comb-sat", "key-space",
@@ -127,7 +128,7 @@ class TestThirdPartyExtension:
             locked = SCHEMES.get("test-reg-wrap").lock(
                 load_benchmark("s27"), seed=2)
             assert isinstance(locked, LockedCircuit)
-            value = matrix_cell("s27", 1.0, 2, "test-reg-wrap", "removal")
+            value = matrix_cell("s27", 2, "test-reg-wrap", "removal")
             assert value["scheme"].startswith("test-reg-wrap?")
             assert "O" in value["metrics"]
         finally:

@@ -105,9 +105,9 @@ class TestEveryRegisteredPlugin:
 class TestErrors:
     def test_unknown_scheme_is_actionable(self):
         with pytest.raises(SpecError) as excinfo:
-            canonical_scheme_spec("sarlock?kappa=2")
+            canonical_scheme_spec("sarlok?kappa=2")
         message = str(excinfo.value)
-        assert "sarlock" in message and "trilock" in message
+        assert "sarlok" in message and "did you mean 'sarlock'" in message
         assert "registered" in message
 
     def test_unknown_attack_is_actionable(self):

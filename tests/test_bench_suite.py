@@ -129,3 +129,53 @@ class TestSuite:
     def test_bad_scale(self):
         with pytest.raises(BenchmarkError):
             suite_spec("b12", scale=0)
+
+
+class TestScaleValidation:
+    """Regression: the old ``if scale <= 0`` guard let NaN through (it
+    compares false against everything) and inf past it, so absurd scales
+    surfaced later as untyped ValueError/OverflowError from ``round``;
+    now every absurd scale is a typed :class:`BenchmarkError` up front."""
+
+    @pytest.mark.parametrize("scale", [0, -1, -0.5, float("nan"),
+                                       float("inf"), float("-inf")])
+    def test_suite_spec_rejects(self, scale):
+        with pytest.raises(BenchmarkError) as excinfo:
+            suite_spec("b12", scale=scale)
+        assert "scale" in str(excinfo.value)
+
+    @pytest.mark.parametrize("scale", [0, float("nan"), float("inf")])
+    def test_load_benchmark_rejects(self, scale):
+        with pytest.raises(BenchmarkError):
+            load_benchmark("b12", scale=scale)
+
+    def test_non_numeric_scale_rejected(self):
+        with pytest.raises(BenchmarkError):
+            suite_spec("b12", scale="0.5")
+        with pytest.raises(BenchmarkError):
+            suite_spec("b12", scale=True)
+
+    def test_scaled_spec_rejects_too(self):
+        spec = suite_spec("b12")
+        with pytest.raises(BenchmarkError):
+            spec.scaled(float("nan"))
+
+
+class TestDidYouMean:
+    def test_transposed_suite_name(self):
+        with pytest.raises(BenchmarkError) as excinfo:
+            load_benchmark("s9324")
+        assert "did you mean 's9234'?" in str(excinfo.value)
+
+    def test_suite_spec_hints_too(self):
+        with pytest.raises(BenchmarkError) as excinfo:
+            suite_spec("b13")
+        message = str(excinfo.value)
+        assert "b13" in message and "did you mean" in message
+
+    def test_hopeless_name_lists_available_without_a_hint(self):
+        with pytest.raises(BenchmarkError) as excinfo:
+            load_benchmark("zzz-not-a-circuit")
+        message = str(excinfo.value)
+        assert "did you mean" not in message
+        assert "s27" in message and "s9234" in message

@@ -80,10 +80,10 @@ class TestLockCommand:
 
     def test_unknown_scheme_is_actionable(self, workspace):
         code, text = run_cli([
-            "lock", workspace["design"], "--scheme", "sarlock",
+            "lock", workspace["design"], "--scheme", "sarlok",
             "--out", workspace["locked"], "--key-out", workspace["key"]])
         assert code == 2
-        assert "sarlock" in text and "trilock" in text
+        assert "sarlok" in text and "sarlock" in text
 
     def test_locked_file_is_valid_bench(self, workspace):
         run_cli(["lock", workspace["design"], "--kappa-s", "1",

@@ -165,8 +165,9 @@ class TestVectorizedSweepEquality:
         assert fast == pure  # rows, FC, and the rendered ascii art
 
     def test_fig7_cell_identical(self, monkeypatch):
-        kwargs = dict(circuit="b12", scale=0.05, seed=0, kappa_s=2,
-                      kappa_f=1, alpha=0.6, n_samples=64, depth_span=1)
+        kwargs = dict(circuit="suite:b12?scale=0.05&seed=0", seed=0,
+                      kappa_s=2, kappa_f=1, alpha=0.6, n_samples=64,
+                      depth_span=1)
         monkeypatch.setenv("REPRO_NO_NUMPY", "1")
         pure = fig7_fc.fc_cell(**kwargs)
         monkeypatch.delenv("REPRO_NO_NUMPY")
@@ -223,7 +224,7 @@ class TestFcSeedDerivation:
     def test_code_version_bumped(self):
         from repro.campaign import CODE_VERSION
 
-        assert CODE_VERSION == "trilock-campaign-v3"
+        assert CODE_VERSION == "trilock-campaign-v4"
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,139 @@
+"""The attack-cost scaling experiment and its CLI/runner front-ends."""
+
+import json
+
+import pytest
+
+from repro.campaign import Campaign
+from repro.experiments import scaling
+
+TINY = dict(sizes=(50, 100), ffs=6, pis=3, pos=3, max_dips=64)
+
+
+class TestFitPowerLaw:
+    def test_exact_power_law_recovered(self):
+        fit = scaling.fit_power_law([(10, 300.0), (20, 1200.0),
+                                     (40, 4800.0)])
+        assert fit["exponent"] == pytest.approx(2.0)
+        assert fit["coefficient"] == pytest.approx(3.0)
+        assert fit["r2"] == pytest.approx(1.0)
+        assert fit["points"] == 3
+
+    def test_flat_data_has_zero_exponent(self):
+        fit = scaling.fit_power_law([(10, 7.0), (100, 7.0), (1000, 7.0)])
+        assert fit["exponent"] == pytest.approx(0.0)
+
+    def test_unfittable_inputs_return_none(self):
+        assert scaling.fit_power_law([]) is None
+        assert scaling.fit_power_law([(10, 1.0)]) is None
+        assert scaling.fit_power_law([(10, 1.0), (10, 2.0)]) is None
+        # Non-positive points cannot be log-fitted and are dropped.
+        assert scaling.fit_power_law([(10, 0.0), (20, -1.0)]) is None
+
+    def test_noise_lowers_r2_but_fits(self):
+        fit = scaling.fit_power_law([(10, 310.0), (20, 1100.0),
+                                     (40, 5100.0)])
+        assert fit is not None
+        assert 0.9 < fit["r2"] <= 1.0
+
+
+class TestCells:
+    def test_scheme_major_order_and_labels(self):
+        specs = scaling.cells(sizes=(50, 100),
+                              schemes=("sublock?n_subs=2", "sarlock"),
+                              ffs=6, pis=3, pos=3, max_dips=64)
+        assert [spec.label for spec in specs] == [
+            "scaling/sublock/g=50", "scaling/sublock/g=100",
+            "scaling/sarlock/g=50", "scaling/sarlock/g=100"]
+        assert all(spec.experiment == "scaling" for spec in specs)
+
+    def test_cells_share_matrix_cache_identity(self):
+        """Relabeling must not fork the cache: a scaling cell and the
+        equivalent matrix cell hash to the same key."""
+        from repro.api import matrix_cells
+
+        (spec,) = scaling.cells(sizes=(50,), schemes=("sublock",),
+                                ffs=6, pis=3, pos=3, max_dips=64)
+        (twin,) = matrix_cells(
+            ["synth?gates=50&ffs=6&pis=3&pos=3&seed=0"], ["sublock"],
+            ["seq-sat"], max_dips=64)
+        assert spec.key() == twin.key()
+
+    def test_scheme_grids_expand(self):
+        specs = scaling.cells(sizes=(50,),
+                              schemes=("sublock?n_subs=2|3",),
+                              ffs=6, pis=3, pos=3)
+        assert len(specs) == 2
+
+
+class TestRun:
+    def test_end_to_end_with_artifact(self, tmp_path):
+        artifact = tmp_path / "BENCH_scaling.json"
+        result = scaling.run(schemes=("sublock?n_subs=2",),
+                             artifact_path=str(artifact), **TINY)
+        assert result.experiment == "scaling"
+        assert len(result.rows) == 2
+        assert all(row["success"] for row in result.rows)
+        # sublock is SAT-weak: ndip flat at 1 across the size sweep.
+        assert any("ndip ~ gates^0.00" in note for note in result.notes)
+
+        report = json.loads(artifact.read_text())
+        assert report["experiment"] == "scaling"
+        (entry,) = report["schemes"]
+        assert entry["scheme_short"] == "sublock?n_subs=2"
+        assert entry["fit_basis"] == "finished"
+        assert entry["fits"]["n_dips"]["exponent"] == pytest.approx(0.0)
+        assert entry["fits"]["seconds"] is not None
+        assert [p["gates"] for p in entry["points"]] == [50, 100]
+
+    def test_warm_rerun_is_all_cache_hits(self, tmp_path):
+        cache = str(tmp_path / "cells")
+        scaling.run(schemes=("sublock?n_subs=2",),
+                    campaign=Campaign(cache_dir=cache), **TINY)
+        warm = Campaign(cache_dir=cache)
+        scaling.run(schemes=("sublock?n_subs=2",), campaign=warm, **TINY)
+        assert warm.stats().hits == 2
+        assert warm.stats().misses == 0
+
+    def test_failed_points_degrade_to_reported_errors(self):
+        # An absurd state cap makes the STG attack raise AttackError on
+        # every cell; the sweep must report the failure per point, not
+        # blow up.
+        result = scaling.run(schemes=("sarlock",),
+                             attack="stg?max_states=1",
+                             sizes=(50,), ffs=6, pis=3, pos=3)
+        (row,) = result.rows
+        assert row["success"] is False
+        assert row["T(s)"] == "failed"
+
+
+class TestFrontEnds:
+    def test_cli_scaling_writes_artifact(self, tmp_path, capsys):
+        from repro.cli import main
+
+        artifact = tmp_path / "scaling.json"
+        code = main(["scaling", "--gates", "50|100",
+                     "--scheme", "sublock?n_subs=2",
+                     "--ffs", "6", "--pis", "3", "--pos", "3",
+                     "--max-dips", "64",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--artifact", str(artifact)])
+        assert code == 0
+        assert artifact.exists()
+        out = capsys.readouterr().out
+        assert "T(s) ~ gates^" in out
+        assert "[artifact:" in out
+
+    def test_cli_rejects_bad_gates(self, capsys):
+        from repro.cli import main
+
+        code = main(["scaling", "--gates", "0|-5", "--no-artifact"])
+        assert code == 2
+        assert "--gates" in capsys.readouterr().out
+
+    def test_runner_has_a_scaling_experiment(self):
+        from repro.experiments.runner import EXPERIMENTS, build_parser
+
+        assert "scaling" in EXPERIMENTS
+        args = build_parser().parse_args(["scaling"])
+        assert args.experiment == "scaling"
