@@ -4,7 +4,8 @@ PY ?= python
 export PYTHONPATH := src
 
 .PHONY: test smoke test-attacks campaign-demo matrix-demo \
-	scaling-demo distributed-demo serve-demo bench bench-solver
+	scaling-demo distributed-demo serve-demo bench bench-solver \
+	bench-attack
 
 test:
 	$(PY) -m pytest -x -q
@@ -75,3 +76,9 @@ bench:
 # wall-clock. Writes benchmarks/artifacts/BENCH_solver.json.
 bench-solver:
 	$(PY) -m pytest benchmarks/bench_solver.py -q
+
+# End-to-end attack-loop bench: batched word-parallel oracle + cheap
+# pinning vs the serial/legacy loop (>= 1.5x gate on the
+# oracle-dominated cell). Writes benchmarks/artifacts/BENCH_attack.json.
+bench-attack:
+	$(PY) -m pytest benchmarks/bench_attack.py -q

@@ -32,11 +32,12 @@ from repro.campaign import (
 
 
 def stable(value):
-    """A cell value minus its measured attack wall-clock: ``seconds`` is
-    the one genuinely nondeterministic field (any two runs differ, even
-    on the same backend); everything else must match to the byte."""
+    """A cell value minus its measured attack wall-clock: ``seconds``
+    and the ``timing`` phase breakdown are the genuinely
+    nondeterministic fields (any two runs differ, even on the same
+    backend); everything else must match to the byte."""
     return canonical_json({key: item for key, item in value.items()
-                           if key != "seconds"})
+                           if key not in ("seconds", "timing")})
 
 
 def spawn_worker(address, index):

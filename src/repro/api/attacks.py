@@ -67,6 +67,13 @@ class AttackOutcome:
     over the campaign-service job API is self-describing.  They are
     derived metadata, not inputs: cache keys hash the cell parameters
     only, so adding them changed no existing key.
+
+    ``timing`` holds the wall-clock phase breakdown (e.g. the SAT
+    family's ``solve_seconds`` / ``oracle_seconds`` / ``encode_seconds``
+    DIP-loop phases).  Like ``seconds`` it is measured wall-clock, so it
+    sits *outside* ``metrics``: metrics stay deterministic and the
+    serial/parallel/cached byte-identity promise only ever excepts the
+    wall-clock fields.
     """
 
     attack: str
@@ -76,6 +83,7 @@ class AttackOutcome:
     details: dict = field(default_factory=dict)
     attack_spec: str = None
     scheme_spec: str = None
+    timing: dict = field(default_factory=dict)
 
     def as_dict(self):
         return {
@@ -86,6 +94,7 @@ class AttackOutcome:
             "details": dict(self.details),
             "attack_spec": self.attack_spec,
             "scheme_spec": self.scheme_spec,
+            "timing": dict(self.timing),
         }
 
     @classmethod
@@ -95,7 +104,8 @@ class AttackOutcome:
                    metrics=dict(payload.get("metrics", ())),
                    details=dict(payload.get("details", ())),
                    attack_spec=payload.get("attack_spec"),
-                   scheme_spec=payload.get("scheme_spec"))
+                   scheme_spec=payload.get("scheme_spec"),
+                   timing=dict(payload.get("timing", ())))
 
 
 class Attack(Plugin):
@@ -151,7 +161,19 @@ def _key_metrics(result, locked):
         "depth": result.depth,
         "key_ok": key_ok,
         "stop_reason": result.stop_reason,
+        # Patterns simulated (comparable across serial/batched loops)
+        # vs oracle invocations (a batched round is one call).
         "oracle_queries": result.oracle_queries,
+        "oracle_calls": result.oracle_calls,
+    }
+
+
+def _phase_timing(result):
+    """DIP-loop phase breakdown, aggregated over unrolling depths."""
+    return {
+        "solve_seconds": result.solve_seconds,
+        "oracle_seconds": result.oracle_seconds,
+        "encode_seconds": result.encode_seconds,
     }
 
 
@@ -180,7 +202,8 @@ def _attack_seq_sat(locked, oracle, budget, depth, max_depth, check_rounds,
         attack="seq-sat", success=result.success, seconds=result.seconds,
         metrics=_key_metrics(result, locked),
         details={"depths_tried": list(result.depths_tried),
-                 "key": None if result.key is None else str(result.key)})
+                 "key": None if result.key is None else str(result.key)},
+        timing=_phase_timing(result))
 
 
 @register_attack(
@@ -206,7 +229,8 @@ def _attack_comb_sat(locked, oracle, budget, depth, dip_batch, portfolio,
     return AttackOutcome(
         attack="comb-sat", success=result.success, seconds=result.seconds,
         metrics=_key_metrics(result, locked),
-        details={"key": None if result.key is None else str(result.key)})
+        details={"key": None if result.key is None else str(result.key)},
+        timing=_phase_timing(result))
 
 
 @register_attack(

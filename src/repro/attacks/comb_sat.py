@@ -33,17 +33,26 @@ sequence).
 from __future__ import annotations
 
 import itertools
+import os
 import time
 from dataclasses import dataclass, field
 
 from repro.cnf import Cnf, encode
 from repro.errors import AttackError
+from repro.netlist.transform import InputSpecializer, simplified
 from repro.sat import make_attack_solver
 
 
 @dataclass
 class CombSatResult:
-    """Outcome of one COMB-SAT run."""
+    """Outcome of one COMB-SAT run.
+
+    ``solve_seconds`` / ``oracle_seconds`` / ``encode_seconds`` break the
+    wall-clock into the DIP loop's three phases: miter solving (DIP
+    extraction + key extraction), oracle queries, and I/O-pair pinning
+    (specialise + CNF encode).  The remainder of ``seconds`` is loop
+    overhead.
+    """
 
     success: bool
     key: dict | None          # key input net -> bool (None if failed)
@@ -53,6 +62,9 @@ class CombSatResult:
     solver_stats: dict = field(default_factory=dict)
     stop_reason: str = "no_more_dips"
     n_rounds: int = 0         # miter rounds (== n_dips when dip_batch=1)
+    solve_seconds: float = 0.0
+    oracle_seconds: float = 0.0
+    encode_seconds: float = 0.0
 
 
 def _miter_copy_map(netlist, key_set, tag):
@@ -137,6 +149,22 @@ class DipEngine:
         self.solver.add_clause([-self.act] + diff_lits)
         self.n_pinned = 0
 
+        # Pinning scaffolding, reused across every pinned DIP: the
+        # specializer caches the fold order of `locked`, the Cnf arena is
+        # recycled per batch, and the key-variable map lets copy "b" of
+        # each constraint be mirrored from copy "a" by literal remapping
+        # instead of a second specialise+encode pass.
+        # REPRO_LEGACY_PIN=1 keeps the pre-cache pinning path selectable
+        # for benchmarking and differential tests.
+        self._specializer = None
+        self._pin_cnf = Cnf()
+        self._key_var_b_of_a = {
+            self.var_of[self.map_a[net]]: self.var_of[self.map_b[net]]
+            for net in self.key_inputs
+        }
+        self._legacy_pin = os.environ.get(
+            "REPRO_LEGACY_PIN", "") not in ("", "0")
+
     # ------------------------------------------------------------------
     def _solve(self, assumptions=()):
         """Solve, refusing to conflate *interrupted* with UNSAT.
@@ -199,11 +227,83 @@ class DipEngine:
         constraint-compaction trick that keeps the clause store linear in
         key logic rather than circuit size.
         """
-        from repro.netlist.transform import simplified
+        self.pin_batch([(dip, response)])
 
-        response = tuple(response)
-        if len(response) != len(self.locked.outputs):
-            raise AttackError("oracle response width mismatch")
+    def pin_batch(self, pairs):
+        """Pin a batch of ``(dip, response)`` I/O pairs in one arena pass.
+
+        Clause-for-clause identical to calling :meth:`pin_response` per
+        pair: each pair contributes copy-"a" clauses, copy-"a" response
+        units, copy-"b" clauses, copy-"b" units, in batch order.  The
+        fast path specialises through the cached
+        :class:`~repro.netlist.transform.InputSpecializer`, encodes copy
+        "a" into one reused Cnf arena, and *mirrors* copy "b" by literal
+        remapping: the two copies are structurally identical and share
+        only the key variables with the rest of the store, so copy "b"
+        is copy "a" with ``key_a`` variables swapped for ``key_b`` and
+        every fresh variable shifted by the copy's fresh-variable count —
+        exactly what a second ``encode()`` would allocate, without paying
+        for the second specialise+encode pass.
+        """
+        pairs = [(dip, tuple(response)) for dip, response in pairs]
+        n_outputs = len(self.locked.outputs)
+        for _dip, response in pairs:
+            if len(response) != n_outputs:
+                raise AttackError("oracle response width mismatch")
+        if self._legacy_pin:
+            for dip, response in pairs:
+                self._pin_legacy(dip, response)
+            return
+        if self._specializer is None:
+            self._specializer = InputSpecializer(self.locked)
+        key_b_of_a = self._key_var_b_of_a
+        cnf = self._pin_cnf
+        cnf.num_vars = self.solver.num_vars
+        cnf.clauses.clear()
+        staged = []
+        for dip, response in pairs:
+            self.n_pinned += 1
+            index = self.n_pinned
+            assignments = {net: (1 if bit else 0)
+                           for net, bit in zip(self.data_inputs, dip)}
+            specialized = self._specializer.specialize(
+                assignments, name=f"io_spec{index}")
+            mapping = _constraint_copy_map(specialized, self.key_set, "a",
+                                           index)
+            copy_a = specialized.renamed(mapping, name=f"io_a{index}")
+            start = len(cnf.clauses)
+            base_vars = cnf.num_vars
+            circuit = encode(copy_a, cnf=cnf, var_of=self.var_of)
+            n_fresh = cnf.num_vars - base_vars
+            a_clauses = cnf.clauses[start:]
+            a_units = [[circuit.lit(net, bool(bit))]
+                       for net, bit in zip(copy_a.outputs, response)]
+
+            def mirror(lit, _base=base_vars, _shift=n_fresh):
+                var = lit if lit > 0 else -lit
+                mapped = key_b_of_a.get(var)
+                if mapped is None:
+                    mapped = var + _shift if var > _base else var
+                return mapped if lit > 0 else -mapped
+
+            staged.extend(a_clauses)
+            staged.extend(a_units)
+            staged.extend([mirror(lit) for lit in clause]
+                          for clause in a_clauses)
+            staged.extend([mirror(lit) for lit in clause]
+                          for clause in a_units)
+            cnf.num_vars += n_fresh  # reserve copy-b's variables
+        self.solver.ensure_vars(cnf.num_vars)
+        for clause in staged:
+            self.solver.add_clause(clause)
+
+    def _pin_legacy(self, dip, response):
+        """Pre-PR-10 pinning path: fresh specialise + encode per copy.
+
+        Kept (behind ``REPRO_LEGACY_PIN=1``) as the benchmarking baseline
+        and as the differential reference that the mirrored fast path
+        must match clause for clause.
+        """
         self.n_pinned += 1
         index = self.n_pinned
         assignments = {net: (1 if bit else 0)
@@ -263,7 +363,8 @@ class DipEngine:
 
 def comb_sat_attack(locked, key_inputs, oracle_fn, max_dips=None,
                     collect_dips=False, time_budget=None, dip_batch=1,
-                    portfolio=None, attack_jobs=1, solver=None):
+                    portfolio=None, attack_jobs=1, solver=None,
+                    oracle_batch_fn=None):
     """Run the DIP loop; returns a :class:`CombSatResult`.
 
     ``locked``
@@ -273,6 +374,16 @@ def comb_sat_attack(locked, key_inputs, oracle_fn, max_dips=None,
         Callable mapping a tuple of data-input bits (ordered like the data
         inputs appear in ``locked.inputs``) to the tuple of correct output
         bits (ordered like ``locked.outputs``).
+    ``oracle_batch_fn``
+        Optional callable mapping a *list* of data-input tuples to the
+        list of corresponding output tuples.  When given, a miter round
+        that extracted ``k > 1`` DIPs issues ONE batched oracle call
+        instead of ``k`` serial ``oracle_fn`` calls — the responses (and
+        therefore the pinned constraint store, the DIP walk, and the
+        recovered key) are required to be bit-identical to the serial
+        loop; only the oracle's call count changes.  Single-DIP rounds
+        still go through ``oracle_fn`` so ``dip_batch=1`` stays
+        byte-identical to the historical loop, accounting included.
     ``max_dips`` / ``time_budget``
         Optional effort caps; exceeding one returns ``success=False`` with
         ``stop_reason`` set accordingly.
@@ -286,6 +397,9 @@ def comb_sat_attack(locked, key_inputs, oracle_fn, max_dips=None,
     if dip_batch < 1:
         raise AttackError(f"dip_batch must be >= 1, got {dip_batch}")
     deadline = None if time_budget is None else start + time_budget
+    solve_seconds = 0.0
+    oracle_seconds = 0.0
+    encode_seconds = 0.0
     with DipEngine(locked, key_inputs, solver=solver,
                    portfolio=portfolio, attack_jobs=attack_jobs) as engine:
         n_dips = 0
@@ -302,10 +416,23 @@ def comb_sat_attack(locked, key_inputs, oracle_fn, max_dips=None,
             limit = dip_batch
             if max_dips is not None:
                 limit = min(limit, max_dips - n_dips)
+            phase_start = time.perf_counter()
             batch = engine.find_dip_batch(limit, deadline=deadline)
+            solve_seconds += time.perf_counter() - phase_start
             if not batch:
                 break  # no distinguishing pattern remains
             n_rounds += 1
+            responses = None
+            if oracle_batch_fn is not None and len(batch) > 1:
+                phase_start = time.perf_counter()
+                responses = [tuple(response)
+                             for response in oracle_batch_fn(list(batch))]
+                oracle_seconds += time.perf_counter() - phase_start
+                if len(responses) != len(batch):
+                    raise AttackError(
+                        "batched oracle returned "
+                        f"{len(responses)} responses for {len(batch)} DIPs")
+            pins = []
             for position, dip in enumerate(batch):
                 # Mid-batch budget check: the first pin of a round always
                 # lands (dip_batch=1 behaviour is untouched); later pins
@@ -319,7 +446,16 @@ def comb_sat_attack(locked, key_inputs, oracle_fn, max_dips=None,
                 n_dips += 1
                 if collect_dips:
                     dips.append(dip)
-                engine.pin_response(dip, tuple(oracle_fn(dip)))
+                if responses is not None:
+                    response = responses[position]
+                else:
+                    phase_start = time.perf_counter()
+                    response = tuple(oracle_fn(dip))
+                    oracle_seconds += time.perf_counter() - phase_start
+                pins.append((dip, response))
+            phase_start = time.perf_counter()
+            engine.pin_batch(pins)
+            encode_seconds += time.perf_counter() - phase_start
             if stop_reason == "time_budget":
                 break
 
@@ -328,13 +464,18 @@ def comb_sat_attack(locked, key_inputs, oracle_fn, max_dips=None,
                 success=False, key=None, n_dips=n_dips,
                 seconds=time.perf_counter() - start, dips=dips,
                 solver_stats=engine.solver.stats(), stop_reason=stop_reason,
-                n_rounds=n_rounds)
+                n_rounds=n_rounds, solve_seconds=solve_seconds,
+                oracle_seconds=oracle_seconds, encode_seconds=encode_seconds)
 
+        phase_start = time.perf_counter()
         key = engine.solve_key()
+        solve_seconds += time.perf_counter() - phase_start
         return CombSatResult(
             success=True, key=key, n_dips=n_dips,
             seconds=time.perf_counter() - start, dips=dips,
-            solver_stats=engine.solver.stats(), n_rounds=n_rounds)
+            solver_stats=engine.solver.stats(), n_rounds=n_rounds,
+            solve_seconds=solve_seconds, oracle_seconds=oracle_seconds,
+            encode_seconds=encode_seconds)
 
 
 def _xor_clauses(out_var, lit_a, lit_b):

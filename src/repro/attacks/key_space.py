@@ -73,11 +73,21 @@ def key_space_trace(locked, depth=None, max_dips=None):
         trace = oracle.query(vectors)
         return tuple(bit for cycle in trace for bit in cycle)
 
+    def unflatten(flat):
+        return [tuple(flat[c * width:(c + 1) * width])
+                for c in range(depth)]
+
+    def oracle_batch_fn(flat_batch):
+        return oracle.query_batch_flat(
+            [unflatten(flat) for flat in flat_batch])
+
     # Collect the attack's DIPs once, then count survivors after each
     # prefix of the DIP sequence.
     result = comb_sat_attack(view, key_inputs, oracle_fn,
-                             max_dips=max_dips, collect_dips=True)
-    responses = [tuple(oracle_fn(dip)) for dip in result.dips]
+                             max_dips=max_dips, collect_dips=True,
+                             oracle_batch_fn=oracle_batch_fn)
+    responses = ([] if not result.dips else oracle.query_batch_flat(
+        [unflatten(dip) for dip in result.dips]))
     survivors = []
     for upto in range(1, len(result.dips) + 1):
         survivors.append(_count_consistent_keys(

@@ -189,9 +189,15 @@ def _attempt_removal_with(locked, suspects, depth, max_dips, time_budget,
         trace = oracle.query(vectors)
         return tuple(bit for cycle in trace for bit in cycle)
 
+    def oracle_batch_fn(flat_batch):
+        sequences = [[tuple(flat[c * width:(c + 1) * width])
+                      for c in range(depth)] for flat in flat_batch]
+        return oracle.query_batch_flat(sequences)
+
     tie_inputs = sorted({mapping[f"{q}@0"] for q in tie_nets})
     result = comb_sat_attack(merged_view, tie_inputs, oracle_fn,
-                             max_dips=max_dips, time_budget=time_budget)
+                             max_dips=max_dips, time_budget=time_budget,
+                             oracle_batch_fn=oracle_batch_fn)
     if not result.success:
         return RemovalAttempt(
             success=False, stripped_registers=tuple(suspects),

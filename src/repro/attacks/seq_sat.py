@@ -31,7 +31,18 @@ from repro.unroll import unroll
 
 @dataclass
 class SeqAttackResult:
-    """Outcome of a sequential SAT attack."""
+    """Outcome of a sequential SAT attack.
+
+    ``oracle_queries`` counts input *sequences* the oracle simulated
+    (:attr:`SimulationOracle.pattern_count`) — the number comparable
+    across serial and batched oracle loops; ``oracle_calls`` counts
+    oracle invocations (a batched round is one call).  The phase timers
+    aggregate the per-depth COMB-SAT phase breakdown (miter solving,
+    oracle simulation, constraint pinning); ``oracle_seconds``
+    additionally counts candidate-key verification, which is pure
+    simulation (locked replay plus oracle queries) and belongs to the
+    same phase.
+    """
 
     success: bool
     key: KeySequence | None
@@ -43,6 +54,10 @@ class SeqAttackResult:
     verified: bool = False
     stop_reason: str = "done"
     oracle_queries: int = 0
+    oracle_calls: int = 0
+    solve_seconds: float = 0.0
+    oracle_seconds: float = 0.0
+    encode_seconds: float = 0.0
 
 
 def unrolled_attack_view(locked_netlist, kappa, depth):
@@ -85,20 +100,31 @@ def estimate_min_unroll_depth(locked_netlist, kappa, max_depth=16,
         raise AttackError("depth estimation needs a reference or oracle")
     oracle_sim = SequentialSimulator(reference)
     for depth in range(1, max_depth + 1):
-        for _ in range(n_samples):
-            key = random_vectors(rng, width, kappa)
-            data = random_vectors(rng, width, depth)
-            locked_trace = locked_sim.run_vectors(key + data)
-            oracle_trace = oracle_sim.run_vectors(data)
-            if locked_trace[kappa:] != oracle_trace:
-                return depth
+        # Draw all samples in the serial loop's (key, data, key, data...)
+        # order, then simulate the whole depth in two word-parallel
+        # passes — the returned depth is identical to the per-sample
+        # loop's (any corrupted sample at this depth triggers it).
+        samples = [(random_vectors(rng, width, kappa),
+                    random_vectors(rng, width, depth))
+                   for _ in range(n_samples)]
+        locked_out = locked_sim.run_pattern_matrix(
+            [[key[cycle] for key, _data in samples]
+             for cycle in range(kappa)]
+            + [[data[cycle] for _key, data in samples]
+               for cycle in range(depth)])
+        oracle_out = oracle_sim.run_pattern_matrix(
+            [[data[cycle] for _key, data in samples]
+             for cycle in range(depth)])
+        if locked_out[kappa:] != oracle_out:
+            return depth
     return max_depth
 
 
 def sequential_sat_attack(locked_netlist, kappa, oracle, known_depth=None,
                           max_depth=12, max_dips=None, time_budget=None,
                           reference=None, check_rounds=24, seed=0,
-                          dip_batch=1, portfolio=None, attack_jobs=1):
+                          dip_batch=1, portfolio=None, attack_jobs=1,
+                          oracle_batch=True):
     """Oracle-guided sequential SAT attack; returns :class:`SeqAttackResult`.
 
     ``oracle``
@@ -119,6 +145,14 @@ def sequential_sat_attack(locked_netlist, kappa, oracle, known_depth=None,
         between depths (the workers' clause stores are rebuilt in place)
         instead of respawning per depth — cheap under ``fork``, a real
         saving on ``spawn`` platforms.
+    ``oracle_batch``
+        When true (the default) each multi-DIP miter round issues ONE
+        word-parallel :meth:`SimulationOracle.query_batch` call and the
+        black-box verification rounds are batched the same way.  Results
+        are bit-identical to the serial per-pattern loop (which
+        ``oracle_batch=False`` preserves for differential testing); only
+        the oracle's *call* count changes — ``oracle_queries`` reports
+        simulated patterns either way.
     """
     start = time.perf_counter()
     rng = make_rng(("seqsat", seed))
@@ -127,6 +161,9 @@ def sequential_sat_attack(locked_netlist, kappa, oracle, known_depth=None,
     depths_tried = []
     dips_per_depth = {}
     total_dips = 0
+    solve_seconds = 0.0
+    oracle_seconds = 0.0
+    encode_seconds = 0.0
 
     # One solver for the whole attack when the engine supports cross-
     # phase reuse (the portfolio's `reset`); otherwise each depth builds
@@ -155,6 +192,13 @@ def sequential_sat_attack(locked_netlist, kappa, oracle, known_depth=None,
                 trace = oracle.query(vectors)
                 return tuple(bit for cycle in trace for bit in cycle)
 
+            oracle_batch_fn = None
+            if oracle_batch:
+                def oracle_batch_fn(flat_batch, _depth=depth):
+                    sequences = [_unflatten(flat, width, _depth)
+                                 for flat in flat_batch]
+                    return oracle.query_batch_flat(sequences)
+
             budget_left = None
             if time_budget is not None:
                 budget_left = time_budget - (time.perf_counter() - start)
@@ -165,7 +209,11 @@ def sequential_sat_attack(locked_netlist, kappa, oracle, known_depth=None,
                         depths_tried=depths_tried,
                         dips_per_depth=dips_per_depth,
                         stop_reason="time_budget",
-                        oracle_queries=oracle.query_count)
+                        oracle_queries=oracle.pattern_count,
+                        oracle_calls=oracle.query_count,
+                        solve_seconds=solve_seconds,
+                        oracle_seconds=oracle_seconds,
+                        encode_seconds=encode_seconds)
 
             if shared_solver is not None:
                 if len(depths_tried) > 1:  # same fleet, fresh formula
@@ -178,9 +226,13 @@ def sequential_sat_attack(locked_netlist, kappa, oracle, known_depth=None,
                 view, key_inputs, oracle_fn,
                 max_dips=None if max_dips is None
                 else max_dips - total_dips,
-                time_budget=budget_left, dip_batch=dip_batch, **engine)
+                time_budget=budget_left, dip_batch=dip_batch,
+                oracle_batch_fn=oracle_batch_fn, **engine)
             total_dips += result.n_dips
             dips_per_depth[depth] = result.n_dips
+            solve_seconds += result.solve_seconds
+            oracle_seconds += result.oracle_seconds
+            encode_seconds += result.encode_seconds
             if not result.success:
                 return SeqAttackResult(
                     success=False, key=None, n_dips=total_dips,
@@ -188,27 +240,39 @@ def sequential_sat_attack(locked_netlist, kappa, oracle, known_depth=None,
                     depths_tried=depths_tried,
                     dips_per_depth=dips_per_depth,
                     stop_reason=result.stop_reason,
-                    oracle_queries=oracle.query_count)
+                    oracle_queries=oracle.pattern_count,
+                    oracle_calls=oracle.query_count,
+                    solve_seconds=solve_seconds,
+                    oracle_seconds=oracle_seconds,
+                    encode_seconds=encode_seconds)
 
             candidate = _key_from_model(result.key, locked_netlist.inputs,
                                         kappa)
+            phase_start = time.perf_counter()
             ok, counterexample_depth = _verify_candidate(
                 locked_netlist, kappa, candidate, oracle, reference,
-                rng, check_rounds, depth)
+                rng, check_rounds, depth, batched=oracle_batch)
+            oracle_seconds += time.perf_counter() - phase_start
             if ok:
                 return SeqAttackResult(
                     success=True, key=candidate, n_dips=total_dips,
                     seconds=time.perf_counter() - start, depth=depth,
                     depths_tried=depths_tried,
                     dips_per_depth=dips_per_depth,
-                    verified=True, oracle_queries=oracle.query_count)
+                    verified=True, oracle_queries=oracle.pattern_count,
+                    oracle_calls=oracle.query_count,
+                    solve_seconds=solve_seconds,
+                    oracle_seconds=oracle_seconds,
+                    encode_seconds=encode_seconds)
             depth = max(depth + 1, counterexample_depth)
 
         return SeqAttackResult(
             success=False, key=None, n_dips=total_dips,
             seconds=time.perf_counter() - start, depth=depth - 1,
             depths_tried=depths_tried, dips_per_depth=dips_per_depth,
-            stop_reason="max_depth", oracle_queries=oracle.query_count)
+            stop_reason="max_depth", oracle_queries=oracle.pattern_count,
+            oracle_calls=oracle.query_count, solve_seconds=solve_seconds,
+            oracle_seconds=oracle_seconds, encode_seconds=encode_seconds)
     finally:
         if shared_solver is not None:
             shared_solver.close()
@@ -252,7 +316,7 @@ def _key_from_model(key_assignment, input_names, kappa):
 
 
 def _verify_candidate(locked_netlist, kappa, candidate, oracle, reference,
-                      rng, check_rounds, depth):
+                      rng, check_rounds, depth, batched=True):
     """Check a candidate key; returns (ok, counterexample_depth)."""
     if reference is not None:
         result = bounded_equivalence(
@@ -276,13 +340,38 @@ def _verify_candidate(locked_netlist, kappa, candidate, oracle, reference,
     # Black-box mode: random oracle sequences.
     width = candidate.width
     locked_sim = SequentialSimulator(locked_netlist)
-    for _ in range(check_rounds):
-        data = random_vectors(rng, width, depth + kappa + 4)
-        locked_trace = locked_sim.run_vectors(list(candidate.vectors) + data)
-        oracle_trace = oracle.query(data)
-        if locked_trace[kappa:] != oracle_trace:
+    total_cycles = depth + kappa + 4
+    if not batched:
+        for _ in range(check_rounds):
+            data = random_vectors(rng, width, total_cycles)
+            locked_trace = locked_sim.run_vectors(
+                list(candidate.vectors) + data)
+            oracle_trace = oracle.query(data)
+            if locked_trace[kappa:] != oracle_trace:
+                for cycle, (got, want) in enumerate(
+                        zip(locked_trace[kappa:], oracle_trace)):
+                    if got != want:
+                        return False, cycle + 1
+        return True, depth
+
+    # Batched: all rounds word-parallel in one locked simulation and one
+    # oracle call.  Same random stimulus, same first-mismatch scan; the
+    # only behavioural difference from the serial loop is that a
+    # *failing* verification still drew and simulated every round.
+    prefix = list(candidate.vectors)
+    datas = [random_vectors(rng, width, total_cycles)
+             for _ in range(check_rounds)]
+    locked_out = locked_sim.run_pattern_matrix(
+        [[prefix[cycle]] * check_rounds for cycle in range(kappa)]
+        + [[data[cycle] for data in datas]
+           for cycle in range(total_cycles)])
+    oracle_traces = oracle.query_batch(datas)
+    for j, oracle_trace in enumerate(oracle_traces):
+        locked_trace = [locked_out[kappa + cycle][j]
+                        for cycle in range(total_cycles)]
+        if locked_trace != oracle_trace:
             for cycle, (got, want) in enumerate(
-                    zip(locked_trace[kappa:], oracle_trace)):
+                    zip(locked_trace, oracle_trace)):
                 if got != want:
                     return False, cycle + 1
     return True, depth

@@ -525,13 +525,20 @@ def cmd_attack(args, out):
         max_dips=args.max_dips, time_budget=args.time_budget,
         reference=original, dip_batch=args.dip_batch,
         portfolio=args.portfolio, attack_jobs=args.attack_jobs)
+    phases = (f"phases: solve {result.solve_seconds:.2f}s, "
+              f"oracle {result.oracle_seconds:.2f}s "
+              f"({result.oracle_queries} patterns / "
+              f"{result.oracle_calls} calls), "
+              f"encode {result.encode_seconds:.2f}s\n")
     if result.success:
         out.write(f"key recovered in {result.n_dips} DIPs "
                   f"({result.seconds:.2f}s, depth {result.depth}): "
                   f"{result.key}\n")
+        out.write(phases)
         return 0
     out.write(f"attack stopped: {result.stop_reason} after "
               f"{result.n_dips} DIPs ({result.seconds:.2f}s)\n")
+    out.write(phases)
     return 1
 
 

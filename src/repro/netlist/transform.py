@@ -27,6 +27,86 @@ _OP_BUILDERS = {
 }
 
 
+class InputSpecializer:
+    """Repeated partial evaluation of one netlist on varying constants.
+
+    Precomputes everything about the fold that does not depend on the
+    constant values — the needed-cone topological gate order and the
+    reserved name list — so specialising the same circuit on many input
+    assignments (the DIP-pinning hot loop) skips the two full graph
+    traversals that a standalone :func:`simplified` call pays each time.
+    ``specialize`` is, by construction, the same code path as
+    :func:`simplified`, so results are structurally byte-identical.
+    """
+
+    def __init__(self, netlist):
+        self._netlist = netlist
+        self._input_set = set(netlist.inputs)
+        self._reserved = list(netlist.nets())
+        # Only logic feeding an output or a flop D input is rebuilt.
+        roots = set(netlist.outputs)
+        roots.update(flop.d for flop in netlist.flops.values())
+        needed, _ = netlist.combinational_fanin(roots)
+        self._fold_order = [net for net in netlist.topo_order()
+                            if net in needed]
+
+    def specialize(self, constant_inputs=None, name=None):
+        """Return a folded, swept copy; see :func:`simplified`."""
+        netlist = self._netlist
+        constant_inputs = dict(constant_inputs or {})
+        for net in constant_inputs:
+            if net not in self._input_set:
+                raise NetlistError(
+                    f"constant_inputs key {net!r} is not a primary input")
+
+        result = Netlist(name if name is not None else netlist.name)
+        for net in netlist.inputs:
+            if net not in constant_inputs:
+                result.add_input(net)
+        for q, flop in netlist.flops.items():
+            # D nets are patched after mapping; placeholder keeps Q names
+            # stable.
+            result.add_flop(q, q, flop.init)
+
+        builder = LogicBuilder(result, prefix="s")
+        for net in self._reserved:
+            builder.names.reserve(net)
+
+        mapping = {}
+        for net in netlist.inputs:
+            if net in constant_inputs:
+                mapping[net] = builder.const(constant_inputs[net])
+            else:
+                mapping[net] = net
+        for q in netlist.flops:
+            mapping[q] = q
+
+        for net in self._fold_order:
+            gate = netlist.gate(net)
+            if gate.op is GateOp.CONST0:
+                mapping[net] = builder.const(0)
+            elif gate.op is GateOp.CONST1:
+                mapping[net] = builder.const(1)
+            else:
+                mapped_inputs = [mapping[src] for src in gate.inputs]
+                mapping[net] = _OP_BUILDERS[gate.op](builder, mapped_inputs)
+
+        for q, flop in netlist.flops.items():
+            result.replace_flop_d(q, mapping[flop.d])
+        for net in netlist.outputs:
+            result.add_output(mapping[net])
+
+        # Eager building can orphan gates whose consumers later folded
+        # away; sweep them so the pass is idempotent.
+        live_roots = set(result.outputs)
+        live_roots.update(flop.d for flop in result.flops.values())
+        live, _ = result.combinational_fanin(live_roots)
+        for net in list(result.gates):
+            if net not in live:
+                result.remove_gate(net)
+        return result.validate()
+
+
 def simplified(netlist, constant_inputs=None, name=None):
     """Return a folded, swept copy of ``netlist``.
 
@@ -35,63 +115,7 @@ def simplified(netlist, constant_inputs=None, name=None):
     output count and order are preserved; primary-input and flop-Q names
     are preserved; internal gate names are regenerated.
     """
-    constant_inputs = dict(constant_inputs or {})
-    for net in constant_inputs:
-        if not netlist.is_input(net):
-            raise NetlistError(f"constant_inputs key {net!r} is not a primary input")
-
-    result = Netlist(name if name is not None else netlist.name)
-    for net in netlist.inputs:
-        if net not in constant_inputs:
-            result.add_input(net)
-    for q, flop in netlist.flops.items():
-        # D nets are patched after mapping; placeholder keeps Q names stable.
-        result.add_flop(q, q, flop.init)
-
-    builder = LogicBuilder(result, prefix="s")
-    for net in netlist.nets():
-        builder.names.reserve(net)
-
-    mapping = {}
-    for net in netlist.inputs:
-        if net in constant_inputs:
-            mapping[net] = builder.const(constant_inputs[net])
-        else:
-            mapping[net] = net
-    for q in netlist.flops:
-        mapping[q] = q
-
-    # Only rebuild logic that feeds an output or a flop D input.
-    roots = set(netlist.outputs)
-    roots.update(flop.d for flop in netlist.flops.values())
-    needed, _ = netlist.combinational_fanin(roots)
-
-    for net in netlist.topo_order():
-        if net not in needed:
-            continue
-        gate = netlist.gate(net)
-        if gate.op is GateOp.CONST0:
-            mapping[net] = builder.const(0)
-        elif gate.op is GateOp.CONST1:
-            mapping[net] = builder.const(1)
-        else:
-            mapped_inputs = [mapping[src] for src in gate.inputs]
-            mapping[net] = _OP_BUILDERS[gate.op](builder, mapped_inputs)
-
-    for q, flop in netlist.flops.items():
-        result.replace_flop_d(q, mapping[flop.d])
-    for net in netlist.outputs:
-        result.add_output(mapping[net])
-
-    # Eager building can orphan gates whose consumers later folded away;
-    # sweep them so the pass is idempotent.
-    live_roots = set(result.outputs)
-    live_roots.update(flop.d for flop in result.flops.values())
-    live, _ = result.combinational_fanin(live_roots)
-    for net in list(result.gates):
-        if net not in live:
-            result.remove_gate(net)
-    return result.validate()
+    return InputSpecializer(netlist).specialize(constant_inputs, name=name)
 
 
 def specialise_on_inputs(netlist, assignments, name=None):

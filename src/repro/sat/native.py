@@ -39,10 +39,12 @@ from __future__ import annotations
 
 import os
 import shlex
+import shutil
 import subprocess
 import sys
 import tempfile
 import time
+import weakref
 
 from repro.errors import SolverError
 
@@ -206,14 +208,23 @@ class PySatBackend(_ClauseStoreMixin):
 class DimacsSubprocessBackend(_ClauseStoreMixin):
     """A user-supplied DIMACS binary behind the backend surface.
 
-    Incrementality is emulated: the accumulated clause set (plus the
-    call's assumptions as unit clauses) is serialized to a fresh DIMACS
-    file on every ``solve``.  That is O(formula) per call — fine for
-    the DIP loop's clause-growing pattern, and the only contract a
-    stateless external binary can offer.
+    Incrementality is emulated through a persistent *spool file*: each
+    clause is serialized exactly once, appended to the spool when first
+    seen, and the fixed-width ``p cnf`` header is rewritten in place
+    before every ``solve`` (the engine subprocess itself restarts from
+    scratch — that part is inherent to a stateless external binary, but
+    the Python-side serialization cost drops from O(formula) to
+    O(delta) per call, which is what matters in the clause-growing DIP
+    loop where the portfolio mirrors thousands of learned clauses into
+    this backend between solves).  Per-call assumptions are appended as
+    unit clauses after the permanent body and truncated away once the
+    run finishes, so they never pollute later solves.
     """
 
     backend_name = "native"
+
+    #: Fixed digit widths for the in-place rewritten DIMACS header.
+    _HEADER_FORMAT = "p cnf {vars:>10} {clauses:>12}\n"
 
     def __init__(self, argv_prefix, style="competition"):
         super().__init__()
@@ -226,6 +237,12 @@ class DimacsSubprocessBackend(_ClauseStoreMixin):
         self._argv = tuple(argv_prefix)
         self._style = style
         self._clauses = []
+        self._spool_dir = None
+        self._spool_path = None
+        self._spool_handle = None
+        self._spooled = 0              # clauses already in the spool
+        self._body_end = 0             # file offset after permanent body
+        self._serialized_clauses = 0   # monotone: clause lines ever written
 
     def add_clause(self, literals):
         if self._root_unsat:
@@ -238,15 +255,41 @@ class DimacsSubprocessBackend(_ClauseStoreMixin):
         return True
 
     # -- DIMACS plumbing ------------------------------------------------
-    def _write_dimacs(self, path, assumptions):
-        units = [[int(lit)] for lit in assumptions]
-        with open(path, "w", encoding="ascii") as handle:
-            handle.write(f"p cnf {self._num_vars} "
-                         f"{len(self._clauses) + len(units)}\n")
-            for clause in self._clauses:
-                handle.write(" ".join(map(str, clause)) + " 0\n")
-            for unit in units:
-                handle.write(f"{unit[0]} 0\n")
+    def _ensure_spool(self):
+        """Open (once) the persistent spool file for this backend."""
+        if self._spool_handle is None:
+            self._spool_dir = tempfile.mkdtemp(prefix="repro-native-")
+            weakref.finalize(self, shutil.rmtree, self._spool_dir,
+                             ignore_errors=True)
+            self._spool_path = os.path.join(self._spool_dir, "formula.cnf")
+            self._spool_handle = open(self._spool_path, "w+",
+                                      encoding="ascii")
+            self._spool_handle.write(
+                self._HEADER_FORMAT.format(vars=0, clauses=0))
+            self._body_end = self._spool_handle.tell()
+        return self._spool_handle
+
+    def _sync_spool(self, assumptions):
+        """Append new clauses + assumption units, rewrite the header.
+
+        Returns the offset the caller must truncate back to afterwards
+        (the end of the permanent clause body).
+        """
+        handle = self._ensure_spool()
+        handle.seek(self._body_end)
+        for clause in self._clauses[self._spooled:]:
+            handle.write(" ".join(map(str, clause)) + " 0\n")
+        self._serialized_clauses += len(self._clauses) - self._spooled
+        self._spooled = len(self._clauses)
+        self._body_end = handle.tell()
+        for lit in assumptions:
+            handle.write(f"{int(lit)} 0\n")
+        handle.seek(0)
+        handle.write(self._HEADER_FORMAT.format(
+            vars=self._num_vars,
+            clauses=len(self._clauses) + len(assumptions)))
+        handle.flush()
+        return self._body_end
 
     def _run(self, argv):
         """Run the engine, polling the interrupt callback.
@@ -298,13 +341,14 @@ class DimacsSubprocessBackend(_ClauseStoreMixin):
         self._model = None
         if self._root_unsat:
             return False
-        with tempfile.TemporaryDirectory(prefix="repro-native-") as tmp:
-            cnf_path = os.path.join(tmp, "formula.cnf")
-            self._write_dimacs(cnf_path, assumptions)
-            argv = list(self._argv) + [cnf_path]
+        body_end = self._sync_spool([int(lit) for lit in assumptions])
+        try:
+            argv = list(self._argv) + [self._spool_path]
             out_path = None
             if self._style == "minisat":
-                out_path = os.path.join(tmp, "result.txt")
+                out_path = os.path.join(self._spool_dir, "result.txt")
+                if os.path.exists(out_path):
+                    os.unlink(out_path)  # never trust a stale verdict
                 argv.append(out_path)
             proc = self._run(argv)
             if proc is None:
@@ -319,6 +363,11 @@ class DimacsSubprocessBackend(_ClauseStoreMixin):
                     text += ("\ns UNSATISFIABLE" if verdict == "UNSAT"
                              else "\ns SATISFIABLE\nv "
                              + " ".join(body[1:]))
+        finally:
+            # Drop this call's assumption units; the permanent clause
+            # body stays spooled for the next (incremental) solve.
+            self._spool_handle.seek(body_end)
+            self._spool_handle.truncate()
         answer, model = self._parse_answer(text)
         if answer is None:
             # Fall back on the SAT-competition exit-code convention.
@@ -347,6 +396,9 @@ class DimacsSubprocessBackend(_ClauseStoreMixin):
             "vars": self._num_vars,
             "clauses": len(self._clauses),
             "solve_calls": self.num_solve_calls,
+            # Incremental-mirroring proof: each clause is serialized to
+            # the spool once, not once per solve.
+            "serialized_clauses": self._serialized_clauses,
         }
 
 

@@ -170,6 +170,7 @@ class PortfolioSolver:
         self.num_solve_calls = 0
         self.num_resets = 0
         self.num_spawns = 0      # worker-fleet generations started
+        self.streamed_clauses = 0  # delta clauses shipped (once per race)
         self.wins = {name: 0 for name in configs}
         self.last_winner = None
         self._winner_stats = {}
@@ -284,6 +285,10 @@ class PortfolioSolver:
             "inline_fallback": self._inline is not None,
             "resets": self.num_resets,
             "spawns": self.num_spawns,
+            # Cumulative delta clauses shipped to the fleet — each clause
+            # crosses the pipe once per race round, never re-sent, so
+            # this tracks len(clauses), not clauses x solves.
+            "streamed_clauses": self.streamed_clauses,
         }
         if self._winner_stats:
             stats["winner_stats"] = dict(self._winner_stats)
@@ -445,6 +450,7 @@ class PortfolioSolver:
                 worker.alive = False
         self._sent_clauses = len(self._clauses)
         self._sent_vars = self._num_vars
+        self.streamed_clauses += len(delta)
         outstanding = [w for w in workers if w.alive]
         if not outstanding:
             return self._solve_inline(assumptions)

@@ -1,0 +1,102 @@
+"""Incremental clause mirroring into the native (DIMACS) backend.
+
+The backend keeps a persistent spool file across solves: each clause is
+serialized exactly once (``serialized_clauses`` proves it), per-solve
+assumption units are appended then truncated away, and portfolio races
+with a ``native`` member ship only the clause *delta* per round
+(``streamed_clauses``), never rebuilding the formula.
+"""
+
+import shlex
+
+import pytest
+
+from repro.sat import in_tree_engine_argv, make_backend
+from repro.sat.portfolio import PortfolioSolver
+
+pytestmark = pytest.mark.smoke
+
+
+def _native_env(monkeypatch):
+    monkeypatch.setenv(
+        "REPRO_SAT_BINARY",
+        " ".join(shlex.quote(part) for part in in_tree_engine_argv()))
+
+
+class TestIncrementalSpool:
+    def test_each_clause_serialized_once_across_solves(self, monkeypatch):
+        _native_env(monkeypatch)
+        backend = make_backend("native")
+        backend.ensure_vars(4)
+        backend.add_clause([1, 2])
+        backend.add_clause([-1, 3])
+        assert backend.solve() is True
+        backend.add_clause([-3, 4])
+        assert backend.solve() is True
+        assert backend.solve(assumptions=[-2]) is True
+        stats = backend.stats()
+        assert stats["solve_calls"] == 3
+        assert stats["clauses"] == 3
+        # 3 clauses over 3 solves: a per-solve rebuild would serialize 8.
+        assert stats["serialized_clauses"] == 3
+
+    def test_assumptions_do_not_leak_into_later_solves(self, monkeypatch):
+        _native_env(monkeypatch)
+        backend = make_backend("native")
+        backend.ensure_vars(2)
+        backend.add_clause([1, 2])
+        # Force UNSAT via assumptions, then drop them: the truncated
+        # spool must not have kept the units around.
+        assert backend.solve(assumptions=[-1, -2]) is False
+        assert backend.solve() is True
+        assert backend.solve(assumptions=[-1]) is True
+        assert backend.stats()["serialized_clauses"] == 1
+
+    def test_growing_vars_updates_header(self, monkeypatch):
+        _native_env(monkeypatch)
+        backend = make_backend("native")
+        backend.ensure_vars(2)
+        backend.add_clause([1, 2])
+        assert backend.solve() is True
+        backend.ensure_vars(50)
+        backend.add_clause([-1, 50])
+        assert backend.solve() is True
+        stats = backend.stats()
+        assert stats["vars"] == 50
+        assert stats["serialized_clauses"] == 2
+
+
+class TestPortfolioNativeMirroring:
+    def test_native_member_reuses_mirrored_store_across_rounds(
+            self, monkeypatch):
+        _native_env(monkeypatch)
+        with PortfolioSolver(("native",)) as portfolio:
+            portfolio.ensure_vars(4)
+            portfolio.add_clause([1, 2])
+            portfolio.add_clause([-1, 3])
+            assert portfolio.solve() is True
+            portfolio.add_clause([-3, 4])
+            assert portfolio.solve() is True
+            assert portfolio.solve(assumptions=[-2]) is True
+            stats = portfolio.stats()
+            # The race streamed each clause to the worker once...
+            assert stats["streamed_clauses"] == 3
+            # ...and the worker's backend serialized each once, across
+            # three solve rounds (no per-solve formula rebuild).
+            winner = stats["winner_stats"]
+            assert winner["backend"] == "native"
+            assert winner["serialized_clauses"] == 3
+            assert winner["solve_calls"] == 3
+
+    def test_streamed_clauses_track_deltas_not_rebuilds(self,
+                                                        monkeypatch):
+        _native_env(monkeypatch)
+        with PortfolioSolver(("cdcl", "native")) as portfolio:
+            portfolio.ensure_vars(3)
+            for clause in ([1, 2], [-1, 3], [2, 3]):
+                portfolio.add_clause(clause)
+            assert portfolio.solve() is True
+            assert portfolio.solve() is True  # no new clauses: delta 0
+            portfolio.add_clause([-2, -3])
+            assert portfolio.solve() is True
+            assert portfolio.stats()["streamed_clauses"] == 4
